@@ -1,0 +1,263 @@
+//! Forged gateway announcements and the HELLO flood (§2.3).
+//!
+//! In plain MLR, a gateway-move `Announce` is a bare flooded packet:
+//! anyone can claim "gateway G moved to place P". An adversary exploits
+//! it two ways:
+//!
+//! * **Spoofed routing information**: announce the real gateway at a
+//!   place only the adversary serves — traffic routed there vanishes.
+//! * **HELLO flood**: transmit the forged announcement with a
+//!   high-power radio ([`wmsn_sim::Ctx::send_ranged`]) so the entire
+//!   field hears it in one hop, poisoning every sensor at once.
+//!
+//! SecMLR's μTESLA-authenticated announcements defeat both: the forged
+//! frame carries no valid chain MAC and is never applied.
+
+use std::any::Any;
+use wmsn_crypto::mac::Tag;
+use wmsn_routing::wire::RoutingMsg;
+use wmsn_secure::wire::SecMsg;
+use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, SimTime, Tier};
+use wmsn_util::NodeId;
+
+const TIMER_ANNOUNCE: u64 = 0xBAD0_0002;
+
+/// Which wire format to forge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnnounceTarget {
+    /// Plain MLR `Announce` frames.
+    Mlr,
+    /// SecMLR μTESLA announce frames (with garbage tags).
+    SecMlr,
+}
+
+/// Periodically floods forged gateway-move announcements.
+pub struct FalseAnnouncer {
+    target: AnnounceTarget,
+    /// Gateway id to impersonate.
+    pub victim_gateway: NodeId,
+    /// Place to lure traffic to.
+    pub lure_place: u16,
+    /// Announcement period (µs).
+    period_us: SimTime,
+    /// Boost range in metres (`None` = normal radio — plain spoofing;
+    /// `Some(r)` = HELLO flood at radius `r`).
+    boost_range: Option<f64>,
+    next_round: u32,
+    /// Forged announcements sent.
+    pub sent: u64,
+}
+
+impl FalseAnnouncer {
+    /// New announcer impersonating `victim_gateway` at `lure_place`.
+    pub fn new(
+        target: AnnounceTarget,
+        victim_gateway: NodeId,
+        lure_place: u16,
+        period_us: SimTime,
+        boost_range: Option<f64>,
+    ) -> Self {
+        FalseAnnouncer {
+            target,
+            victim_gateway,
+            lure_place,
+            period_us,
+            boost_range,
+            // Claim absurdly-new rounds so round-stamped occupancy maps
+            // always prefer the forgery.
+            next_round: 1_000_000,
+            sent: 0,
+        }
+    }
+
+    /// Boxed, for `World::add_node`.
+    pub fn boxed(
+        target: AnnounceTarget,
+        victim_gateway: NodeId,
+        lure_place: u16,
+        period_us: SimTime,
+        boost_range: Option<f64>,
+    ) -> Box<dyn Behavior> {
+        Box::new(Self::new(
+            target,
+            victim_gateway,
+            lure_place,
+            period_us,
+            boost_range,
+        ))
+    }
+
+    fn announce(&mut self, ctx: &mut Ctx<'_>) {
+        let round = self.next_round;
+        self.next_round += 1;
+        let bytes = match self.target {
+            AnnounceTarget::Mlr => RoutingMsg::Announce {
+                gateway: self.victim_gateway,
+                place: self.lure_place,
+                round,
+            }
+            .encode(),
+            AnnounceTarget::SecMlr => SecMsg::Announce {
+                gateway: self.victim_gateway,
+                place: self.lure_place,
+                round,
+                interval: 1,
+                tesla_tag: Tag([0x66; 8]),
+            }
+            .encode(),
+        };
+        self.sent += 1;
+        match self.boost_range {
+            Some(r) => {
+                ctx.send_ranged(None, Tier::Sensor, PacketKind::Control, bytes, r);
+            }
+            None => {
+                ctx.send(None, Tier::Sensor, PacketKind::Control, bytes);
+            }
+        }
+    }
+}
+
+impl Behavior for FalseAnnouncer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.period_us, TIMER_ANNOUNCE);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TIMER_ANNOUNCE {
+            self.announce(ctx);
+            ctx.set_timer(self.period_us, TIMER_ANNOUNCE);
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: &Packet) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsn_crypto::tesla::TeslaReceiver;
+    use wmsn_crypto::{Key128, KeyStore};
+    use wmsn_routing::mlr::{MlrConfig, MlrGateway, MlrSensor};
+    use wmsn_secure::{SecGatewayConfig, SecMlrGateway, SecMlrSensor, SecSensorConfig};
+    use wmsn_sim::{NodeConfig, World, WorldConfig};
+    use wmsn_util::Point;
+
+    fn short_range(seed: u64) -> WorldConfig {
+        let mut c = WorldConfig::ideal(seed);
+        c.sensor_phy.range_m = 10.0;
+        c
+    }
+
+    #[test]
+    fn forged_announce_poisons_mlr_occupancy() {
+        let mut w = World::new(short_range(1));
+        let s0 = w.add_node(
+            NodeConfig::sensor(Point::new(0.0, 0.0), 100.0),
+            MlrSensor::boxed(MlrConfig::default()),
+        );
+        let gw = w.add_node(
+            NodeConfig::gateway(Point::new(10.0, 0.0)),
+            MlrGateway::boxed(0),
+        );
+        let _attacker = w.add_node(
+            NodeConfig::sensor(Point::new(0.0, 9.0), 100.0),
+            FalseAnnouncer::boxed(AnnounceTarget::Mlr, gw, 9, 200_000, None),
+        );
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(1_000_000);
+        let s = w.behavior_as::<MlrSensor>(s0).unwrap();
+        // The forged "gateway moved to place 9" (with an ever-newer
+        // round) displaced the truth.
+        assert_eq!(s.occupied_places(), vec![9], "occupancy must be poisoned");
+        // Traffic to place 9 has no real discovery answer from there —
+        // the gateway responds with its REAL place, and data still flows,
+        // but the poisoning is the measured integrity failure.
+    }
+
+    #[test]
+    fn hello_flood_poisons_the_whole_field_in_one_shot() {
+        let mut w = World::new(short_range(2));
+        let mut sensors = Vec::new();
+        for i in 0..8 {
+            sensors.push(w.add_node(
+                NodeConfig::sensor(Point::new(i as f64 * 10.0, 0.0), 100.0),
+                MlrSensor::boxed(MlrConfig::default()),
+            ));
+        }
+        let gw = w.add_node(
+            NodeConfig::gateway(Point::new(80.0, 0.0)),
+            MlrGateway::boxed(0),
+        );
+        // The attacker sits far from most sensors but shouts at 500 m.
+        let attacker = w.add_node(
+            NodeConfig::sensor(Point::new(0.0, 9.0), 100.0),
+            FalseAnnouncer::boxed(AnnounceTarget::Mlr, gw, 9, 200_000, Some(500.0)),
+        );
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(300_000); // one forged announcement, field-wide
+        let poisoned = sensors
+            .iter()
+            .filter(|&&s| {
+                w.behavior_as::<MlrSensor>(s)
+                    .unwrap()
+                    .occupied_places()
+                    .contains(&9)
+            })
+            .count();
+        assert_eq!(poisoned, 8, "every sensor heard the one-hop HELLO flood");
+        assert!(w.behavior_as::<FalseAnnouncer>(attacker).unwrap().sent >= 1);
+    }
+
+    #[test]
+    fn secmlr_never_applies_the_forged_announce() {
+        const MASTER: Key128 = Key128([0x42; 16]);
+        let mut w = World::new(short_range(3));
+        let gw_id = NodeId(2);
+        let mut sensors = Vec::new();
+        for i in 0..2 {
+            let keys = KeyStore::for_sensor(&MASTER, i, &[gw_id.0]);
+            sensors.push(w.add_node(
+                NodeConfig::sensor(Point::new(i as f64 * 10.0, 0.0), 100.0),
+                SecMlrSensor::boxed(SecSensorConfig::default(), keys),
+            ));
+        }
+        let gw = w.add_node(
+            NodeConfig::gateway(Point::new(20.0, 0.0)),
+            SecMlrGateway::boxed(SecGatewayConfig::default(), &MASTER, gw_id, 0),
+        );
+        let _attacker = w.add_node(
+            NodeConfig::sensor(Point::new(0.0, 9.0), 100.0),
+            FalseAnnouncer::boxed(AnnounceTarget::SecMlr, gw, 9, 200_000, Some(500.0)),
+        );
+        let params = w.behavior_as::<SecMlrGateway>(gw).unwrap().tesla_params();
+        for &s in &sensors {
+            w.with_behavior::<SecMlrSensor, _>(s, |b, _| {
+                b.install_tesla(
+                    gw_id,
+                    TeslaReceiver::new(params.0, params.1, params.2, params.3, params.4),
+                );
+                b.set_initial_occupancy(&[(gw_id, 0)]);
+            });
+        }
+        w.start();
+        w.run_for(3_000_000); // many forged announcements + disclosures
+        for &s in &sensors {
+            let b = w.behavior_as::<SecMlrSensor>(s).unwrap();
+            assert_eq!(
+                b.occupied_gateways(),
+                vec![(gw, 0)],
+                "sensor {s}: forged announce must never apply"
+            );
+        }
+    }
+}

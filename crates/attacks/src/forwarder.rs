@@ -1,0 +1,179 @@
+//! Selective forwarding / blackhole (§2.3).
+//!
+//! The adversary behaves as a perfectly honest router during route
+//! discovery — so paths are installed *through* it — and then silently
+//! drops a fraction (or all) of the data frames it should relay. Because
+//! it wraps the real protocol behaviour, it works identically against
+//! MLR and SecMLR; the difference shows up in recovery (SecMLR sources
+//! hold multiple verified routes and can fail over).
+
+use std::any::Any;
+use wmsn_sim::{Behavior, Ctx, Packet, PacketKind};
+
+/// Wraps an honest behaviour and drops relayed data frames with
+/// probability `drop_prob`.
+pub struct SelectiveForwarder {
+    inner: Box<dyn Behavior>,
+    drop_prob: f64,
+    /// Data frames swallowed so far.
+    pub dropped: u64,
+}
+
+impl SelectiveForwarder {
+    /// Wrap `inner`; `drop_prob = 1.0` is a full blackhole.
+    pub fn new(inner: Box<dyn Behavior>, drop_prob: f64) -> Self {
+        SelectiveForwarder {
+            inner,
+            drop_prob,
+            dropped: 0,
+        }
+    }
+
+    /// Boxed, for `World::add_node`.
+    pub fn boxed(inner: Box<dyn Behavior>, drop_prob: f64) -> Box<dyn Behavior> {
+        Box::new(Self::new(inner, drop_prob))
+    }
+}
+
+impl Behavior for SelectiveForwarder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        if pkt.kind == PacketKind::Data && ctx.rng().chance(self.drop_prob) {
+            self.dropped += 1;
+            return; // swallowed: the honest protocol never sees it
+        }
+        self.inner.on_packet(ctx, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        self.inner.on_timer(ctx, tag);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsn_routing::mlr::{MlrConfig, MlrGateway, MlrSensor};
+    use wmsn_sim::{NodeConfig, World, WorldConfig};
+    use wmsn_util::{NodeId, Point};
+
+    fn short_range(seed: u64) -> WorldConfig {
+        let mut c = WorldConfig::ideal(seed);
+        c.sensor_phy.range_m = 10.0;
+        c
+    }
+
+    /// Chain S0 — S1(adversary?) — S2 — GW.
+    fn chain(blackhole: bool) -> (World, Vec<NodeId>, NodeId) {
+        let mut w = World::new(short_range(1));
+        let mut sensors = Vec::new();
+        for i in 0..3 {
+            let honest = MlrSensor::boxed(MlrConfig::default());
+            let behavior = if i == 1 && blackhole {
+                SelectiveForwarder::boxed(honest, 1.0)
+            } else {
+                honest
+            };
+            sensors.push(w.add_node(
+                NodeConfig::sensor(Point::new(i as f64 * 10.0, 0.0), 100.0),
+                behavior,
+            ));
+        }
+        let gw = w.add_node(
+            NodeConfig::gateway(Point::new(30.0, 0.0)),
+            MlrGateway::boxed(0),
+        );
+        (w, sensors, gw)
+    }
+
+    fn run(w: &mut World, sensors: &[NodeId], gw: NodeId) -> f64 {
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(500_000);
+        for _ in 0..5 {
+            // Only S0 sends; its path necessarily crosses S1.
+            w.with_behavior::<MlrSensor, _>(sensors[0], |s, ctx| s.originate(ctx));
+            w.run_for(1_000_000);
+        }
+        w.metrics().delivery_ratio()
+    }
+
+    #[test]
+    fn honest_chain_delivers_everything() {
+        let (mut w, sensors, gw) = chain(false);
+        assert!((run(&mut w, &sensors, gw) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blackhole_relay_kills_the_chain() {
+        let (mut w, sensors, gw) = chain(true);
+        let ratio = run(&mut w, &sensors, gw);
+        assert_eq!(ratio, 0.0, "all of S0's data crosses the blackhole");
+        // The adversary really did participate in discovery: S0 has a
+        // route (through it) — the route just eats packets.
+        let adversary = sensors[1];
+        let dropped = w
+            .behavior_as::<SelectiveForwarder>(adversary)
+            .unwrap()
+            .dropped;
+        assert!(dropped >= 5);
+    }
+
+    #[test]
+    fn partial_dropper_degrades_but_does_not_kill() {
+        let mut w = World::new(short_range(2));
+        let mut sensors = Vec::new();
+        for i in 0..3 {
+            let honest = MlrSensor::boxed(MlrConfig::default());
+            let behavior = if i == 1 {
+                SelectiveForwarder::boxed(honest, 0.5)
+            } else {
+                honest
+            };
+            sensors.push(w.add_node(
+                NodeConfig::sensor(Point::new(i as f64 * 10.0, 0.0), 100.0),
+                behavior,
+            ));
+        }
+        let gw = w.add_node(
+            NodeConfig::gateway(Point::new(30.0, 0.0)),
+            MlrGateway::boxed(0),
+        );
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(500_000);
+        for _ in 0..20 {
+            w.with_behavior::<MlrSensor, _>(sensors[0], |s, ctx| s.originate(ctx));
+            w.run_for(500_000);
+        }
+        let ratio = w.metrics().delivery_ratio();
+        assert!(ratio > 0.1 && ratio < 0.9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn control_traffic_is_untouched() {
+        // The selective forwarder must keep relaying RREQ/RREP (that is
+        // what makes it insidious) — discovery still succeeds through it.
+        let (mut w, sensors, gw) = chain(true);
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(500_000);
+        w.with_behavior::<MlrSensor, _>(sensors[0], |s, ctx| s.originate(ctx));
+        w.run_for(1_000_000);
+        let s0 = w.behavior_as::<MlrSensor>(sensors[0]).unwrap();
+        assert!(
+            s0.table.by_place(0).is_some(),
+            "discovery must succeed through the adversary"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! `wmsn-attacks` — adversary node behaviours implementing the paper's
+//! attack taxonomy (§2.3, after Karlof & Wagner and Wang et al.):
+//!
+//! | Attack | Module | Against MLR | Against SecMLR |
+//! |---|---|---|---|
+//! | Selective forwarding / blackhole | [`forwarder`] | drops relayed data | drops relayed data (mitigated by multipath failover) |
+//! | Sinkhole (forged routing replies) | [`sinkhole`] | draws traffic, then drops | reply fails MAC verification at the source |
+//! | Spoofed/altered routing info | [`sinkhole`] (forged RREP), [`announcer`] (forged move) | accepted | rejected (MAC / μTESLA) |
+//! | Replayed routing information | [`replayer`] | duplicate data accepted | counters reject |
+//! | HELLO flood (high-power beacon) | [`announcer`] with boosted range | field-wide false occupancy | μTESLA safety test rejects |
+//! | Sybil (many identities) | [`sinkhole::Sybil`] | multiplies forged replies | each identity still lacks keys |
+//! | Wormhole (out-of-band tunnel) | [`wormhole`] | artificially short paths through the tunnel | tunnel can shorten paths but cannot forge data or replies; detection via hop-count anomaly is measured |
+//! | Acknowledgment spoofing | — | not applicable: neither MLR nor SecMLR uses link-layer ACKs (documented substitution in DESIGN.md) | — |
+//!
+//! Every adversary is a [`wmsn_sim::Behavior`] that can be dropped into a
+//! world alongside honest nodes; experiment E6 measures delivery ratios
+//! with each attack on and off, for both protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod announcer;
+pub mod forwarder;
+pub mod replayer;
+pub mod sinkhole;
+pub mod wormhole;
+
+pub use announcer::FalseAnnouncer;
+pub use forwarder::SelectiveForwarder;
+pub use replayer::Replayer;
+pub use sinkhole::{Sinkhole, Sybil};
+pub use wormhole::{wormhole_pair, WormholeEnd};

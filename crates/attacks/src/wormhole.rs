@@ -1,0 +1,223 @@
+//! The wormhole attack (§2.3).
+//!
+//! Two colluding nodes share an out-of-band channel (in reality a wired
+//! or directional link invisible to the sensor radio). Frames overheard
+//! at one end are tunnelled and re-broadcast at the other, making parts
+//! of the network appear adjacent. Route discovery then prefers paths
+//! "through" the wormhole, putting the adversary on-path — at which point
+//! it can eavesdrop, drop, or delay.
+//!
+//! Cryptography alone does not stop a wormhole (tunnelled frames are
+//! genuine); SecMLR limits the *damage* — tunnelled replies/data still
+//! verify only if untampered, and the gateway's minimum-hop collection
+//! plus hop-count anomalies make detection possible. Experiment E6
+//! measures path distortion with the tunnel on/off.
+//!
+//! The out-of-band channel is modelled by a shared queue between the two
+//! endpoint behaviours (single-threaded simulation ⇒ `Rc<RefCell<…>>`),
+//! drained on a fast timer — the tunnel is faster than multi-hop radio,
+//! as real wormholes are.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, SimTime, Tier};
+
+const TIMER_PUMP: u64 = 0xBAD0_0003;
+
+type Tunnel = Rc<RefCell<VecDeque<(Vec<u8>, PacketKind)>>>;
+
+/// One end of a wormhole.
+pub struct WormholeEnd {
+    /// Frames arriving here are pushed into `to_peer`.
+    to_peer: Tunnel,
+    /// Frames found in `from_peer` are re-broadcast here.
+    from_peer: Tunnel,
+    pump_period_us: SimTime,
+    /// Frames tunnelled out of this end.
+    pub tunnelled_out: u64,
+    /// Frames re-broadcast at this end.
+    pub rebroadcast: u64,
+    /// If true, DATA frames are tunnelled but *not* re-broadcast — the
+    /// wormhole collapses into a distributed blackhole.
+    pub drop_data: bool,
+}
+
+/// Construct both ends of a wormhole. Add each to the world at its
+/// position; everything either end overhears reappears at the other.
+pub fn wormhole_pair(pump_period_us: SimTime, drop_data: bool) -> (WormholeEnd, WormholeEnd) {
+    let ab: Tunnel = Rc::new(RefCell::new(VecDeque::new()));
+    let ba: Tunnel = Rc::new(RefCell::new(VecDeque::new()));
+    let a = WormholeEnd {
+        to_peer: Rc::clone(&ab),
+        from_peer: Rc::clone(&ba),
+        pump_period_us,
+        tunnelled_out: 0,
+        rebroadcast: 0,
+        drop_data,
+    };
+    let b = WormholeEnd {
+        to_peer: ba,
+        from_peer: ab,
+        pump_period_us,
+        tunnelled_out: 0,
+        rebroadcast: 0,
+        drop_data,
+    };
+    (a, b)
+}
+
+impl Behavior for WormholeEnd {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.pump_period_us, TIMER_PUMP);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: &Packet) {
+        self.tunnelled_out += 1;
+        self.to_peer
+            .borrow_mut()
+            .push_back((pkt.payload.clone(), pkt.kind));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag != TIMER_PUMP {
+            return;
+        }
+        // Drain everything the peer captured since the last pump.
+        loop {
+            let item = self.from_peer.borrow_mut().pop_front();
+            let Some((bytes, kind)) = item else { break };
+            if self.drop_data && kind == PacketKind::Data {
+                continue;
+            }
+            self.rebroadcast += 1;
+            ctx.send(None, Tier::Sensor, kind, bytes);
+        }
+        ctx.set_timer(self.pump_period_us, TIMER_PUMP);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsn_routing::mlr::{MlrConfig, MlrGateway, MlrSensor};
+    use wmsn_sim::{NodeConfig, World, WorldConfig};
+    use wmsn_util::{NodeId, Point};
+
+    fn short_range(seed: u64) -> WorldConfig {
+        let mut c = WorldConfig::ideal(seed);
+        c.sensor_phy.range_m = 10.0;
+        c
+    }
+
+    /// A 9-hop chain with wormhole ends near both ends of the chain.
+    fn wormholed_chain(drop_data: bool) -> (World, Vec<NodeId>, NodeId, NodeId, NodeId) {
+        let mut w = World::new(short_range(1));
+        let mut sensors = Vec::new();
+        for i in 0..9 {
+            sensors.push(w.add_node(
+                NodeConfig::sensor(Point::new(i as f64 * 10.0, 0.0), 100.0),
+                MlrSensor::boxed(MlrConfig::default()),
+            ));
+        }
+        let gw = w.add_node(
+            NodeConfig::gateway(Point::new(90.0, 0.0)),
+            MlrGateway::boxed(0),
+        );
+        let (a, b) = wormhole_pair(5_000, drop_data);
+        let end_a = w.add_node(
+            NodeConfig::sensor(Point::new(0.0, 7.0), 100.0), // near S0
+            Box::new(a),
+        );
+        let end_b = w.add_node(
+            NodeConfig::sensor(Point::new(90.0, 7.0), 100.0), // near the gateway
+            Box::new(b),
+        );
+        w.set_promiscuous(end_a, true);
+        w.set_promiscuous(end_b, true);
+        (w, sensors, gw, end_a, end_b)
+    }
+
+    #[test]
+    fn wormhole_shortens_discovered_paths() {
+        // Without the wormhole, S0 is 9 hops out. With it, S0's RREQ
+        // teleports next to the gateway and the response teleports back:
+        // the discovered path is dramatically shorter than 9.
+        let (mut w, sensors, gw, end_a, end_b) = wormholed_chain(false);
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(1_000_000);
+        w.with_behavior::<MlrSensor, _>(sensors[0], |s, ctx| s.originate(ctx));
+        w.run_for(3_000_000);
+        let m = w.metrics();
+        assert!(!m.deliveries.is_empty());
+        let hops = w
+            .behavior_as::<MlrSensor>(sensors[0])
+            .unwrap()
+            .table
+            .by_place(0)
+            .unwrap()
+            .hops();
+        assert!(
+            hops <= 3,
+            "wormhole should fake a short path, table says {hops} hops"
+        );
+        assert!(w.behavior_as::<WormholeEnd>(end_a).unwrap().tunnelled_out > 0);
+        assert!(w.behavior_as::<WormholeEnd>(end_b).unwrap().rebroadcast > 0);
+    }
+
+    #[test]
+    fn data_dropping_wormhole_starves_the_route_it_created() {
+        let (mut w, sensors, gw, _a, _b) = wormholed_chain(true);
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(1_000_000);
+        for _ in 0..5 {
+            w.with_behavior::<MlrSensor, _>(sensors[0], |s, ctx| s.originate(ctx));
+            w.run_for(1_000_000);
+        }
+        let m = w.metrics();
+        assert!(
+            m.delivery_ratio() < 0.5,
+            "the lured traffic should vanish in the tunnel: {}",
+            m.delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn without_wormhole_the_chain_is_honest_nine_hops() {
+        let mut w = World::new(short_range(1));
+        let mut sensors = Vec::new();
+        for i in 0..9 {
+            sensors.push(w.add_node(
+                NodeConfig::sensor(Point::new(i as f64 * 10.0, 0.0), 100.0),
+                MlrSensor::boxed(MlrConfig::default()),
+            ));
+        }
+        let gw = w.add_node(
+            NodeConfig::gateway(Point::new(90.0, 0.0)),
+            MlrGateway::boxed(0),
+        );
+        w.start();
+        w.with_behavior::<MlrGateway, _>(gw, |g, ctx| g.set_place(ctx, 0, 0));
+        w.run_for(1_000_000);
+        w.with_behavior::<MlrSensor, _>(sensors[0], |s, ctx| s.originate(ctx));
+        w.run_for(3_000_000);
+        let hops = w
+            .behavior_as::<MlrSensor>(sensors[0])
+            .unwrap()
+            .table
+            .by_place(0)
+            .unwrap()
+            .hops();
+        assert_eq!(hops, 9);
+    }
+}

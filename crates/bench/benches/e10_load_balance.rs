@@ -1,0 +1,19 @@
+//! E10: QoS load balance under a traffic hot spot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e10_load_balance;
+
+fn bench(c: &mut Criterion) {
+    emit("e10_load_balance", &e10_load_balance(3));
+    c.bench_function("e10/hotspot_run", |b| {
+        b.iter(|| std::hint::black_box(e10_load_balance(3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

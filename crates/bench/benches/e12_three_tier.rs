@@ -1,0 +1,19 @@
+//! E12: the full three-layer architecture end-to-end (Fig. 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e12_three_tier;
+
+fn bench(c: &mut Criterion) {
+    emit("e12_three_tier", &e12_three_tier(23));
+    c.bench_function("e12/three_tier_run", |b| {
+        b.iter(|| std::hint::black_box(e12_three_tier(23)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

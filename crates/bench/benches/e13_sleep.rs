@@ -1,0 +1,25 @@
+//! E13: GAF sleep scheduling — awake fraction vs energy vs delivery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e13_sleep_scheduling;
+use wmsn_topology::control::gaf_sleep_schedule;
+use wmsn_topology::Deployment;
+use wmsn_util::{Rect, SplitMix64};
+
+fn bench(c: &mut Criterion) {
+    emit("e13_sleep_scheduling", &e13_sleep_scheduling(7));
+    let mut rng = SplitMix64::new(7);
+    let pts = Deployment::Uniform { n: 400 }.generate(Rect::field(100.0, 100.0), &mut rng);
+    let energies = vec![1.0; pts.len()];
+    c.bench_function("e13/gaf_schedule_400", |b| {
+        b.iter(|| gaf_sleep_schedule(std::hint::black_box(&pts), &energies, 25.0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E14: loss sweep + collision/CSMA ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::builder::build_mlr;
+use wmsn_core::drivers::MlrDriver;
+use wmsn_core::experiments::e14_loss_and_collisions;
+use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
+
+fn bench(c: &mut Criterion) {
+    emit("e14_loss_and_collisions", &e14_loss_and_collisions(7));
+    // Timed kernel: one lossy MLR round (loss stresses retry paths).
+    c.bench_function("e14/lossy_round", |b| {
+        b.iter_with_setup(
+            || {
+                let field = FieldParams {
+                    loss_prob: 0.05,
+                    battery_j: 10.0,
+                    ..FieldParams::default_uniform(40, 7)
+                };
+                MlrDriver::new(build_mlr(
+                    &field,
+                    &GatewayParams::default_three(),
+                    TrafficParams::default(),
+                    0.0,
+                ))
+            },
+            |mut d| std::hint::black_box(d.run_round()),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E15: the baseline comparison table (§2.2 quantified).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e15_baselines;
+
+fn bench(c: &mut Criterion) {
+    emit("e15_baselines", &e15_baselines(7));
+    c.bench_function("e15/full_table", |b| {
+        b.iter(|| std::hint::black_box(e15_baselines(7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E16: the energy-aware route-selection ablation (§5.3's D² objective
+//! made routable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e16_energy_aware;
+
+fn bench(c: &mut Criterion) {
+    emit("e16_energy_aware", &e16_energy_aware(31));
+    // Timed kernel: one energy-aware round (the full lifetime ablation
+    // above runs once, un-timed).
+    use wmsn_core::builder::build_mlr_with;
+    use wmsn_core::drivers::MlrDriver;
+    use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
+    use wmsn_routing::mlr::MlrConfig;
+    c.bench_function("e16/energy_aware_round", |b| {
+        b.iter_with_setup(
+            || {
+                MlrDriver::new(build_mlr_with(
+                    &FieldParams {
+                        battery_j: 10.0,
+                        ..FieldParams::default_uniform(50, 31)
+                    },
+                    &GatewayParams::default_three(),
+                    TrafficParams::default(),
+                    MlrConfig {
+                        energy_slack: 2,
+                        ..MlrConfig::default()
+                    },
+                ))
+            },
+            |mut d| std::hint::black_box(d.run_round()),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E17: seed-robustness sweep, fanned out across cores with rayon —
+//! the throughput benchmark for running many independent simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::{e17_seed_sweep, parallel_sweep};
+
+fn bench(c: &mut Criterion) {
+    let seeds: Vec<u64> = (1..=8).collect();
+    emit("e17_seed_sweep", &e17_seed_sweep(&seeds));
+    // Throughput: 8 parallel scenario builds + analytic hop fields.
+    c.bench_function("e17/parallel_hopfields_x8", |b| {
+        b.iter(|| {
+            parallel_sweep(&seeds, |seed| {
+                use wmsn_core::builder::build_spr;
+                use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
+                use wmsn_topology::connectivity::HopField;
+                let scen = build_spr(
+                    &FieldParams::default_uniform(100, seed),
+                    &GatewayParams::default_three(),
+                    TrafficParams::default(),
+                );
+                let hf = HopField::compute(&scen.topology());
+                std::hint::black_box(hf.mean_sensor_hops(100))
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E1 (Fig. 2): hop counts single-sink vs three gateways — regenerates
+//! the paper's numbers, then times the analytic hop-field kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::{e1_fig2, e1_random_fields};
+use wmsn_topology::connectivity::HopField;
+use wmsn_topology::paper::fig2_three_gateways;
+
+fn bench(c: &mut Criterion) {
+    emit("e1_fig2", &e1_fig2());
+    emit("e1_random_fields", &e1_random_fields(&[150, 300], 7));
+    let topo = fig2_three_gateways();
+    c.bench_function("e1/hopfield_fig2b", |b| {
+        b.iter(|| HopField::compute(std::hint::black_box(&topo)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E2 (Table 1): the MLR incremental-table walkthrough in simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e2_table1;
+
+fn bench(c: &mut Criterion) {
+    emit("e2_table1", &e2_table1());
+    c.bench_function("e2/table1_full_sim", |b| {
+        b.iter(|| std::hint::black_box(e2_table1()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

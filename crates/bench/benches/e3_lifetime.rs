@@ -1,0 +1,29 @@
+//! E3: network lifetime — SPR (m=1, m=3) vs MLR vs the optimal bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::builder::build_spr;
+use wmsn_core::experiments::e3_lifetime;
+use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
+use wmsn_routing::optimal_lifetime_rounds;
+
+fn bench(c: &mut Criterion) {
+    emit("e3_lifetime", &e3_lifetime(&[40, 80], 31));
+    // Timed kernel: the Dinic optimal-lifetime oracle on an 80-node field.
+    let scen = build_spr(
+        &FieldParams::default_uniform(80, 31),
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+    );
+    let topo = scen.topology();
+    c.bench_function("e3/optimal_bound_80", |b| {
+        b.iter(|| optimal_lifetime_rounds(std::hint::black_box(&topo), 1.0, 1e-3, 1e-3, 1.0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E4: the K_max saturation sweep plus the placement-algorithm ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e4_kmax;
+use wmsn_topology::{placement, Deployment, FeasiblePlaces};
+use wmsn_util::{Rect, SplitMix64};
+
+fn bench(c: &mut Criterion) {
+    emit("e4_kmax", &e4_kmax(&[1, 2, 3, 4, 6, 8, 12, 16], 11));
+    // Timed kernel: k-means placement of 3 gateways among 16 places.
+    let field = Rect::field(100.0, 100.0);
+    let mut rng = SplitMix64::new(11);
+    let sensors = Deployment::Uniform { n: 120 }.generate(field, &mut rng);
+    let places = FeasiblePlaces::grid(field, 4, 4);
+    c.bench_function("e4/kmeans_placement", |b| {
+        b.iter(|| {
+            placement::place_gateways(
+                placement::PlacementAlgorithm::KMeans { iterations: 10 },
+                std::hint::black_box(&sensors),
+                field,
+                25.0,
+                &places,
+                3,
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

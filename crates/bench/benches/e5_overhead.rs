@@ -1,0 +1,38 @@
+//! E5: incremental MLR tables vs reset-every-round control overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::builder::build_mlr;
+use wmsn_core::drivers::MlrDriver;
+use wmsn_core::experiments::e5_overhead;
+use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
+
+fn bench(c: &mut Criterion) {
+    emit("e5_overhead", &e5_overhead(8, 5));
+    // Timed kernel: one steady-state MLR round on a 60-sensor field.
+    c.bench_function("e5/steady_state_round", |b| {
+        b.iter_with_setup(
+            || {
+                let mut d = MlrDriver::new(build_mlr(
+                    &FieldParams {
+                        battery_j: 10.0,
+                        ..FieldParams::default_uniform(60, 5)
+                    },
+                    &GatewayParams::default_three(),
+                    TrafficParams::default(),
+                    0.0,
+                ));
+                d.run_round(); // discovery happens here, outside the timing
+                d
+            },
+            |mut d| std::hint::black_box(d.run_round()),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E7: the byte/latency/energy price of SecMLR vs plain MLR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::experiments::e7_secmlr_cost;
+use wmsn_crypto::{open, seal, Key128};
+
+fn bench(c: &mut Criterion) {
+    emit("e7_secmlr_cost", &e7_secmlr_cost(19));
+    // Timed kernels: the crypto hot path at packet granularity.
+    let key = Key128([7; 16]);
+    let payload = [0u8; 40];
+    c.bench_function("e7/seal_40B", |b| {
+        b.iter(|| seal(&key, 9, std::hint::black_box(&payload)))
+    });
+    let sealed = seal(&key, 9, &payload);
+    c.bench_function("e7/open_40B", |b| {
+        b.iter(|| open(&key, std::hint::black_box(&sealed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

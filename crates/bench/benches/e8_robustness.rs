@@ -1,0 +1,36 @@
+//! E8: robustness — dead LEACH heads vs dead WMSN gateways + redirect.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmsn_bench::emit;
+use wmsn_core::builder::build_leach;
+use wmsn_core::drivers::LeachDriver;
+use wmsn_core::experiments::e8_robustness;
+use wmsn_core::params::{FieldParams, TrafficParams};
+use wmsn_util::Point;
+
+fn bench(c: &mut Criterion) {
+    emit("e8_robustness", &e8_robustness(13));
+    c.bench_function("e8/leach_round", |b| {
+        b.iter_with_setup(
+            || {
+                LeachDriver::new(build_leach(
+                    &FieldParams {
+                        battery_j: 10.0,
+                        ..FieldParams::default_uniform(60, 13)
+                    },
+                    Point::new(50.0, 140.0),
+                    0.12,
+                    TrafficParams::default(),
+                ))
+            },
+            |mut d| std::hint::black_box(d.run_round(false)),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

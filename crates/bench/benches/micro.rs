@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the substrates: cipher, MAC, hash chains, the
+//! event queue, flood throughput, and the max-flow oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wmsn_crypto::hash::{chain_step, hash};
+use wmsn_crypto::mac::cmac;
+use wmsn_crypto::speck::Speck64;
+use wmsn_crypto::Key128;
+use wmsn_routing::flooding::{FloodMode, FloodSensor, FloodSink};
+use wmsn_sim::{NodeConfig, World, WorldConfig};
+use wmsn_util::Point;
+
+fn crypto(c: &mut Criterion) {
+    let cipher = Speck64::new([1, 2, 3, 4]);
+    c.bench_function("micro/speck64_block", |b| {
+        b.iter(|| cipher.encrypt_words(std::hint::black_box(0x12345678), 0x9abcdef0))
+    });
+    let key = Key128([9; 16]);
+    let msg = [0xA5u8; 64];
+    let mut g = c.benchmark_group("micro/cmac");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("cmac_64B", |b| b.iter(|| cmac(&key, std::hint::black_box(&msg))));
+    g.finish();
+    c.bench_function("micro/hash_64B", |b| b.iter(|| hash(std::hint::black_box(&msg))));
+    let k = hash(b"chain");
+    c.bench_function("micro/tesla_chain_step", |b| {
+        b.iter(|| chain_step(std::hint::black_box(&k)))
+    });
+}
+
+fn simulator(c: &mut Criterion) {
+    // Flood a 10×10 grid: ~100 broadcasts + thousands of deliveries.
+    c.bench_function("micro/flood_100_node_grid", |b| {
+        b.iter_with_setup(
+            || {
+                let mut w = World::new({
+                    let mut cfg = WorldConfig::ideal(1);
+                    cfg.sensor_phy.range_m = 10.0;
+                    cfg
+                });
+                let mut first = None;
+                for y in 0..10 {
+                    for x in 0..10 {
+                        let id = w.add_node(
+                            NodeConfig::sensor(
+                                Point::new(x as f64 * 9.0, y as f64 * 9.0),
+                                1000.0,
+                            ),
+                            FloodSensor::boxed(FloodMode::Flood, 32),
+                        );
+                        first.get_or_insert(id);
+                    }
+                }
+                w.add_node(NodeConfig::gateway(Point::new(85.0, 85.0)), FloodSink::boxed());
+                (w, first.unwrap())
+            },
+            |(mut w, src)| {
+                w.start();
+                w.with_behavior::<FloodSensor, _>(src, |s, ctx| s.originate(ctx));
+                w.run_until(10_000_000);
+                std::hint::black_box(w.metrics().sent_data)
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = crypto, simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,528 @@
+//! Scenario builders: parameters in, populated worlds out.
+//!
+//! Node-id layout is fixed and documented: **sensors first** (ids
+//! `0..n_sensors`), **then gateways** (`n_sensors..n_sensors+m`), then —
+//! in the three-tier scenario — WMRs and finally base stations. Builders
+//! return the id lists so drivers and experiments never guess.
+
+use crate::params::{FieldParams, GatewayParams, TrafficParams};
+use crate::wmg::WmgBehavior;
+use wmsn_crypto::tesla::TeslaReceiver;
+use wmsn_crypto::{Key128, KeyStore};
+use wmsn_routing::leach::{LeachConfig, LeachSensor, LeachSink};
+use wmsn_routing::mesh::MeshNode;
+use wmsn_routing::mlr::{MlrConfig, MlrGateway, MlrSensor};
+use wmsn_routing::spr::{SprConfig, SprGateway, SprSensor};
+use wmsn_secure::{SecGatewayConfig, SecMlrGateway, SecMlrSensor, SecSensorConfig};
+use wmsn_sim::{NodeConfig, World};
+use wmsn_topology::{
+    placement, FeasiblePlaces, MovementSchedule, Topology,
+};
+use wmsn_util::{NodeId, Point, SplitMix64};
+
+/// Generate the sensor deployment, redrawing until connected when the
+/// field asks for it.
+fn generate_sensors(field: &FieldParams, rng: &mut SplitMix64) -> Vec<Point> {
+    use wmsn_topology::connectivity::is_connected;
+    use wmsn_util::geom::unit_disk_adjacency;
+    for attempt in 0..100 {
+        let pts = field.deployment.generate(field.field, rng);
+        if !field.require_connected
+            || is_connected(&unit_disk_adjacency(&pts, field.range_m))
+        {
+            return pts;
+        }
+        let _ = attempt;
+    }
+    panic!(
+        "could not draw a connected {}-sensor field at range {} in 100 attempts",
+        field.n_sensors, field.range_m
+    );
+}
+
+/// Shared outcome of gateway placement.
+fn place_initial(
+    field: &FieldParams,
+    gw: &GatewayParams,
+    sensors: &[Point],
+    rng: &mut SplitMix64,
+) -> (FeasiblePlaces, Vec<usize>) {
+    let places = FeasiblePlaces::grid(field.field, gw.place_grid.0, gw.place_grid.1);
+    let initial = placement::place_gateways(
+        gw.placement,
+        sensors,
+        field.field,
+        field.range_m,
+        &places,
+        gw.m,
+        rng,
+    );
+    (places, initial)
+}
+
+/// An MLR scenario ready to drive.
+pub struct MlrScenario {
+    /// The world.
+    pub world: World,
+    /// Sensor ids (`0..n`).
+    pub sensors: Vec<NodeId>,
+    /// Gateway ids (`n..n+m`).
+    pub gateways: Vec<NodeId>,
+    /// Feasible places.
+    pub places: FeasiblePlaces,
+    /// Movement schedule (round 0 not yet produced).
+    pub schedule: MovementSchedule,
+    /// Traffic parameters.
+    pub traffic: TrafficParams,
+    /// Sensor positions (for analytic comparisons).
+    pub sensor_positions: Vec<Point>,
+    /// Sensor radio range.
+    pub range_m: f64,
+}
+
+impl MlrScenario {
+    /// The analytic topology for the currently-occupied places.
+    pub fn topology_for(&self, occupied: &[usize]) -> Topology {
+        let gws = occupied
+            .iter()
+            .map(|&p| self.places.position(p))
+            .collect();
+        Topology::new(
+            self.sensor_positions.clone(),
+            gws,
+            wmsn_util::Rect::from_corners(
+                Point::new(f64::MIN / 4.0, f64::MIN / 4.0),
+                Point::new(f64::MAX / 4.0, f64::MAX / 4.0),
+            ),
+            self.range_m,
+        )
+    }
+}
+
+/// Build an MLR scenario. `load_alpha > 0` enables §4.3 load balancing.
+pub fn build_mlr(
+    field: &FieldParams,
+    gw: &GatewayParams,
+    traffic: TrafficParams,
+    load_alpha: f64,
+) -> MlrScenario {
+    build_mlr_with(
+        field,
+        gw,
+        traffic,
+        MlrConfig {
+            load_alpha,
+            ..MlrConfig::default()
+        },
+    )
+}
+
+/// Build an MLR scenario with full protocol configuration (energy-aware
+/// selection, jitter, retry tuning).
+pub fn build_mlr_with(
+    field: &FieldParams,
+    gw: &GatewayParams,
+    traffic: TrafficParams,
+    mlr_cfg: MlrConfig,
+) -> MlrScenario {
+    let mut rng = SplitMix64::new(field.seed).split(0xB01D);
+    let sensor_positions = generate_sensors(field, &mut rng);
+    let (places, initial) = place_initial(field, gw, &sensor_positions, &mut rng);
+    let mut world = World::new(field.world_config());
+    let sensors: Vec<NodeId> = sensor_positions
+        .iter()
+        .map(|&pos| {
+            world.add_node(
+                NodeConfig::sensor(pos, field.battery_j),
+                MlrSensor::boxed(mlr_cfg),
+            )
+        })
+        .collect();
+    let gateways: Vec<NodeId> = initial
+        .iter()
+        .map(|&p| {
+            world.add_node(
+                NodeConfig::gateway(places.position(p)),
+                MlrGateway::boxed(p as u16),
+            )
+        })
+        .collect();
+    let schedule =
+        MovementSchedule::new(gw.movement.clone(), &places, initial, field.seed);
+    MlrScenario {
+        world,
+        sensors,
+        gateways,
+        places,
+        schedule,
+        traffic,
+        sensor_positions,
+        range_m: field.range_m,
+    }
+}
+
+/// An SPR scenario (static gateways; the `m = 1` case is the flat
+/// single-sink baseline of Fig. 2(a)).
+pub struct SprScenario {
+    /// The world.
+    pub world: World,
+    /// Sensor ids.
+    pub sensors: Vec<NodeId>,
+    /// Gateway ids.
+    pub gateways: Vec<NodeId>,
+    /// Traffic parameters.
+    pub traffic: TrafficParams,
+    /// Sensor positions.
+    pub sensor_positions: Vec<Point>,
+    /// Gateway positions.
+    pub gateway_positions: Vec<Point>,
+    /// Radio range.
+    pub range_m: f64,
+}
+
+/// Build an SPR scenario with `gw.m` statically-placed gateways.
+pub fn build_spr(field: &FieldParams, gw: &GatewayParams, traffic: TrafficParams) -> SprScenario {
+    let mut rng = SplitMix64::new(field.seed).split(0xB01D);
+    let sensor_positions = generate_sensors(field, &mut rng);
+    let (places, initial) = place_initial(field, gw, &sensor_positions, &mut rng);
+    let gateway_positions: Vec<Point> = initial.iter().map(|&p| places.position(p)).collect();
+    let mut world = World::new(field.world_config());
+    let sensors: Vec<NodeId> = sensor_positions
+        .iter()
+        .map(|&pos| {
+            world.add_node(
+                NodeConfig::sensor(pos, field.battery_j),
+                SprSensor::boxed(SprConfig::default()),
+            )
+        })
+        .collect();
+    let gateways: Vec<NodeId> = gateway_positions
+        .iter()
+        .map(|&pos| world.add_node(NodeConfig::gateway(pos), SprGateway::boxed()))
+        .collect();
+    SprScenario {
+        world,
+        sensors,
+        gateways,
+        traffic,
+        sensor_positions,
+        gateway_positions,
+        range_m: field.range_m,
+    }
+}
+
+impl SprScenario {
+    /// Analytic topology of this scenario.
+    pub fn topology(&self) -> Topology {
+        Topology::new(
+            self.sensor_positions.clone(),
+            self.gateway_positions.clone(),
+            wmsn_util::Rect::from_corners(
+                Point::new(-1e9, -1e9),
+                Point::new(1e9, 1e9),
+            ),
+            self.range_m,
+        )
+    }
+}
+
+/// A SecMLR scenario.
+pub struct SecMlrScenario {
+    /// The world.
+    pub world: World,
+    /// Sensor ids.
+    pub sensors: Vec<NodeId>,
+    /// Gateway ids.
+    pub gateways: Vec<NodeId>,
+    /// Feasible places.
+    pub places: FeasiblePlaces,
+    /// Movement schedule.
+    pub schedule: MovementSchedule,
+    /// Traffic parameters.
+    pub traffic: TrafficParams,
+    /// The deployment master key (kept for spawning verifying test rigs).
+    pub master: Key128,
+}
+
+/// Build a SecMLR scenario: pairwise keys and μTESLA anchors are
+/// pre-distributed; round-0 occupancy is part of deployment knowledge.
+pub fn build_secmlr(
+    field: &FieldParams,
+    gw: &GatewayParams,
+    traffic: TrafficParams,
+) -> SecMlrScenario {
+    let mut rng = SplitMix64::new(field.seed).split(0xB01D);
+    let sensor_positions = generate_sensors(field, &mut rng);
+    let (places, initial) = place_initial(field, gw, &sensor_positions, &mut rng);
+    let mut master_bytes = [0u8; 16];
+    SplitMix64::new(field.seed).split(0x5EC0).fill_bytes_compat(&mut master_bytes);
+    let master = Key128(master_bytes);
+    let n = sensor_positions.len();
+    let gateway_ids: Vec<NodeId> = (0..gw.m).map(|j| NodeId((n + j) as u32)).collect();
+    let gateway_raw: Vec<u32> = gateway_ids.iter().map(|g| g.0).collect();
+
+    let mut world = World::new(field.world_config());
+    let sensors: Vec<NodeId> = sensor_positions
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| {
+            let keys = KeyStore::for_sensor(&master, i as u32, &gateway_raw);
+            world.add_node(
+                NodeConfig::sensor(pos, field.battery_j),
+                SecMlrSensor::boxed(SecSensorConfig::default(), keys),
+            )
+        })
+        .collect();
+    let gateways: Vec<NodeId> = initial
+        .iter()
+        .zip(&gateway_ids)
+        .map(|(&p, &gid)| {
+            let id = world.add_node(
+                NodeConfig::gateway(places.position(p)),
+                SecMlrGateway::boxed(SecGatewayConfig::default(), &master, gid, p as u16),
+            );
+            assert_eq!(id, gid, "gateway id layout violated");
+            id
+        })
+        .collect();
+    // Deployment-time μTESLA anchoring and round-0 occupancy.
+    let occupancy: Vec<(NodeId, u16)> = gateways
+        .iter()
+        .zip(initial.iter())
+        .map(|(&g, &p)| (g, p as u16))
+        .collect();
+    for (&g, &_p) in gateways.iter().zip(initial.iter()) {
+        let params = world
+            .behavior_as::<SecMlrGateway>(g)
+            .expect("gateway behaviour")
+            .tesla_params();
+        for &s in &sensors {
+            world.with_behavior::<SecMlrSensor, _>(s, |b, _| {
+                b.install_tesla(
+                    g,
+                    TeslaReceiver::new(params.0, params.1, params.2, params.3, params.4),
+                );
+            });
+        }
+    }
+    for &s in &sensors {
+        world.with_behavior::<SecMlrSensor, _>(s, |b, _| b.set_initial_occupancy(&occupancy));
+    }
+    let schedule = MovementSchedule::new(gw.movement.clone(), &places, initial, field.seed);
+    SecMlrScenario {
+        world,
+        sensors,
+        gateways,
+        places,
+        schedule,
+        traffic,
+        master,
+    }
+}
+
+/// The full three-layer architecture of Fig. 1.
+pub struct ThreeTierScenario {
+    /// The world.
+    pub world: World,
+    /// Sensor ids.
+    pub sensors: Vec<NodeId>,
+    /// WMG ids (composite behaviour).
+    pub wmgs: Vec<NodeId>,
+    /// WMR ids.
+    pub wmrs: Vec<NodeId>,
+    /// Base-station id.
+    pub base: NodeId,
+    /// Place ids the WMGs were deployed at (index-aligned with `wmgs`).
+    pub initial_places: Vec<usize>,
+    /// Traffic parameters.
+    pub traffic: TrafficParams,
+}
+
+/// Build the three-tier architecture: sensors + `gw.m` WMGs (uplinked) +
+/// a `wmr_grid` of mesh routers + one base station at `base_pos`.
+/// `mesh_range_m` sets the backbone radio range.
+pub fn build_three_tier(
+    field: &FieldParams,
+    gw: &GatewayParams,
+    traffic: TrafficParams,
+    wmr_grid: (usize, usize),
+    base_pos: Point,
+    mesh_range_m: f64,
+) -> ThreeTierScenario {
+    let mut rng = SplitMix64::new(field.seed).split(0xB01D);
+    let sensor_positions = generate_sensors(field, &mut rng);
+    let (places, initial) = place_initial(field, gw, &sensor_positions, &mut rng);
+    let mut cfg = field.world_config();
+    cfg.mesh_phy.range_m = mesh_range_m;
+    let mut world = World::new(cfg);
+    let sensors: Vec<NodeId> = sensor_positions
+        .iter()
+        .map(|&pos| {
+            world.add_node(
+                NodeConfig::sensor(pos, field.battery_j),
+                MlrSensor::boxed(MlrConfig::default()),
+            )
+        })
+        .collect();
+    // Base id comes after sensors + WMGs + WMRs.
+    let base_id = NodeId((sensor_positions.len() + gw.m + wmr_grid.0 * wmr_grid.1) as u32);
+    let wmgs: Vec<NodeId> = initial
+        .iter()
+        .map(|&p| {
+            world.add_node(
+                NodeConfig::gateway(places.position(p)),
+                WmgBehavior::boxed(p as u16, Some(base_id)),
+            )
+        })
+        .collect();
+    let wmr_places = FeasiblePlaces::grid(field.field, wmr_grid.0, wmr_grid.1);
+    let wmrs: Vec<NodeId> = wmr_places
+        .places
+        .iter()
+        .map(|&pos| world.add_node(NodeConfig::mesh_router(pos), MeshNode::boxed()))
+        .collect();
+    let base = world.add_node(NodeConfig::base_station(base_pos), MeshNode::boxed());
+    assert_eq!(base, base_id, "base id layout violated");
+    ThreeTierScenario {
+        world,
+        sensors,
+        wmgs,
+        wmrs,
+        base,
+        initial_places: initial,
+        traffic,
+    }
+}
+
+/// A LEACH scenario (single sink).
+pub struct LeachScenario {
+    /// The world.
+    pub world: World,
+    /// Sensor ids.
+    pub sensors: Vec<NodeId>,
+    /// The sink.
+    pub sink: NodeId,
+    /// Traffic parameters.
+    pub traffic: TrafficParams,
+}
+
+/// Build a LEACH scenario with the sink at `sink_pos`.
+pub fn build_leach(
+    field: &FieldParams,
+    sink_pos: Point,
+    p: f64,
+    traffic: TrafficParams,
+) -> LeachScenario {
+    let mut rng = SplitMix64::new(field.seed).split(0xB01D);
+    let sensor_positions = generate_sensors(field, &mut rng);
+    let sink_id = NodeId(sensor_positions.len() as u32);
+    let cfg = LeachConfig {
+        p,
+        payload_len: 24,
+        sink_pos,
+        sink: sink_id,
+        max_boost_range: field.field.diagonal() + sink_pos.dist(field.field.center()) + 50.0,
+    };
+    let mut world = World::new(field.world_config());
+    let sensors: Vec<NodeId> = sensor_positions
+        .iter()
+        .map(|&pos| {
+            world.add_node(NodeConfig::sensor(pos, field.battery_j), LeachSensor::boxed(cfg))
+        })
+        .collect();
+    let sink = world.add_node(NodeConfig::gateway(sink_pos), LeachSink::boxed());
+    assert_eq!(sink, sink_id);
+    LeachScenario {
+        world,
+        sensors,
+        sink,
+        traffic,
+    }
+}
+
+/// Helper trait shim: `SplitMix64` exposes `fill_bytes` through
+/// `rand::RngCore`; re-expose it without the trait import at call sites.
+trait FillBytesCompat {
+    fn fill_bytes_compat(&mut self, dest: &mut [u8]);
+}
+
+impl FillBytesCompat for SplitMix64 {
+    fn fill_bytes_compat(&mut self, dest: &mut [u8]) {
+        use rand::RngCore;
+        self.fill_bytes(dest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::*;
+
+    #[test]
+    fn mlr_builder_lays_out_ids_as_documented() {
+        let field = FieldParams::default_uniform(30, 1);
+        let s = build_mlr(&field, &GatewayParams::default_three(), TrafficParams::default(), 0.0);
+        assert_eq!(s.sensors.len(), 30);
+        assert_eq!(s.gateways.len(), 3);
+        assert_eq!(s.sensors[0], NodeId(0));
+        assert_eq!(s.gateways[0], NodeId(30));
+        assert_eq!(s.world.node_count(), 33);
+        // Distinct initial places.
+        let set: std::collections::HashSet<_> = s.schedule.current().iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn spr_builder_matches_analytic_topology() {
+        let field = FieldParams::default_uniform(40, 2);
+        let s = build_spr(&field, &GatewayParams::default_three(), TrafficParams::default());
+        let topo = s.topology();
+        assert_eq!(topo.sensors.len(), 40);
+        assert_eq!(topo.gateways.len(), 3);
+        // The builder is deterministic per seed.
+        let s2 = build_spr(&field, &GatewayParams::default_three(), TrafficParams::default());
+        assert_eq!(s.sensor_positions, s2.sensor_positions);
+        assert_eq!(s.gateway_positions, s2.gateway_positions);
+    }
+
+    #[test]
+    fn secmlr_builder_anchors_every_sensor_for_every_gateway() {
+        let field = FieldParams {
+            require_connected: false, // 12 sensors at range 25 rarely connect
+            ..FieldParams::default_uniform(12, 3)
+        };
+        let mut s = build_secmlr(&field, &GatewayParams::default_three(), TrafficParams::default());
+        // Every sensor can immediately select among 3 occupied places.
+        for &sensor in &s.sensors {
+            let b = s.world.behavior_as::<SecMlrSensor>(sensor).unwrap();
+            assert_eq!(b.occupied_gateways().len(), 3);
+        }
+        let _ = &mut s.schedule;
+    }
+
+    #[test]
+    fn three_tier_builder_wires_the_uplink() {
+        let field = FieldParams::default_uniform(20, 4);
+        let s = build_three_tier(
+            &field,
+            &GatewayParams::default_three(),
+            TrafficParams::default(),
+            (2, 2),
+            Point::new(50.0, 160.0),
+            120.0,
+        );
+        assert_eq!(s.wmgs.len(), 3);
+        assert_eq!(s.wmrs.len(), 4);
+        assert_eq!(s.world.node_count(), 20 + 3 + 4 + 1);
+        let wmg = s.world.behavior_as::<WmgBehavior>(s.wmgs[0]).unwrap();
+        assert_eq!(wmg.uplink, Some(s.base));
+    }
+
+    #[test]
+    fn leach_builder_configures_the_sink() {
+        let field = FieldParams::default_uniform(25, 5);
+        let s = build_leach(&field, Point::new(50.0, 130.0), 0.1, TrafficParams::default());
+        assert_eq!(s.sensors.len(), 25);
+        assert_eq!(s.sink, NodeId(25));
+    }
+}

@@ -1,0 +1,39 @@
+//! `wmsn-core` — the top of the stack: scenario construction, round
+//! drivers, and the experiment runners that regenerate every figure,
+//! table, and quantified claim of the paper.
+//!
+//! * [`params`] — declarative scenario descriptions (field, energy,
+//!   gateways, movement, traffic).
+//! * [`builder`] — turn a scenario into a running [`wmsn_sim::World`]
+//!   populated with the right behaviours, including the full three-layer
+//!   architecture of Fig. 1 (sensors + WMGs + WMRs + base stations) via
+//!   the composite [`wmg::WmgBehavior`].
+//! * [`drivers`] — round orchestration: gateway movement, announcements,
+//!   traffic generation, per-round metrics snapshots, and
+//!   run-until-first-death lifetime loops for SPR, MLR, SecMLR, and
+//!   LEACH.
+//! * [`experiments`] — `e1_…` through `e12_…`, each returning
+//!   [`wmsn_util::stats::ReportRow`]s; the criterion benches and the
+//!   examples print these, and EXPERIMENTS.md records them against the
+//!   paper.
+//! * [`report`] — terminal table + JSON rendering of report rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod drivers;
+pub mod experiments;
+pub mod params;
+pub mod report;
+pub mod wmg;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::builder::{build_mlr, build_mlr_with, build_secmlr, build_spr, build_three_tier, MlrScenario, SecMlrScenario, SprScenario, ThreeTierScenario};
+    pub use crate::drivers::{LifetimeResult, MlrDriver, RoundReport, SecMlrDriver, SprDriver};
+    pub use crate::params::{FieldParams, GatewayParams, TrafficParams};
+    pub use crate::report::{print_rows, rows_to_json};
+    pub use wmsn_sim::{Metrics, World, WorldConfig};
+    pub use wmsn_util::stats::ReportRow;
+}

@@ -1,0 +1,62 @@
+//! Rendering experiment results.
+//!
+//! Every experiment returns `Vec<ReportRow>`; these helpers print them as
+//! an aligned terminal table (what the examples and benches show) and as
+//! JSON (what gets archived next to bench output).
+
+use wmsn_util::stats::ReportRow;
+
+/// Print rows as an aligned table with a header.
+pub fn print_rows(title: &str, rows: &[ReportRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<5} {:<32} {:<28} {:>12}",
+        "exp", "config", "metric", "value"
+    );
+    println!("{}", "-".repeat(80));
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+/// Serialise rows to pretty JSON.
+pub fn rows_to_json(rows: &[ReportRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("ReportRow serialises")
+}
+
+/// Find the value of the first row matching `config` and `metric`
+/// substrings (test/assertion helper).
+pub fn find_value(rows: &[ReportRow], config: &str, metric: &str) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.config.contains(config) && r.metric.contains(metric))
+        .map(|r| r.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<ReportRow> {
+        vec![
+            ReportRow::new("E1", "n=100 m=1", "mean_hops", 7.5),
+            ReportRow::new("E1", "n=100 m=3", "mean_hops", 2.5),
+        ]
+    }
+
+    #[test]
+    fn json_roundtrips_fields() {
+        let json = rows_to_json(&rows());
+        assert!(json.contains("mean_hops"));
+        assert!(json.contains("7.5"));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+        assert_eq!(parsed[1]["value"], 2.5);
+    }
+
+    #[test]
+    fn find_value_matches_substrings() {
+        let r = rows();
+        assert_eq!(find_value(&r, "m=3", "hops"), Some(2.5));
+        assert_eq!(find_value(&r, "m=9", "hops"), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Pairwise key predistribution and replay protection.
+//!
+//! SecMLR assumes (§6.2): *"let each sensor node be pre-distributed secret
+//! keys, each shared with a gateway"* — i.e. every (sensor `S_i`, gateway
+//! `G_j`) pair shares a symmetric key `K_ij`. We derive all pairwise keys
+//! from a deployment master key with a PRF (CMAC), which models the usual
+//! pre-deployment loading step: nodes never exchange keys over the air.
+//!
+//! Replay protection follows SPINS: each pair maintains an incremental
+//! counter `C`; the receiver accepts a message only if its counter is
+//! strictly greater than the last accepted one ([`ReplayGuard`]).
+
+use crate::mac::cmac;
+use crate::speck::Speck64;
+
+/// A 128-bit symmetric key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key128(pub [u8; 16]);
+
+impl Key128 {
+    /// Key of all zero bytes (for tests/defaults; never used on the air).
+    pub const ZERO: Key128 = Key128([0u8; 16]);
+
+    /// Expand into a Speck64/128 cipher instance.
+    pub fn cipher(&self) -> Speck64 {
+        Speck64::from_bytes(&self.0)
+    }
+}
+
+impl std::fmt::Debug for Key128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material in traces.
+        write!(f, "Key128(…)")
+    }
+}
+
+/// Derive a subkey from `master` bound to a `label` and two party ids.
+///
+/// PRF construction: `K = CMAC(master, label || a || b) || CMAC(master,
+/// label+1 || a || b)` — two 64-bit tags concatenated into 128 bits.
+pub fn derive_key(master: &Key128, label: u8, a: u32, b: u32) -> Key128 {
+    let mut msg = [0u8; 9];
+    msg[0] = label;
+    msg[1..5].copy_from_slice(&a.to_le_bytes());
+    msg[5..9].copy_from_slice(&b.to_le_bytes());
+    let t1 = cmac(master, &msg);
+    msg[0] = label.wrapping_add(1);
+    let t2 = cmac(master, &msg);
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&t1.0);
+    out[8..].copy_from_slice(&t2.0);
+    Key128(out)
+}
+
+/// Key-derivation labels, one per key purpose (LEAP-style separation:
+/// pairwise, cluster, group keys each live in their own derivation domain).
+pub mod labels {
+    /// Pairwise sensor↔gateway key `K_ij`.
+    pub const PAIRWISE: u8 = 0x01;
+    /// μTESLA chain seed for a gateway.
+    pub const TESLA_SEED: u8 = 0x10;
+    /// Network-wide group key (broadcast confidentiality).
+    pub const GROUP: u8 = 0x20;
+}
+
+/// The deployment-time key store held by one node.
+///
+/// A sensor `S_i` holds `m` pairwise keys (one per gateway); a gateway
+/// `G_j` can re-derive `K_ij` for any sensor on demand because gateways
+/// are trusted and resource-rich (§6.2).
+#[derive(Clone, Debug)]
+pub struct KeyStore {
+    master: Option<Key128>,
+    own_id: u32,
+    pairwise: std::collections::HashMap<u32, Key128>,
+}
+
+impl KeyStore {
+    /// Store for a *sensor*: pre-loads `K_ij` for each gateway id, then
+    /// forgets the master key (a captured sensor must not reveal other
+    /// nodes' keys — the LEAP threat model).
+    pub fn for_sensor(master: &Key128, sensor_id: u32, gateway_ids: &[u32]) -> Self {
+        let mut pairwise = std::collections::HashMap::new();
+        for &g in gateway_ids {
+            pairwise.insert(g, derive_key(master, labels::PAIRWISE, sensor_id, g));
+        }
+        KeyStore {
+            master: None,
+            own_id: sensor_id,
+            pairwise,
+        }
+    }
+
+    /// Store for a *gateway*: keeps the master key and derives pairwise
+    /// keys lazily for any sensor.
+    pub fn for_gateway(master: &Key128, gateway_id: u32) -> Self {
+        KeyStore {
+            master: Some(*master),
+            own_id: gateway_id,
+            pairwise: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Id of the owning node.
+    pub fn own_id(&self) -> u32 {
+        self.own_id
+    }
+
+    /// The key shared with `peer`, if this store can produce it.
+    ///
+    /// Sensors only know their pre-loaded gateways; gateways can derive the
+    /// key for any sensor. The (sensor, gateway) argument order in the
+    /// derivation is normalised so both sides compute the same `K_ij`.
+    pub fn key_for(&mut self, peer: u32) -> Option<Key128> {
+        if let Some(k) = self.pairwise.get(&peer) {
+            return Some(*k);
+        }
+        let master = self.master?;
+        // Gateway side: peer is the sensor, self is the gateway.
+        let k = derive_key(&master, labels::PAIRWISE, peer, self.own_id);
+        self.pairwise.insert(peer, k);
+        Some(k)
+    }
+
+    /// Whether a key for `peer` is available without derivation.
+    pub fn has_key(&self, peer: u32) -> bool {
+        self.pairwise.contains_key(&peer) || self.master.is_some()
+    }
+
+    /// Number of gateways this (sensor) store was pre-loaded with.
+    pub fn preloaded(&self) -> usize {
+        self.pairwise.len()
+    }
+}
+
+/// Per-peer monotone counter window for replay rejection.
+///
+/// `accept(c)` returns `true` and advances the window iff `c` is strictly
+/// newer than everything accepted so far from that peer.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayGuard {
+    last_seen: std::collections::HashMap<u32, u64>,
+}
+
+impl ReplayGuard {
+    /// Fresh guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validate-and-advance the counter for `peer`.
+    pub fn accept(&mut self, peer: u32, counter: u64) -> bool {
+        match self.last_seen.get_mut(&peer) {
+            Some(last) if counter <= *last => false,
+            Some(last) => {
+                *last = counter;
+                true
+            }
+            None => {
+                self.last_seen.insert(peer, counter);
+                true
+            }
+        }
+    }
+
+    /// Peek the last accepted counter for `peer`.
+    pub fn last(&self, peer: u32) -> Option<u64> {
+        self.last_seen.get(&peer).copied()
+    }
+}
+
+/// Monotone outbound counter per peer (the sender side of `C`).
+#[derive(Clone, Debug, Default)]
+pub struct CounterSet {
+    next: std::collections::HashMap<u32, u64>,
+}
+
+impl CounterSet {
+    /// Fresh counter set; counters start at 1 so that 0 is never a valid
+    /// value (and a zeroed forged packet always fails freshness).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the next counter value for `peer`.
+    pub fn next_for(&mut self, peer: u32) -> u64 {
+        let c = self.next.entry(peer).or_insert(1);
+        let v = *c;
+        *c += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MASTER: Key128 = Key128([0x5A; 16]);
+
+    #[test]
+    fn derivation_is_deterministic_and_binds_all_inputs() {
+        let k = derive_key(&MASTER, labels::PAIRWISE, 3, 9);
+        assert_eq!(k, derive_key(&MASTER, labels::PAIRWISE, 3, 9));
+        assert_ne!(k, derive_key(&MASTER, labels::PAIRWISE, 3, 10));
+        assert_ne!(k, derive_key(&MASTER, labels::PAIRWISE, 4, 9));
+        assert_ne!(k, derive_key(&MASTER, labels::TESLA_SEED, 3, 9));
+        assert_ne!(k, derive_key(&Key128([1; 16]), labels::PAIRWISE, 3, 9));
+    }
+
+    #[test]
+    fn sensor_and_gateway_agree_on_pairwise_key() {
+        let mut sensor = KeyStore::for_sensor(&MASTER, 7, &[100, 101]);
+        let mut gw = KeyStore::for_gateway(&MASTER, 100);
+        assert_eq!(sensor.key_for(100), gw.key_for(7));
+    }
+
+    #[test]
+    fn sensor_cannot_derive_unloaded_keys() {
+        let mut sensor = KeyStore::for_sensor(&MASTER, 7, &[100]);
+        assert!(sensor.key_for(100).is_some());
+        assert!(sensor.key_for(101).is_none(), "sensor must not hold master");
+        assert_eq!(sensor.preloaded(), 1);
+    }
+
+    #[test]
+    fn gateway_derives_lazily_and_caches() {
+        let mut gw = KeyStore::for_gateway(&MASTER, 100);
+        assert!(gw.has_key(42));
+        let k1 = gw.key_for(42).unwrap();
+        let k2 = gw.key_for(42).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_keys() {
+        let mut gw = KeyStore::for_gateway(&MASTER, 100);
+        let keys: Vec<Key128> = (0..50).map(|s| gw.key_for(s).unwrap()).collect();
+        let set: std::collections::HashSet<[u8; 16]> = keys.iter().map(|k| k.0).collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn replay_guard_rejects_old_and_equal_counters() {
+        let mut g = ReplayGuard::new();
+        assert!(g.accept(1, 5));
+        assert!(!g.accept(1, 5), "equal counter is a replay");
+        assert!(!g.accept(1, 4), "older counter is a replay");
+        assert!(g.accept(1, 6));
+        assert_eq!(g.last(1), Some(6));
+    }
+
+    #[test]
+    fn replay_guard_tracks_peers_independently() {
+        let mut g = ReplayGuard::new();
+        assert!(g.accept(1, 10));
+        assert!(g.accept(2, 1), "peer 2 has its own window");
+        assert!(!g.accept(2, 1));
+    }
+
+    #[test]
+    fn counters_start_at_one_and_increment() {
+        let mut c = CounterSet::new();
+        assert_eq!(c.next_for(9), 1);
+        assert_eq!(c.next_for(9), 2);
+        assert_eq!(c.next_for(8), 1);
+    }
+
+    #[test]
+    fn counter_stream_is_always_accepted_in_order() {
+        let mut c = CounterSet::new();
+        let mut g = ReplayGuard::new();
+        for _ in 0..100 {
+            assert!(g.accept(3, c.next_for(3)));
+        }
+    }
+
+    #[test]
+    fn key_debug_does_not_leak_material() {
+        let k = Key128([0xAB; 16]);
+        let dbg = format!("{k:?}");
+        assert!(!dbg.contains("AB") && !dbg.contains("ab") && !dbg.contains("171"));
+    }
+}

@@ -1,0 +1,357 @@
+//! μTESLA authenticated broadcast (Perrig et al., *SPINS: Security
+//! Protocols for Sensor Networks*, 2002).
+//!
+//! SecMLR uses μTESLA for exactly one thing: *"gateways that move broadcast
+//! their new places, using TESLA protocol to achieve authenticated
+//! broadcast"* (§6.2.3). Asymmetry comes from time, not public keys:
+//!
+//! 1. The broadcaster generates a one-way key chain `K_n → … → K_0`
+//!    with `K_i = F(K_{i+1})`; the anchor `K_0` is pre-loaded on every
+//!    receiver at deployment.
+//! 2. Time is split into intervals. A message sent in interval `i` is
+//!    MACed with `K'_i = F'(K_i)`.
+//! 3. `K_i` itself is **disclosed** `d` intervals later. Receivers buffer
+//!    messages that arrive while the key is provably undisclosed (the
+//!    *safety test*) and authenticate them once the key arrives, verifying
+//!    the key against the anchor by walking the chain.
+//!
+//! A forged or replayed announcement fails either the safety test (too
+//! late — key already public) or the MAC — this is what defeats the
+//! "attacker replays an old gateway-move broadcast" attack in experiment
+//! E6's μTESLA ablation.
+
+use crate::hash::{chain_step, derive_mac_key, hash, Digest};
+use crate::mac::Tag;
+
+/// MAC a broadcast payload with a chain-derived key (hash-based; 8-byte
+/// tag, consistent with packet MACs elsewhere).
+pub fn tesla_mac(interval_key: &Digest, msg: &[u8]) -> Tag {
+    let mac_key = derive_mac_key(interval_key);
+    // Envelope MAC: H(K' || msg || K') — the sandwich blocks extension.
+    let mut buf = Vec::with_capacity(32 + msg.len());
+    buf.extend_from_slice(&mac_key.0);
+    buf.extend_from_slice(msg);
+    buf.extend_from_slice(&mac_key.0);
+    let d = hash(&buf);
+    let mut tag = [0u8; 8];
+    tag.copy_from_slice(&d.0[..8]);
+    Tag(tag)
+}
+
+/// Broadcaster state: the full pre-computed chain plus the time schedule.
+#[derive(Clone, Debug)]
+pub struct TeslaBroadcaster {
+    /// `chain[i]` is `K_i`; `chain[0]` is the anchor.
+    chain: Vec<Digest>,
+    t0: u64,
+    interval: u64,
+    delay: u64,
+}
+
+impl TeslaBroadcaster {
+    /// Build a chain of `n_intervals` keys from `seed`, anchored at time
+    /// `t0`, with interval length `interval` ticks and disclosure delay
+    /// `delay` intervals (`delay ≥ 1`).
+    pub fn new(seed: &Digest, n_intervals: usize, t0: u64, interval: u64, delay: u64) -> Self {
+        assert!(n_intervals >= 1, "need at least one interval");
+        assert!(interval > 0, "interval must be positive");
+        assert!(delay >= 1, "disclosure delay must be at least 1 interval");
+        // Generate K_n..K_0 then reverse so chain[i] = K_i.
+        let mut chain = Vec::with_capacity(n_intervals + 1);
+        let mut k = *seed;
+        chain.push(k);
+        for _ in 0..n_intervals {
+            k = chain_step(&k);
+            chain.push(k);
+        }
+        chain.reverse();
+        TeslaBroadcaster {
+            chain,
+            t0,
+            interval,
+            delay,
+        }
+    }
+
+    /// The anchor `K_0`, to pre-load on receivers.
+    pub fn anchor(&self) -> Digest {
+        self.chain[0]
+    }
+
+    /// Which interval the time `t` falls into (clamped to the chain).
+    pub fn interval_at(&self, t: u64) -> u64 {
+        if t < self.t0 {
+            return 0;
+        }
+        ((t - self.t0) / self.interval).min((self.chain.len() - 1) as u64)
+    }
+
+    /// Last usable interval index.
+    pub fn max_interval(&self) -> u64 {
+        (self.chain.len() - 1) as u64
+    }
+
+    /// Authenticate `msg` for broadcast at time `t`. Returns the interval
+    /// index (to ride in the packet) and the MAC tag.
+    ///
+    /// Interval 0 is never used: its key is the public anchor, so a
+    /// message MACed with it could be forged by anyone. Messages sent
+    /// during interval 0 are stamped with interval 1 (whose key is still
+    /// secret — disclosure only moves later).
+    pub fn authenticate(&self, t: u64, msg: &[u8]) -> (u64, Tag) {
+        let i = self.interval_at(t).max(1).min(self.max_interval());
+        let key = &self.chain[i as usize];
+        (i, tesla_mac(key, msg))
+    }
+
+    /// The key that may be disclosed at time `t`, if any: the key of the
+    /// newest interval whose disclosure time (`start + delay` intervals)
+    /// has passed. Returns `(interval_index, key)`.
+    pub fn disclosable(&self, t: u64) -> Option<(u64, Digest)> {
+        let current = self.interval_at(t);
+        // Interval i is disclosable when current >= i + delay.
+        if current < self.delay {
+            return None;
+        }
+        let i = current - self.delay;
+        Some((i, self.chain[i as usize]))
+    }
+}
+
+/// Outcome of presenting a broadcast message to a receiver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReceiveOutcome {
+    /// Buffered pending key disclosure.
+    Buffered,
+    /// Rejected: arrived at/after the disclosure time of its claimed
+    /// interval, so anyone could have forged it.
+    UnsafeArrival,
+    /// Rejected: claims an interval beyond the chain.
+    BadInterval,
+}
+
+/// Receiver state: anchor key, the schedule, and the pending buffer.
+#[derive(Clone, Debug)]
+pub struct TeslaReceiver {
+    /// Most recent authenticated chain key and its index.
+    verified_key: Digest,
+    verified_index: u64,
+    t0: u64,
+    interval: u64,
+    delay: u64,
+    max_interval: u64,
+    pending: Vec<(u64, Vec<u8>, Tag)>,
+}
+
+impl TeslaReceiver {
+    /// Create a receiver pre-loaded with the broadcaster's anchor and
+    /// schedule parameters.
+    pub fn new(anchor: Digest, t0: u64, interval: u64, delay: u64, max_interval: u64) -> Self {
+        TeslaReceiver {
+            verified_key: anchor,
+            verified_index: 0,
+            t0,
+            interval,
+            delay,
+            max_interval,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Present a broadcast `(interval_index, msg, tag)` arriving at `now`.
+    pub fn on_message(
+        &mut self,
+        now: u64,
+        interval_index: u64,
+        msg: &[u8],
+        tag: Tag,
+    ) -> ReceiveOutcome {
+        if interval_index > self.max_interval {
+            return ReceiveOutcome::BadInterval;
+        }
+        // Safety test: key K_i is disclosed at t0 + (i + delay)·interval.
+        let disclosure_time = self
+            .t0
+            .saturating_add((interval_index + self.delay).saturating_mul(self.interval));
+        if now >= disclosure_time {
+            return ReceiveOutcome::UnsafeArrival;
+        }
+        self.pending.push((interval_index, msg.to_vec(), tag));
+        ReceiveOutcome::Buffered
+    }
+
+    /// Present a disclosed key. If it authenticates against the chain,
+    /// returns all buffered messages for that interval that verify; forged
+    /// keys and messages are dropped.
+    pub fn on_disclosure(&mut self, interval_index: u64, key: Digest) -> Vec<Vec<u8>> {
+        if interval_index <= self.verified_index || interval_index > self.max_interval {
+            return Vec::new();
+        }
+        // Walk the claimed key back to the last verified key.
+        let steps = interval_index - self.verified_index;
+        let mut probe = key;
+        for _ in 0..steps {
+            probe = chain_step(&probe);
+        }
+        if probe != self.verified_key {
+            return Vec::new(); // forged key
+        }
+        self.verified_key = key;
+        self.verified_index = interval_index;
+        // Release matching buffered messages whose MAC verifies.
+        let mut released = Vec::new();
+        self.pending.retain(|(i, msg, tag)| {
+            if *i == interval_index {
+                if tesla_mac(&key, msg).verify(tag) {
+                    released.push(msg.clone());
+                }
+                false
+            } else if *i < interval_index {
+                false // key for an older interval was skipped; drop
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// Number of buffered, not-yet-authenticated messages.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(delay: u64) -> (TeslaBroadcaster, TeslaReceiver) {
+        let seed = hash(b"gateway-17-chain-seed");
+        let b = TeslaBroadcaster::new(&seed, 16, 1_000, 100, delay);
+        let r = TeslaReceiver::new(b.anchor(), 1_000, 100, delay, b.max_interval());
+        (b, r)
+    }
+
+    #[test]
+    fn honest_broadcast_authenticates_after_disclosure() {
+        let (b, mut r) = setup(2);
+        let t_send = 1_150; // interval 1
+        let (i, tag) = b.authenticate(t_send, b"gateway moved to place D");
+        assert_eq!(i, 1);
+        assert_eq!(r.on_message(t_send + 5, i, b"gateway moved to place D", tag), ReceiveOutcome::Buffered);
+        // Key for interval 1 disclosable from interval 3, t = 1300.
+        assert!(b.disclosable(1_250).is_none_or(|(idx, _)| idx < 1));
+        let (idx, key) = b.disclosable(1_320).unwrap();
+        assert_eq!(idx, 1);
+        let released = r.on_disclosure(idx, key);
+        assert_eq!(released, vec![b"gateway moved to place D".to_vec()]);
+        assert_eq!(r.pending_len(), 0);
+    }
+
+    #[test]
+    fn late_arrival_fails_safety_test() {
+        let (b, mut r) = setup(1);
+        let (i, tag) = b.authenticate(1_150, b"move"); // interval 1
+        assert_eq!(i, 1);
+        // Key for interval 1 is disclosed at t0 + 2·interval = 1200; a
+        // message claiming interval 1 that arrives at 1200+ is unsafe.
+        assert_eq!(r.on_message(1_200, i, b"move", tag), ReceiveOutcome::UnsafeArrival);
+    }
+
+    #[test]
+    fn interval_zero_is_never_used_for_authentication() {
+        let (b, _r) = setup(1);
+        let (i, _) = b.authenticate(1_000, b"early"); // inside interval 0
+        assert_eq!(i, 1, "interval 0's key is the public anchor");
+    }
+
+    #[test]
+    fn replayed_announcement_is_rejected_by_safety_test() {
+        // The E6 attack: adversary records a legitimate (msg, tag) pair and
+        // replays it after the key went public. The safety test kills it.
+        let (b, mut r) = setup(2);
+        let (i, tag) = b.authenticate(1_010, b"old place A");
+        assert_eq!(r.on_message(1_020, i, b"old place A", tag), ReceiveOutcome::Buffered);
+        let (idx, key) = b.disclosable(1_250).unwrap();
+        r.on_disclosure(idx, key);
+        // Replay much later.
+        assert_eq!(r.on_message(5_000, i, b"old place A", tag), ReceiveOutcome::UnsafeArrival);
+    }
+
+    #[test]
+    fn forged_key_is_rejected() {
+        let (b, mut r) = setup(2);
+        let (i, tag) = b.authenticate(1_150, b"msg");
+        r.on_message(1_160, i, b"msg", tag);
+        let forged = hash(b"not the chain");
+        assert!(r.on_disclosure(1, forged).is_empty());
+        assert_eq!(r.pending_len(), 1, "message stays pending after bad key");
+        // The genuine key still works afterwards.
+        let (idx, key) = b.disclosable(1_320).unwrap();
+        assert_eq!(r.on_disclosure(idx, key), vec![b"msg".to_vec()]);
+    }
+
+    #[test]
+    fn tampered_message_fails_mac_on_release() {
+        let (b, mut r) = setup(2);
+        let (i, tag) = b.authenticate(1_150, b"place D");
+        // Adversary alters the payload in flight but keeps the tag.
+        r.on_message(1_160, i, b"place E", tag);
+        let (idx, key) = b.disclosable(1_320).unwrap();
+        assert!(r.on_disclosure(idx, key).is_empty());
+    }
+
+    #[test]
+    fn chain_verification_can_skip_intervals() {
+        let (b, mut r) = setup(1);
+        // Nothing sent for intervals 1..4; disclose interval 5 directly.
+        let key5 = {
+            let (i, tag) = b.authenticate(1_550, b"late news"); // interval 5
+            assert_eq!(i, 5);
+            r.on_message(1_560, i, b"late news", tag);
+            b.disclosable(1_000 + 6 * 100 + 10).unwrap()
+        };
+        assert_eq!(key5.0, 5);
+        assert_eq!(r.on_disclosure(key5.0, key5.1), vec![b"late news".to_vec()]);
+    }
+
+    #[test]
+    fn old_or_out_of_range_disclosures_are_ignored() {
+        let (b, mut r) = setup(1);
+        let (idx, key) = b.disclosable(1_210).unwrap();
+        assert!(r.on_disclosure(idx, key).is_empty()); // nothing buffered, but advances
+        assert!(r.on_disclosure(idx, key).is_empty()); // same again: ignored
+        assert!(r.on_disclosure(999, key).is_empty()); // out of range
+    }
+
+    #[test]
+    fn bad_interval_index_rejected_on_receive() {
+        let (_b, mut r) = setup(1);
+        assert_eq!(
+            r.on_message(1_010, 10_000, b"x", Tag([0; 8])),
+            ReceiveOutcome::BadInterval
+        );
+    }
+
+    #[test]
+    fn disclosure_before_delay_elapses_is_unavailable() {
+        let (b, _r) = setup(3);
+        assert!(b.disclosable(1_000).is_none());
+        assert!(b.disclosable(1_299).is_none());
+        assert_eq!(b.disclosable(1_300).unwrap().0, 0);
+    }
+
+    #[test]
+    fn interval_clamps_at_chain_end() {
+        let (b, _r) = setup(1);
+        assert_eq!(b.interval_at(u64::MAX), b.max_interval());
+        assert_eq!(b.interval_at(0), 0); // before t0
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_anchors() {
+        let b1 = TeslaBroadcaster::new(&hash(b"s1"), 8, 0, 10, 1);
+        let b2 = TeslaBroadcaster::new(&hash(b"s2"), 8, 0, 10, 1);
+        assert_ne!(b1.anchor().0, b2.anchor().0);
+    }
+}

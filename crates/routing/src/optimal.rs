@@ -1,0 +1,295 @@
+//! The optimal network-lifetime upper bound (§5.3, eqs. 1–6).
+//!
+//! The paper formulates maximal-lifetime routing as a constrained
+//! optimisation ("accurately resolving above goal is rather complex
+//! because it probably is a NP problem") and offers MLR as a heuristic.
+//! To *measure* how close MLR gets (experiment E3), we compute the exact
+//! optimum of the underlying flow relaxation:
+//!
+//! Find the largest `R` (rounds) such that a flow exists delivering
+//! `R·T` packets from every sensor to some gateway where each sensor's
+//! energy budget is respected: `E_t·out_i + E_r·(out_i − g_i) ≤ E`, i.e.
+//! node throughput `out_i ≤ (E + E_r·g_i)/(E_t + E_r)` with `g_i = R·T`.
+//!
+//! Feasibility of a given `R` is a max-flow problem on the node-split
+//! graph (source → sensorᵢⁿ (cap `g_i`), sensorᵢⁿ → sensorᵒᵘᵗ (cap from
+//! the energy budget), radio links at ∞, gateways → sink at ∞); we binary
+//! search `R` with a Dinic max-flow oracle. The result upper-bounds every
+//! realisable protocol, because real protocols also pay discovery
+//! overhead and route integrally.
+
+use wmsn_topology::Topology;
+
+/// Dinic max-flow over `f64` capacities.
+struct Dinic {
+    /// (to, cap, rev-index)
+    graph: Vec<Vec<(usize, f64, usize)>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl Dinic {
+    fn new(n: usize) -> Self {
+        Dinic {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push((to, cap, rev_from));
+        self.graph[to].push((from, 0.0, rev_to));
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::from([s]);
+        self.level[s] = 0;
+        while let Some(v) = queue.pop_front() {
+            for &(to, cap, _) in &self.graph[v] {
+                if cap > EPS && self.level[to] < 0 {
+                    self.level[to] = self.level[v] + 1;
+                    queue.push_back(to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: f64) -> f64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let (to, cap, rev) = self.graph[v][self.iter[v]];
+            if cap > EPS && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > EPS {
+                    self.graph[v][self.iter[v]].1 -= d;
+                    self.graph[to][rev].1 += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+/// Whether `rounds` rounds are feasible for the given energy parameters.
+fn feasible(
+    topo: &Topology,
+    adj: &[Vec<usize>],
+    battery_j: f64,
+    e_t: f64,
+    e_r: f64,
+    packets_per_round: f64,
+    rounds: f64,
+) -> bool {
+    let ns = topo.sensors.len();
+    let ng = topo.gateways.len();
+    if ns == 0 {
+        return true;
+    }
+    if ng == 0 {
+        return false;
+    }
+    let g = rounds * packets_per_round; // packets each sensor must inject
+    // Vertices: 0 = source, 1 = sink, sensors in: 2+i, sensors out:
+    // 2+ns+i, gateways: 2+2ns+j.
+    let v_in = |i: usize| 2 + i;
+    let v_out = |i: usize| 2 + ns + i;
+    let v_gw = |j: usize| 2 + 2 * ns + j;
+    let mut dinic = Dinic::new(2 + 2 * ns + ng);
+    let inf = f64::INFINITY;
+    #[allow(clippy::needless_range_loop)] // i is a vertex id used in 3 roles
+    for i in 0..ns {
+        dinic.add_edge(0, v_in(i), g);
+        let cap = (battery_j + e_r * g) / (e_t + e_r);
+        dinic.add_edge(v_in(i), v_out(i), cap);
+        for &nb in &adj[i] {
+            if nb < ns {
+                dinic.add_edge(v_out(i), v_in(nb), inf);
+            } else {
+                dinic.add_edge(v_out(i), v_gw(nb - ns), inf);
+            }
+        }
+    }
+    for j in 0..ng {
+        dinic.add_edge(v_gw(j), 1, inf);
+    }
+    let need = g * ns as f64;
+    let flow = dinic.max_flow(0, 1);
+    flow >= need * (1.0 - 1e-6)
+}
+
+/// The maximum (fractional) number of rounds before any sensor must
+/// exceed its energy budget — the optimal-lifetime upper bound.
+///
+/// * `battery_j` — per-sensor energy budget (J).
+/// * `e_t`/`e_r` — energy per transmitted/received packet (J), the
+///   paper's per-packet model.
+/// * `packets_per_round` — `T` in eq. (3).
+///
+/// Returns 0 if any sensor cannot reach a gateway at all.
+pub fn optimal_lifetime_rounds(
+    topo: &Topology,
+    battery_j: f64,
+    e_t: f64,
+    e_r: f64,
+    packets_per_round: f64,
+) -> f64 {
+    assert!(e_t > 0.0 && e_r >= 0.0 && packets_per_round > 0.0);
+    let adj = topo.adjacency();
+    // Upper bound: every packet costs at least one transmission at its
+    // origin, so R ≤ E / (E_t · T).
+    let hi0 = battery_j / (e_t * packets_per_round);
+    // Reachability gate: a sensor that cannot reach any gateway makes
+    // every positive round count infeasible.
+    let hf = wmsn_topology::connectivity::HopField::compute(topo);
+    if !hf.all_sensors_covered(topo.sensors.len()) || topo.gateways.is_empty() {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0, hi0);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(topo, &adj, battery_j, e_t, e_r, packets_per_round, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsn_util::{Point, Rect};
+
+    fn topo(sensors: Vec<Point>, gateways: Vec<Point>) -> Topology {
+        Topology::new(sensors, gateways, Rect::field(200.0, 200.0), 10.0)
+    }
+
+    #[test]
+    fn single_sensor_adjacent_to_gateway() {
+        // One sensor one hop from the gateway: every round costs exactly
+        // E_t per packet; optimum = E / (E_t · T).
+        let t = topo(vec![Point::new(0.0, 0.0)], vec![Point::new(5.0, 0.0)]);
+        let r = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
+        assert!((r - 1000.0).abs() < 1.0, "expected ~1000 rounds, got {r}");
+    }
+
+    #[test]
+    fn relay_node_halves_its_own_budget() {
+        // Chain S0 — S1 — G. S1 relays S0's packets (E_r + E_t each) plus
+        // its own (E_t). Per round with T=1: S1 spends E_t·2 + E_r·1 =
+        // 3 mJ; S1 dies first at E/3e-3 rounds.
+        let t = topo(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            vec![Point::new(20.0, 0.0)],
+        );
+        let r = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
+        assert!((r - 1000.0 / 3.0).abs() < 1.0, "expected ~333 rounds, got {r}");
+    }
+
+    #[test]
+    fn two_gateways_split_the_relay_burden() {
+        // S0 — S1 — G, plus a second gateway adjacent to S0: now S0 sends
+        // its own packets directly (1 mJ/round) and S1 does too; nobody
+        // relays. Optimum doubles the chain's 333 → 1000.
+        let t = topo(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            vec![Point::new(20.0, 0.0), Point::new(-7.0, 0.0)],
+        );
+        let r = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
+        assert!((r - 1000.0).abs() < 1.0, "expected ~1000 rounds, got {r}");
+    }
+
+    #[test]
+    fn flow_splitting_beats_any_single_path() {
+        // A diamond: S — (A|B) — G. The middle relays can share S's load,
+        // so the bound must exceed the single-path lifetime.
+        // S(0,0); A(8,6); B(8,-6); G(16,0). Range 10: S↔A, S↔B, A↔G, B↔G.
+        let t = topo(
+            vec![Point::new(0.0, 0.0), Point::new(8.0, 6.0), Point::new(8.0, -6.0)],
+            vec![Point::new(16.0, 0.0)],
+        );
+        let r = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
+        // Single path: the chosen relay spends 3 mJ per round → 333.
+        // Split: each relay spends E_t(1 + 0.5) + E_r·0.5 = 2 mJ → 500.
+        assert!(r > 450.0, "flow splitting not exploited: {r}");
+        assert!(r < 550.0, "bound too loose: {r}");
+    }
+
+    #[test]
+    fn disconnected_sensor_means_zero_lifetime() {
+        let t = topo(
+            vec![Point::new(0.0, 0.0), Point::new(150.0, 150.0)],
+            vec![Point::new(5.0, 0.0)],
+        );
+        assert_eq!(optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0), 0.0);
+    }
+
+    #[test]
+    fn no_gateways_means_zero_lifetime() {
+        let t = topo(vec![Point::new(0.0, 0.0)], vec![]);
+        assert_eq!(optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0), 0.0);
+    }
+
+    #[test]
+    fn more_traffic_shortens_lifetime_proportionally() {
+        let t = topo(vec![Point::new(0.0, 0.0)], vec![Point::new(5.0, 0.0)]);
+        let r1 = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
+        let r4 = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 4.0);
+        assert!((r1 / r4 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn free_receive_energy_only_helps() {
+        let t = topo(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            vec![Point::new(20.0, 0.0)],
+        );
+        let with_rx = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
+        let free_rx = optimal_lifetime_rounds(&t, 1.0, 1e-3, 0.0, 1.0);
+        assert!(free_rx > with_rx);
+        // Free receive: relay spends 2·E_t per round → 500 rounds.
+        assert!((free_rx - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bound_dominates_a_simulated_mlr_run_shape() {
+        // Not a simulation here — just the monotone sanity that adding a
+        // gateway can only raise the optimum.
+        let sensors: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 9.0, 0.0)).collect();
+        let one = topo(sensors.clone(), vec![Point::new(-5.0, 0.0)]);
+        let two = topo(
+            sensors,
+            vec![Point::new(-5.0, 0.0), Point::new(86.0, 0.0)],
+        );
+        let r1 = optimal_lifetime_rounds(&one, 1.0, 1e-3, 1e-3, 1.0);
+        let r2 = optimal_lifetime_rounds(&two, 1.0, 1e-3, 1e-3, 1.0);
+        assert!(r2 > r1 * 1.5, "second gateway should help a chain: {r1} → {r2}");
+    }
+}

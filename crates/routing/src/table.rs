@@ -1,0 +1,283 @@
+//! Routing-table types shared by SPR and MLR.
+//!
+//! A table entry remembers, per destination gateway (SPR) or per feasible
+//! place (MLR), the full sensor path from this node to the gateway. The
+//! full path — not just the next hop — is stored because §5.2 step 3.1
+//! requires intermediate nodes to *answer* queries by appending their
+//! cached path, and Property 1 guarantees cached sub-paths of shortest
+//! paths are themselves shortest.
+
+use wmsn_util::NodeId;
+
+/// One cached route from this node to a gateway.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Route {
+    /// Destination gateway.
+    pub gateway: NodeId,
+    /// Feasible place id of the gateway ([`crate::wire::NO_PLACE`] under
+    /// SPR, which does not model places).
+    pub place: u16,
+    /// Sensor path from this node (exclusive) to the gateway (exclusive):
+    /// the intermediate relays. Empty = the gateway is one hop away.
+    pub relays: Vec<NodeId>,
+    /// Residual battery (per mille) of the weakest relay on this route at
+    /// discovery time; 1000 when unknown/fresh.
+    pub energy_pm: u16,
+}
+
+impl Route {
+    /// Number of radio hops this route takes (`relays + 1`).
+    pub fn hops(&self) -> u32 {
+        self.relays.len() as u32 + 1
+    }
+
+    /// The next node toward the gateway.
+    pub fn next_hop(&self) -> NodeId {
+        self.relays.first().copied().unwrap_or(self.gateway)
+    }
+}
+
+/// A per-node routing table keyed by feasible place (MLR) or by gateway
+/// id (SPR, via [`crate::wire::NO_PLACE`]-placed entries keyed on the
+/// gateway).
+#[derive(Clone, Debug, Default)]
+pub struct RoutingTable {
+    entries: Vec<Route>,
+}
+
+impl RoutingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries — the paper's "|P| entries" invariant (§5.3)
+    /// is asserted against this.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.entries.iter()
+    }
+
+    /// Insert or replace. Entries are keyed by `place` when it is a real
+    /// place, else by `gateway`. Replacement keeps the better (fewer-hop)
+    /// route unless `force` is set (used when topology changed).
+    pub fn upsert(&mut self, route: Route, force: bool) {
+        let key_match = |r: &Route| {
+            if route.place != crate::wire::NO_PLACE {
+                r.place == route.place
+            } else {
+                r.gateway == route.gateway
+            }
+        };
+        if let Some(existing) = self.entries.iter_mut().find(|r| key_match(r)) {
+            if force || route.hops() < existing.hops() {
+                *existing = route;
+            }
+        } else {
+            self.entries.push(route);
+        }
+    }
+
+    /// Look up by place id.
+    pub fn by_place(&self, place: u16) -> Option<&Route> {
+        self.entries.iter().find(|r| r.place == place)
+    }
+
+    /// Look up by gateway id.
+    pub fn by_gateway(&self, gateway: NodeId) -> Option<&Route> {
+        self.entries.iter().find(|r| r.gateway == gateway)
+    }
+
+    /// The minimum-hop entry among `allowed` places — MLR's per-round
+    /// selection ("select the best path from m entries which respond to m
+    /// deployed places", §5.3). Ties break toward the lower place id, like
+    /// the multi-source BFS the analytic experiments use.
+    pub fn best_among_places(&self, allowed: &[u16]) -> Option<&Route> {
+        self.entries
+            .iter()
+            .filter(|r| allowed.contains(&r.place))
+            .min_by_key(|r| (r.hops(), r.place))
+    }
+
+    /// The minimum-hop entry over all entries — SPR's selection (§5.2
+    /// step 4). Ties break toward the lower gateway id.
+    pub fn best(&self) -> Option<&Route> {
+        self.entries.iter().min_by_key(|r| (r.hops(), r.gateway))
+    }
+
+    /// Energy-aware selection (the §5.3 balance objective): among entries
+    /// for `allowed` places within `slack` hops of the minimum, pick the
+    /// route whose weakest relay has the most residual energy; ties break
+    /// toward fewer hops, then the lower place id.
+    pub fn best_energy_aware(&self, allowed: &[u16], slack: u32) -> Option<&Route> {
+        let min_hops = self
+            .entries
+            .iter()
+            .filter(|r| allowed.contains(&r.place))
+            .map(|r| r.hops())
+            .min()?;
+        self.entries
+            .iter()
+            .filter(|r| allowed.contains(&r.place) && r.hops() <= min_hops + slack)
+            .min_by_key(|r| (std::cmp::Reverse(r.energy_pm), r.hops(), r.place))
+    }
+
+    /// Drop every entry (SPR's per-round reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Remove entries routing through or to a node believed dead
+    /// (failover support). Returns how many were dropped.
+    pub fn purge_via(&mut self, bad: NodeId) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|r| r.gateway != bad && !r.relays.contains(&bad));
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::NO_PLACE;
+
+    fn route(gw: u32, place: u16, relays: &[u32]) -> Route {
+        Route {
+            gateway: NodeId(gw),
+            place,
+            relays: relays.iter().map(|&r| NodeId(r)).collect(),
+            energy_pm: 1000,
+        }
+    }
+
+    #[test]
+    fn hops_and_next_hop() {
+        let r = route(9, 0, &[1, 2, 3]);
+        assert_eq!(r.hops(), 4);
+        assert_eq!(r.next_hop(), NodeId(1));
+        let direct = route(9, 0, &[]);
+        assert_eq!(direct.hops(), 1);
+        assert_eq!(direct.next_hop(), NodeId(9));
+    }
+
+    #[test]
+    fn upsert_keyed_by_place_keeps_better_route() {
+        let mut t = RoutingTable::new();
+        t.upsert(route(9, 2, &[1, 2, 3]), false);
+        assert_eq!(t.len(), 1);
+        // Worse route for the same place: ignored.
+        t.upsert(route(8, 2, &[1, 2, 3, 4]), false);
+        assert_eq!(t.by_place(2).unwrap().gateway, NodeId(9));
+        // Better route: replaces.
+        t.upsert(route(8, 2, &[1]), false);
+        assert_eq!(t.by_place(2).unwrap().gateway, NodeId(8));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn force_replaces_even_with_worse_route() {
+        let mut t = RoutingTable::new();
+        t.upsert(route(9, 2, &[1]), false);
+        t.upsert(route(9, 2, &[1, 2, 3]), true);
+        assert_eq!(t.by_place(2).unwrap().hops(), 4);
+    }
+
+    #[test]
+    fn spr_entries_are_keyed_by_gateway() {
+        let mut t = RoutingTable::new();
+        t.upsert(route(9, NO_PLACE, &[1]), false);
+        t.upsert(route(10, NO_PLACE, &[1, 2]), false);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.by_gateway(NodeId(10)).unwrap().hops(), 3);
+        // Same gateway again: dedups.
+        t.upsert(route(9, NO_PLACE, &[]), false);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.by_gateway(NodeId(9)).unwrap().hops(), 1);
+    }
+
+    #[test]
+    fn best_among_places_is_the_table1_selection() {
+        // Table 1 round 2: places {A=0, C=2, D=3} with hops 8, 7, 5 → D.
+        let mut t = RoutingTable::new();
+        t.upsert(route(100, 0, [0; 7].as_slice()), false);
+        t.upsert(route(101, 1, [0; 5].as_slice()), false);
+        t.upsert(route(102, 2, [0; 6].as_slice()), false);
+        t.upsert(route(103, 3, [0; 4].as_slice()), false);
+        let best = t.best_among_places(&[0, 2, 3]).unwrap();
+        assert_eq!(best.place, 3);
+        assert_eq!(best.hops(), 5);
+        // B (place 1, 6 hops) is in the table but not deployed: excluded.
+        assert_eq!(t.best().unwrap().place, 3);
+    }
+
+    #[test]
+    fn best_ties_break_deterministically() {
+        let mut t = RoutingTable::new();
+        t.upsert(route(100, 4, &[1]), false);
+        t.upsert(route(101, 1, &[2]), false);
+        assert_eq!(t.best_among_places(&[1, 4]).unwrap().place, 1);
+    }
+
+    #[test]
+    fn best_of_empty_is_none() {
+        let t = RoutingTable::new();
+        assert!(t.best().is_none());
+        assert!(t.best_among_places(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn purge_via_drops_routes_through_dead_nodes() {
+        let mut t = RoutingTable::new();
+        t.upsert(route(100, 0, &[1, 2]), false);
+        t.upsert(route(101, 1, &[3]), false);
+        t.upsert(route(2, 2, &[]), false); // gateway IS the dead node
+        assert_eq!(t.purge_via(NodeId(2)), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.by_place(1).is_some());
+    }
+
+    #[test]
+    fn energy_aware_prefers_fresh_relays_within_slack() {
+        let mut t = RoutingTable::new();
+        // Place 0: 3 hops, weakest relay at 90% — the min-hop route.
+        let mut a = route(100, 0, &[1, 2]);
+        a.energy_pm = 900;
+        // Place 1: 4 hops, weakest relay at 95%.
+        let mut b = route(101, 1, &[3, 4, 5]);
+        b.energy_pm = 950;
+        // Place 2: 6 hops, pristine — outside slack 1.
+        let mut c = route(102, 2, &[4, 5, 6, 7, 8]);
+        c.energy_pm = 1000;
+        t.upsert(a, false);
+        t.upsert(b, false);
+        t.upsert(c, false);
+        let allowed = [0, 1, 2];
+        // Slack 0: pure min-hop → place 0.
+        assert_eq!(t.best_energy_aware(&allowed, 0).unwrap().place, 0);
+        // Slack 1: place 1's fresher bottleneck wins.
+        assert_eq!(t.best_energy_aware(&allowed, 1).unwrap().place, 1);
+        // Slack 99: pristine place 2 wins.
+        assert_eq!(t.best_energy_aware(&allowed, 99).unwrap().place, 2);
+        // Restricted place set is honoured.
+        assert_eq!(t.best_energy_aware(&[0], 99).unwrap().place, 0);
+        assert!(t.best_energy_aware(&[7], 99).is_none());
+    }
+
+    #[test]
+    fn clear_resets_for_the_next_round() {
+        let mut t = RoutingTable::new();
+        t.upsert(route(9, 0, &[]), false);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! Wire formats shared by SPR and MLR (the *unsecured* protocols; SecMLR
+//! wraps these shapes in the crypto envelope in `wmsn-secure`).
+//!
+//! Five message types cover §5:
+//!
+//! * `Rreq` — routing query, flooded; carries the path walked so far
+//!   (each forwarder appends itself, §5.2 step 3.1).
+//! * `Rrep` — routing response, unicast back along the reversed path;
+//!   carries the complete sensor path and the answering gateway.
+//! * `Data` — application data; carries origin, message id, origination
+//!   time and a hop counter for the metrics ledger, the destination
+//!   gateway/place, and payload padding so frames have realistic size.
+//! * `Announce` — a (moved) gateway advertising its place at round start
+//!   (§5.3 step 2), flooded through the sensor tier.
+//! * `Load` — a gateway advertising its recent traffic load, used by the
+//!   §4.3 load-balance extension.
+
+use wmsn_util::codec::{DecodeError, Reader, Writer};
+use wmsn_util::NodeId;
+
+/// Maximum path length accepted by decoders (sanity bound; fields in the
+/// experiments never exceed a few tens of hops).
+pub const MAX_PATH: usize = 512;
+
+/// Sentinel for "no feasible place" (SPR runs placeless).
+pub const NO_PLACE: u16 = u16::MAX;
+
+/// A routing-layer message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RoutingMsg {
+    /// Flooded routing query.
+    Rreq {
+        /// Query originator.
+        origin: NodeId,
+        /// Originator-unique query id (for duplicate suppression).
+        req_id: u64,
+        /// Nodes traversed so far, starting with `origin`.
+        path: Vec<NodeId>,
+        /// Feasible places the originator is missing entries for; empty
+        /// means "any route welcome" (SPR). Intermediates may answer from
+        /// cache only for wanted places — otherwise a cached reply for an
+        /// old place would suppress discovery of a newly-occupied one.
+        wanted: Vec<u16>,
+    },
+    /// Routing response, relayed back toward `origin`.
+    Rrep {
+        /// Query originator this answers.
+        origin: NodeId,
+        /// Query id this answers.
+        req_id: u64,
+        /// Responding gateway.
+        gateway: NodeId,
+        /// Feasible place of the gateway ([`NO_PLACE`] under SPR).
+        place: u16,
+        /// Residual battery (per mille of capacity) of the weakest relay
+        /// the response has passed through so far — each relay folds its
+        /// own level in, giving the source the path's energy bottleneck
+        /// (the §5.3 balance objective made routable).
+        energy_pm: u16,
+        /// Full sensor path `origin … last-sensor` (gateway excluded).
+        path: Vec<NodeId>,
+    },
+    /// Application data.
+    Data {
+        /// Source sensor.
+        origin: NodeId,
+        /// Source-unique message id.
+        msg_id: u64,
+        /// Origination timestamp (µs).
+        sent_at: u64,
+        /// Destination gateway.
+        gateway: NodeId,
+        /// Destination place ([`NO_PLACE`] under SPR).
+        place: u16,
+        /// Radio hops taken so far (incremented by each forwarder).
+        hops: u32,
+        /// Application payload size; encoded as that many padding bytes so
+        /// the energy/latency cost of the frame is realistic.
+        payload_len: u16,
+    },
+    /// Gateway place announcement (MLR round start).
+    Announce {
+        /// The gateway announcing.
+        gateway: NodeId,
+        /// Its (new) feasible place.
+        place: u16,
+        /// Round number, for duplicate suppression.
+        round: u32,
+    },
+    /// Gateway load advertisement (§4.3 extension).
+    Load {
+        /// The gateway advertising.
+        gateway: NodeId,
+        /// Packets absorbed during the current window.
+        load: u32,
+        /// Advertisement sequence number.
+        seq: u32,
+    },
+}
+
+const TAG_RREQ: u8 = 1;
+const TAG_RREP: u8 = 2;
+const TAG_DATA: u8 = 3;
+const TAG_ANNOUNCE: u8 = 4;
+const TAG_LOAD: u8 = 5;
+
+fn write_ids(w: &mut Writer, ids: &[NodeId]) {
+    let raw: Vec<u32> = ids.iter().map(|n| n.0).collect();
+    w.id_list(&raw);
+}
+
+fn read_ids(r: &mut Reader<'_>) -> Result<Vec<NodeId>, DecodeError> {
+    Ok(r.id_list(MAX_PATH)?.into_iter().map(NodeId).collect())
+}
+
+impl RoutingMsg {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(32);
+        match self {
+            RoutingMsg::Rreq {
+                origin,
+                req_id,
+                path,
+                wanted,
+            } => {
+                w.u8(TAG_RREQ).u32(origin.0).u64(*req_id);
+                write_ids(&mut w, path);
+                w.u16(wanted.len() as u16);
+                for &p in wanted {
+                    w.u16(p);
+                }
+            }
+            RoutingMsg::Rrep {
+                origin,
+                req_id,
+                gateway,
+                place,
+                energy_pm,
+                path,
+            } => {
+                w.u8(TAG_RREP)
+                    .u32(origin.0)
+                    .u64(*req_id)
+                    .u32(gateway.0)
+                    .u16(*place)
+                    .u16(*energy_pm);
+                write_ids(&mut w, path);
+            }
+            RoutingMsg::Data {
+                origin,
+                msg_id,
+                sent_at,
+                gateway,
+                place,
+                hops,
+                payload_len,
+            } => {
+                w.u8(TAG_DATA)
+                    .u32(origin.0)
+                    .u64(*msg_id)
+                    .u64(*sent_at)
+                    .u32(gateway.0)
+                    .u16(*place)
+                    .u32(*hops)
+                    .u16(*payload_len);
+                // Padding bytes standing in for the sensed payload.
+                for _ in 0..*payload_len {
+                    w.u8(0);
+                }
+            }
+            RoutingMsg::Announce {
+                gateway,
+                place,
+                round,
+            } => {
+                w.u8(TAG_ANNOUNCE).u32(gateway.0).u16(*place).u32(*round);
+            }
+            RoutingMsg::Load { gateway, load, seq } => {
+                w.u8(TAG_LOAD).u32(gateway.0).u32(*load).u32(*seq);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_RREQ => {
+                let origin = NodeId(r.u32()?);
+                let req_id = r.u64()?;
+                let path = read_ids(&mut r)?;
+                let n = r.u16()? as usize;
+                if n > MAX_PATH {
+                    return Err(DecodeError::LengthOutOfRange(n));
+                }
+                let mut wanted = Vec::with_capacity(n);
+                for _ in 0..n {
+                    wanted.push(r.u16()?);
+                }
+                RoutingMsg::Rreq {
+                    origin,
+                    req_id,
+                    path,
+                    wanted,
+                }
+            }
+            TAG_RREP => RoutingMsg::Rrep {
+                origin: NodeId(r.u32()?),
+                req_id: r.u64()?,
+                gateway: NodeId(r.u32()?),
+                place: r.u16()?,
+                energy_pm: r.u16()?,
+                path: read_ids(&mut r)?,
+            },
+            TAG_DATA => {
+                let origin = NodeId(r.u32()?);
+                let msg_id = r.u64()?;
+                let sent_at = r.u64()?;
+                let gateway = NodeId(r.u32()?);
+                let place = r.u16()?;
+                let hops = r.u32()?;
+                let payload_len = r.u16()?;
+                let _pad = r.raw(payload_len as usize)?;
+                RoutingMsg::Data {
+                    origin,
+                    msg_id,
+                    sent_at,
+                    gateway,
+                    place,
+                    hops,
+                    payload_len,
+                }
+            }
+            TAG_ANNOUNCE => RoutingMsg::Announce {
+                gateway: NodeId(r.u32()?),
+                place: r.u16()?,
+                round: r.u32()?,
+            },
+            TAG_LOAD => RoutingMsg::Load {
+                gateway: NodeId(r.u32()?),
+                load: r.u32()?,
+                seq: r.u32()?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: RoutingMsg) {
+        let bytes = msg.encode();
+        assert_eq!(RoutingMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn rreq_roundtrip() {
+        roundtrip(RoutingMsg::Rreq {
+            origin: NodeId(7),
+            req_id: 99,
+            path: vec![NodeId(7), NodeId(3), NodeId(12)],
+            wanted: vec![2, 5],
+        });
+    }
+
+    #[test]
+    fn rrep_roundtrip() {
+        roundtrip(RoutingMsg::Rrep {
+            origin: NodeId(7),
+            req_id: 99,
+            gateway: NodeId(100),
+            place: 4,
+            energy_pm: 512,
+            path: vec![NodeId(7), NodeId(3)],
+        });
+    }
+
+    #[test]
+    fn data_roundtrip_and_padding() {
+        let msg = RoutingMsg::Data {
+            origin: NodeId(2),
+            msg_id: 5,
+            sent_at: 123_456,
+            gateway: NodeId(50),
+            place: NO_PLACE,
+            hops: 3,
+            payload_len: 24,
+        };
+        let bytes = msg.encode();
+        // 1 tag + 4 + 8 + 8 + 4 + 2 + 4 + 2 + 24 padding = 57.
+        assert_eq!(bytes.len(), 57);
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn announce_and_load_roundtrip() {
+        roundtrip(RoutingMsg::Announce {
+            gateway: NodeId(9),
+            place: 2,
+            round: 14,
+        });
+        roundtrip(RoutingMsg::Load {
+            gateway: NodeId(9),
+            load: 512,
+            seq: 3,
+        });
+    }
+
+    #[test]
+    fn empty_path_roundtrips() {
+        roundtrip(RoutingMsg::Rreq {
+            origin: NodeId(0),
+            req_id: 0,
+            path: vec![],
+            wanted: vec![],
+        });
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(matches!(
+            RoutingMsg::decode(&[0xEE]),
+            Err(DecodeError::BadTag(0xEE))
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = RoutingMsg::Announce {
+            gateway: NodeId(9),
+            place: 2,
+            round: 14,
+        }
+        .encode();
+        assert!(RoutingMsg::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = RoutingMsg::Load {
+            gateway: NodeId(9),
+            load: 1,
+            seq: 1,
+        }
+        .encode();
+        bytes.push(0);
+        assert!(RoutingMsg::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_path_rejected() {
+        let msg = RoutingMsg::Rreq {
+            origin: NodeId(0),
+            req_id: 0,
+            path: (0..MAX_PATH as u32 + 1).map(NodeId).collect(),
+            wanted: vec![],
+        };
+        let bytes = msg.encode();
+        assert!(RoutingMsg::decode(&bytes).is_err());
+    }
+}

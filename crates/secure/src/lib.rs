@@ -1,0 +1,48 @@
+//! `wmsn-secure` — SecMLR, the paper's secure routing protocol (§6).
+//!
+//! SecMLR hardens MLR against the network-layer attack taxonomy of §2.3
+//! (spoofed/altered/replayed routing information, selective forwarding,
+//! sinkhole, sybil, wormhole, HELLO flood, acknowledgment spoofing) using
+//! only symmetric primitives, under the paper's trust model: **gateways
+//! are trusted and resource-rich; individual sensors are not.**
+//!
+//! Protocol phases, faithful to §6.2:
+//!
+//! 1. **Routing query** (§6.2.1, Fig. 4): the source floods one RREQ
+//!    carrying, *per gateway*, `{req}<K_ij,C>` and
+//!    `MAC(K_ij, C | {req})`. Intermediate sensors cannot read or forge
+//!    these sections — they only append themselves to the plaintext
+//!    `path_ij(k)` field and re-flood. (No cached-route short-circuit
+//!    here: an intermediate cannot produce a valid MAC for another
+//!    sensor's pair key, which is exactly what blocks sinkhole replies.)
+//! 2. **Response** (§6.2.2, Fig. 5): a gateway verifies origin (MAC) and
+//!    freshness (counter `C`), then *collects* path candidates for a
+//!    timeout window and answers with the minimum-hop path
+//!    `path_ij = min_k |path_ij(k)|`, sealed and MACed. Relaying sensors
+//!    install the paper's 4-tuple forwarding entries
+//!    *(source, destination, immediate sender, immediate receiver)*.
+//! 3. **Routing update** (§6.2.3): moved gateways broadcast their new
+//!    place under **μTESLA** — sensors buffer announcements until the
+//!    interval key is disclosed and discard any that fail the safety
+//!    test or the MAC, defeating replayed/forged move announcements.
+//! 4. **Data forwarding** (§6.2.4, Fig. 6): DATA carries the sealed
+//!    payload plus the mutable RI header (source, destination, IS, IR);
+//!    each hop matches its 4-tuple entry, rewrites IS/IR, and forwards.
+//!    The gateway verifies MAC + counter before accepting.
+//!
+//! Intrusion tolerance (§8): sources keep one route per gateway; when the
+//! preferred route is found to be losing data (a watchdog or
+//! application-level observation), [`sensor::SecMlrSensor::blacklist_gateway`]
+//! fails over to the next-best gateway — "if the best route fails to
+//! transmit data correctly, sensor nodes may redirect data transmission
+//! using other routes".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gateway;
+pub mod sensor;
+pub mod wire;
+
+pub use gateway::{SecGatewayConfig, SecMlrGateway};
+pub use sensor::{SecMlrSensor, SecSensorConfig};

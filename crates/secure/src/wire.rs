@@ -1,0 +1,410 @@
+//! SecMLR wire formats — the concrete byte layouts of Figs. 4–6.
+//!
+//! Design notes carried over from the paper:
+//!
+//! * The `path` field of a query/response is **plaintext**: intermediate
+//!   sensors must append themselves (query) or locate themselves
+//!   (response relay) without holding the pair key. Integrity of the
+//!   *chosen* path is enforced end-to-end: the gateway MACs the response
+//!   path, so a tampered response is dropped by the source; a tampered
+//!   query path at worst advertises a non-existent route that then simply
+//!   fails to relay (and the minimum-hop collection at the gateway makes
+//!   inflated paths lose).
+//! * The RI header of DATA (Fig. 6) — source, destination, immediate
+//!   sender, immediate receiver — is plaintext and rewritten hop by hop;
+//!   payload confidentiality and integrity come from the sealed section.
+//! * Counters ride in clear and are authenticated inside the MAC
+//!   ([`wmsn_crypto::envelope`]).
+
+use wmsn_crypto::mac::Tag;
+use wmsn_crypto::SealedMessage;
+use wmsn_util::codec::{DecodeError, Reader, Writer};
+use wmsn_util::NodeId;
+
+const TAG_SRREQ: u8 = 0x50;
+const TAG_SRRES: u8 = 0x51;
+const TAG_SDATA: u8 = 0x52;
+const TAG_SANNOUNCE: u8 = 0x53;
+const TAG_SDISCLOSE: u8 = 0x54;
+
+/// Maximum accepted path length.
+pub const MAX_PATH: usize = 512;
+
+/// One gateway-specific authentication section of a query (Fig. 4's
+/// `{req}<K_ij,C>, MAC{K_ij, C|{req}}` for a single `G_j`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QuerySection {
+    /// Target gateway.
+    pub gateway: NodeId,
+    /// The sealed `req` (carries the counter and the MAC).
+    pub sealed: SealedMessage,
+}
+
+/// A SecMLR message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SecMsg {
+    /// Flooded routing query (Fig. 4).
+    Rreq {
+        /// Query origin.
+        origin: NodeId,
+        /// Origin-unique query id (plaintext; the authenticated copy is
+        /// inside each sealed section).
+        req_id: u64,
+        /// Path walked so far, starting at `origin`.
+        path: Vec<NodeId>,
+        /// One sealed section per target gateway.
+        sections: Vec<QuerySection>,
+    },
+    /// Routing response (Fig. 5), relayed back along `path`.
+    Rres {
+        /// Origin the response answers.
+        origin: NodeId,
+        /// Responding gateway.
+        gateway: NodeId,
+        /// Gateway's feasible place.
+        place: u16,
+        /// The chosen minimum-hop path `[origin, …, gateway]`.
+        path: Vec<NodeId>,
+        /// Sealed `res` (authenticates req_id, place and the path).
+        sealed: SealedMessage,
+    },
+    /// Data (Fig. 6): RI header + sealed payload.
+    Data {
+        /// RI: source sensor.
+        source: NodeId,
+        /// RI: destination gateway.
+        destination: NodeId,
+        /// RI: immediate sender (rewritten per hop).
+        is: NodeId,
+        /// RI: immediate receiver (rewritten per hop).
+        ir: NodeId,
+        /// Radio hops so far (metrics; not security-relevant).
+        hops: u32,
+        /// Sealed application payload.
+        sealed: SealedMessage,
+    },
+    /// μTESLA-authenticated gateway move announcement (§6.2.3).
+    Announce {
+        /// Moving gateway.
+        gateway: NodeId,
+        /// New place.
+        place: u16,
+        /// Round number.
+        round: u32,
+        /// μTESLA interval index the MAC key belongs to.
+        interval: u64,
+        /// μTESLA MAC over (gateway, place, round).
+        tesla_tag: Tag,
+    },
+    /// μTESLA delayed key disclosure.
+    Disclose {
+        /// Disclosing gateway.
+        gateway: NodeId,
+        /// Interval whose key is disclosed.
+        interval: u64,
+        /// The chain key.
+        key: [u8; 16],
+    },
+}
+
+fn write_sealed(w: &mut Writer, s: &SealedMessage) {
+    w.u64(s.counter);
+    w.bytes(&s.ciphertext);
+    w.raw(&s.tag.0);
+}
+
+fn read_sealed(r: &mut Reader<'_>) -> Result<SealedMessage, DecodeError> {
+    let counter = r.u64()?;
+    let ciphertext = r.bytes(u16::MAX as usize)?.to_vec();
+    let mut tag = [0u8; 8];
+    tag.copy_from_slice(r.raw(8)?);
+    Ok(SealedMessage {
+        counter,
+        ciphertext,
+        tag: Tag(tag),
+    })
+}
+
+fn write_ids(w: &mut Writer, ids: &[NodeId]) {
+    let raw: Vec<u32> = ids.iter().map(|n| n.0).collect();
+    w.id_list(&raw);
+}
+
+fn read_ids(r: &mut Reader<'_>) -> Result<Vec<NodeId>, DecodeError> {
+    Ok(r.id_list(MAX_PATH)?.into_iter().map(NodeId).collect())
+}
+
+impl SecMsg {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        match self {
+            SecMsg::Rreq {
+                origin,
+                req_id,
+                path,
+                sections,
+            } => {
+                w.u8(TAG_SRREQ).u32(origin.0).u64(*req_id);
+                write_ids(&mut w, path);
+                w.u16(sections.len() as u16);
+                for s in sections {
+                    w.u32(s.gateway.0);
+                    write_sealed(&mut w, &s.sealed);
+                }
+            }
+            SecMsg::Rres {
+                origin,
+                gateway,
+                place,
+                path,
+                sealed,
+            } => {
+                w.u8(TAG_SRRES).u32(origin.0).u32(gateway.0).u16(*place);
+                write_ids(&mut w, path);
+                write_sealed(&mut w, sealed);
+            }
+            SecMsg::Data {
+                source,
+                destination,
+                is,
+                ir,
+                hops,
+                sealed,
+            } => {
+                w.u8(TAG_SDATA)
+                    .u32(source.0)
+                    .u32(destination.0)
+                    .u32(is.0)
+                    .u32(ir.0)
+                    .u32(*hops);
+                write_sealed(&mut w, sealed);
+            }
+            SecMsg::Announce {
+                gateway,
+                place,
+                round,
+                interval,
+                tesla_tag,
+            } => {
+                w.u8(TAG_SANNOUNCE)
+                    .u32(gateway.0)
+                    .u16(*place)
+                    .u32(*round)
+                    .u64(*interval)
+                    .raw(&tesla_tag.0);
+            }
+            SecMsg::Disclose {
+                gateway,
+                interval,
+                key,
+            } => {
+                w.u8(TAG_SDISCLOSE).u32(gateway.0).u64(*interval).raw(key);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_SRREQ => {
+                let origin = NodeId(r.u32()?);
+                let req_id = r.u64()?;
+                let path = read_ids(&mut r)?;
+                let n = r.u16()? as usize;
+                if n > 256 {
+                    return Err(DecodeError::LengthOutOfRange(n));
+                }
+                let mut sections = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let gateway = NodeId(r.u32()?);
+                    let sealed = read_sealed(&mut r)?;
+                    sections.push(QuerySection { gateway, sealed });
+                }
+                SecMsg::Rreq {
+                    origin,
+                    req_id,
+                    path,
+                    sections,
+                }
+            }
+            TAG_SRRES => SecMsg::Rres {
+                origin: NodeId(r.u32()?),
+                gateway: NodeId(r.u32()?),
+                place: r.u16()?,
+                path: read_ids(&mut r)?,
+                sealed: read_sealed(&mut r)?,
+            },
+            TAG_SDATA => SecMsg::Data {
+                source: NodeId(r.u32()?),
+                destination: NodeId(r.u32()?),
+                is: NodeId(r.u32()?),
+                ir: NodeId(r.u32()?),
+                hops: r.u32()?,
+                sealed: read_sealed(&mut r)?,
+            },
+            TAG_SANNOUNCE => {
+                let gateway = NodeId(r.u32()?);
+                let place = r.u16()?;
+                let round = r.u32()?;
+                let interval = r.u64()?;
+                let mut t = [0u8; 8];
+                t.copy_from_slice(r.raw(8)?);
+                SecMsg::Announce {
+                    gateway,
+                    place,
+                    round,
+                    interval,
+                    tesla_tag: Tag(t),
+                }
+            }
+            TAG_SDISCLOSE => {
+                let gateway = NodeId(r.u32()?);
+                let interval = r.u64()?;
+                let mut key = [0u8; 16];
+                key.copy_from_slice(r.raw(16)?);
+                SecMsg::Disclose {
+                    gateway,
+                    interval,
+                    key,
+                }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// The authenticated content of a `req` section: binds the query id so a
+/// recorded section cannot be replayed under a different query.
+pub fn req_plaintext(req_id: u64, origin: NodeId) -> Vec<u8> {
+    let mut w = Writer::with_capacity(13);
+    w.u8(b'Q').u64(req_id).u32(origin.0);
+    w.into_bytes()
+}
+
+/// The authenticated content of a `res`: binds query id, place, and the
+/// full chosen path, so neither can be altered in flight.
+pub fn res_plaintext(req_id: u64, place: u16, path: &[NodeId]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(16 + 4 * path.len());
+    w.u8(b'R').u64(req_id).u16(place);
+    write_ids(&mut w, path);
+    w.into_bytes()
+}
+
+/// The authenticated content of the μTESLA announce MAC.
+pub fn announce_plaintext(gateway: NodeId, place: u16, round: u32) -> Vec<u8> {
+    let mut w = Writer::with_capacity(11);
+    w.u8(b'A').u32(gateway.0).u16(place).u32(round);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsn_crypto::{seal, Key128};
+
+    fn sealed() -> SealedMessage {
+        seal(&Key128([9; 16]), 7, b"req")
+    }
+
+    fn roundtrip(msg: SecMsg) {
+        assert_eq!(SecMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn rreq_roundtrip_with_sections() {
+        roundtrip(SecMsg::Rreq {
+            origin: NodeId(1),
+            req_id: 2,
+            path: vec![NodeId(1), NodeId(5)],
+            sections: vec![
+                QuerySection {
+                    gateway: NodeId(100),
+                    sealed: sealed(),
+                },
+                QuerySection {
+                    gateway: NodeId(101),
+                    sealed: sealed(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn rres_and_data_roundtrip() {
+        roundtrip(SecMsg::Rres {
+            origin: NodeId(1),
+            gateway: NodeId(100),
+            place: 3,
+            path: vec![NodeId(1), NodeId(2), NodeId(100)],
+            sealed: sealed(),
+        });
+        roundtrip(SecMsg::Data {
+            source: NodeId(1),
+            destination: NodeId(100),
+            is: NodeId(2),
+            ir: NodeId(3),
+            hops: 2,
+            sealed: sealed(),
+        });
+    }
+
+    #[test]
+    fn announce_and_disclose_roundtrip() {
+        roundtrip(SecMsg::Announce {
+            gateway: NodeId(100),
+            place: 1,
+            round: 2,
+            interval: 3,
+            tesla_tag: Tag([1, 2, 3, 4, 5, 6, 7, 8]),
+        });
+        roundtrip(SecMsg::Disclose {
+            gateway: NodeId(100),
+            interval: 3,
+            key: [0xAB; 16],
+        });
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_rejected() {
+        let bytes = SecMsg::Disclose {
+            gateway: NodeId(1),
+            interval: 2,
+            key: [0; 16],
+        }
+        .encode();
+        assert!(SecMsg::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(SecMsg::decode(&[0x99]).is_err());
+    }
+
+    #[test]
+    fn plaintext_builders_bind_their_fields() {
+        assert_ne!(req_plaintext(1, NodeId(2)), req_plaintext(2, NodeId(2)));
+        assert_ne!(req_plaintext(1, NodeId(2)), req_plaintext(1, NodeId(3)));
+        let p1 = res_plaintext(1, 2, &[NodeId(1), NodeId(9)]);
+        let p2 = res_plaintext(1, 2, &[NodeId(1), NodeId(8)]);
+        assert_ne!(p1, p2, "path must be authenticated");
+        assert_ne!(
+            announce_plaintext(NodeId(1), 2, 3),
+            announce_plaintext(NodeId(1), 2, 4)
+        );
+    }
+
+    #[test]
+    fn oversized_section_count_rejected() {
+        // Craft a header claiming 300 sections.
+        let mut w = Writer::new();
+        w.u8(0x50).u32(1).u64(1);
+        w.id_list(&[1]);
+        w.u16(300);
+        assert!(matches!(
+            SecMsg::decode(&w.into_bytes()),
+            Err(DecodeError::LengthOutOfRange(300))
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Radio energy accounting.
+//!
+//! Two interchangeable models:
+//!
+//! * [`EnergyModel::FirstOrder`] — the Heinzelman first-order radio model
+//!   used throughout the WSN literature the paper builds on (LEACH,
+//!   PEGASIS): transmitting `k` bits over distance `d` costs
+//!   `E_elec·k + ε_amp·k·d²`; receiving costs `E_elec·k`.
+//! * [`EnergyModel::PerPacket`] — the paper's own simplification for SPR
+//!   (§5.2): *"let all sensor nodes transmit data in identical power so
+//!   that transmitting 1 bit data consumes the same energy to all of
+//!   them"* — a constant `E_t` per transmitted packet and `E_r` per
+//!   received packet, matching eqs. (2)–(3) of the MLR formulation.
+//!
+//! Energies are in joules; the default battery (2 J) is scaled down from
+//! mote-class batteries so that lifetime experiments converge quickly while
+//! preserving all ratios.
+
+use serde::Serialize;
+
+/// How radio operations are charged against a node's battery.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub enum EnergyModel {
+    /// Heinzelman first-order model (per-bit, distance-dependent).
+    FirstOrder {
+        /// Electronics energy per bit, J/bit (typ. 50 nJ/bit).
+        e_elec: f64,
+        /// Amplifier energy per bit per m², J/bit/m² (typ. 100 pJ/bit/m²).
+        eps_amp: f64,
+    },
+    /// The paper's constant-per-packet model: `E_t` per send, `E_r` per
+    /// receive, independent of size and distance.
+    PerPacket {
+        /// Energy to transmit one packet, J.
+        e_t: f64,
+        /// Energy to receive one packet, J.
+        e_r: f64,
+    },
+}
+
+impl EnergyModel {
+    /// First-order model with the standard literature constants.
+    pub fn first_order_default() -> Self {
+        EnergyModel::FirstOrder {
+            e_elec: 50e-9,
+            eps_amp: 100e-12,
+        }
+    }
+
+    /// Per-packet model with `E_t = E_r`, normalised so that one packet
+    /// costs 1 mJ — convenient for hand-checking lifetime arithmetic.
+    pub fn per_packet_default() -> Self {
+        EnergyModel::PerPacket {
+            e_t: 1e-3,
+            e_r: 1e-3,
+        }
+    }
+
+    /// Energy to transmit `bytes` over `dist_m` metres.
+    pub fn tx_cost(&self, bytes: usize, dist_m: f64) -> f64 {
+        match *self {
+            EnergyModel::FirstOrder { e_elec, eps_amp } => {
+                let bits = (bytes * 8) as f64;
+                e_elec * bits + eps_amp * bits * dist_m * dist_m
+            }
+            EnergyModel::PerPacket { e_t, .. } => e_t,
+        }
+    }
+
+    /// Energy to receive `bytes`.
+    pub fn rx_cost(&self, bytes: usize) -> f64 {
+        match *self {
+            EnergyModel::FirstOrder { e_elec, .. } => e_elec * (bytes * 8) as f64,
+            EnergyModel::PerPacket { e_r, .. } => e_r,
+        }
+    }
+}
+
+/// A node's battery.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Battery {
+    /// Initial charge, J. `f64::INFINITY` for unconstrained nodes
+    /// (gateways/WMRs/base stations — §5.3 assumes gateways have
+    /// "unrestricted energy").
+    pub capacity_j: f64,
+    /// Remaining charge, J.
+    pub remaining_j: f64,
+}
+
+impl Battery {
+    /// Fresh battery with `capacity_j` joules.
+    pub fn new(capacity_j: f64) -> Self {
+        Battery {
+            capacity_j,
+            remaining_j: capacity_j,
+        }
+    }
+
+    /// Unconstrained battery.
+    pub fn unlimited() -> Self {
+        Battery::new(f64::INFINITY)
+    }
+
+    /// Spend `j` joules; returns `false` if the battery was already empty
+    /// or just drained (the node dies).
+    pub fn spend(&mut self, j: f64) -> bool {
+        if self.remaining_j <= 0.0 {
+            return false;
+        }
+        self.remaining_j -= j;
+        self.remaining_j > 0.0
+    }
+
+    /// Joules consumed so far (0 for unlimited batteries — their
+    /// consumption is tracked separately in metrics if needed).
+    pub fn consumed_j(&self) -> f64 {
+        if self.capacity_j.is_infinite() {
+            0.0
+        } else {
+            self.capacity_j - self.remaining_j
+        }
+    }
+
+    /// Whether any charge remains.
+    pub fn alive(&self) -> bool {
+        self.remaining_j > 0.0
+    }
+
+    /// Fraction of capacity remaining in `[0, 1]` (1 for unlimited).
+    pub fn fraction(&self) -> f64 {
+        if self.capacity_j.is_infinite() {
+            1.0
+        } else if self.capacity_j <= 0.0 {
+            0.0
+        } else {
+            (self.remaining_j / self.capacity_j).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_grows_with_distance_squared() {
+        let m = EnergyModel::first_order_default();
+        let near = m.tx_cost(100, 10.0);
+        let far = m.tx_cost(100, 20.0);
+        // ε·k·d² term quadruples; the electronics term is constant.
+        let bits = 800.0;
+        assert!((far - near - 100e-12 * bits * (400.0 - 100.0)).abs() < 1e-18);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn first_order_rx_is_distance_independent() {
+        let m = EnergyModel::first_order_default();
+        assert_eq!(m.rx_cost(100), 50e-9 * 800.0);
+    }
+
+    #[test]
+    fn per_packet_ignores_size_and_distance() {
+        let m = EnergyModel::per_packet_default();
+        assert_eq!(m.tx_cost(10, 5.0), m.tx_cost(1000, 500.0));
+        assert_eq!(m.rx_cost(10), m.rx_cost(1000));
+    }
+
+    #[test]
+    fn battery_dies_exactly_once() {
+        let mut b = Battery::new(2.5e-3);
+        assert!(b.spend(1e-3));
+        assert!(b.spend(1e-3));
+        assert!(!b.spend(1e-3), "third packet drains it");
+        assert!(!b.alive());
+        assert!(!b.spend(1e-3), "dead battery stays dead");
+        assert!((b.consumed_j() - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_battery_never_dies() {
+        let mut b = Battery::unlimited();
+        for _ in 0..1_000_000 {
+            assert!(b.spend(1.0));
+        }
+        assert_eq!(b.fraction(), 1.0);
+        assert_eq!(b.consumed_j(), 0.0);
+    }
+
+    #[test]
+    fn fraction_tracks_consumption() {
+        let mut b = Battery::new(4.0);
+        b.spend(1.0);
+        assert!((b.fraction() - 0.75).abs() < 1e-12);
+    }
+}

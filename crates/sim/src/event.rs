@@ -1,0 +1,187 @@
+//! The event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`. The sequence number breaks
+//! timestamp ties in schedule order, which makes runs bit-reproducible —
+//! two events at the same instant always fire in the order they were
+//! scheduled, independent of heap internals.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wmsn_util::NodeId;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes arriving at a node.
+    Deliver {
+        /// Receiving node.
+        to: NodeId,
+        /// The packet (shared across receivers of one broadcast).
+        packet: std::rc::Rc<Packet>,
+    },
+    /// A node's timer expires.
+    Timer {
+        /// The node that set the timer.
+        node: NodeId,
+        /// Caller-chosen tag, returned verbatim.
+        tag: u64,
+    },
+    /// A CSMA-deferred transmission retries.
+    Retransmit {
+        /// Sending node.
+        src: NodeId,
+        /// Link destination.
+        link_dst: Option<NodeId>,
+        /// Radio tier.
+        tier: crate::phy::Tier,
+        /// Metrics kind.
+        kind: crate::packet::PacketKind,
+        /// Payload bytes.
+        payload: Vec<u8>,
+        /// Backoff attempt number.
+        attempt: u8,
+    },
+    /// External control hook: run-loop should return to the caller.
+    Breakpoint,
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// Firing time.
+    pub at: SimTime,
+    /// Monotone schedule order for tie-breaking.
+    pub seq: u64,
+    /// Action.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue.
+#[derive(Default, Debug)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, tag: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node),
+            tag,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, timer(0, 0));
+        q.schedule(10, timer(0, 1));
+        q.schedule(20, timer(0, 2));
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.at).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..50 {
+            q.schedule(100, timer(0, tag));
+        }
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, timer(1, 0));
+        q.schedule(3, timer(1, 1));
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.peek_time(), Some(7));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(5, timer(0, 0));
+        q.schedule(1, timer(0, 1));
+        assert_eq!(q.pop().unwrap().at, 1);
+        q.schedule(2, timer(0, 2));
+        q.schedule(4, timer(0, 3));
+        assert_eq!(q.pop().unwrap().at, 2);
+        assert_eq!(q.pop().unwrap().at, 4);
+        assert_eq!(q.pop().unwrap().at, 5);
+        assert!(q.pop().is_none());
+    }
+}

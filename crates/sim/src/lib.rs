@@ -1,0 +1,48 @@
+//! `wmsn-sim` — a deterministic discrete-event network simulator for
+//! wireless (mesh) sensor networks.
+//!
+//! The paper evaluates its architecture and protocols analytically and by
+//! simulation, but names no simulator; per the reproduction plan we build
+//! the substrate from scratch. The simulator models exactly the physics the
+//! paper's claims depend on:
+//!
+//! * **Two radio tiers** ([`phy`]): a short-range, low-rate sensor PHY
+//!   (802.15.4-class) and a long-range, high-rate mesh PHY (802.11-class).
+//!   Sensors own only the first; WMRs only the second; WMGs both (§3.2).
+//! * **Unit-disk propagation with optional loss and collisions**
+//!   ([`medium`]): every transmission reaches all alive nodes within range
+//!   on the same tier, after a transmission + propagation delay.
+//! * **A first-order radio energy model** ([`energy`]): transmit cost
+//!   `E_elec·k + ε_amp·k·d²`, receive cost `E_elec·k` — with a
+//!   constant-per-packet mode matching the paper's "identical power"
+//!   simplification (§5.2). Network lifetime = first sensor death (§5.3).
+//! * **An event-driven node framework** ([`node`], [`world`]): protocols
+//!   implement [`node::Behavior`] (packet/timer callbacks) and run inside
+//!   [`world::World`], which owns the event queue, the medium, node state
+//!   and the metrics ledger ([`metrics`]).
+//!
+//! Determinism: a run is a pure function of its seed. Events with equal
+//! timestamps fire in schedule order; per-node RNG streams are split from
+//! the world seed so adding a node never perturbs another node's stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod event;
+pub mod medium;
+pub mod metrics;
+pub mod node;
+pub mod packet;
+pub mod phy;
+pub mod time;
+pub mod world;
+
+pub use energy::EnergyModel;
+pub use medium::{CollisionModel, MediumConfig};
+pub use metrics::Metrics;
+pub use node::{Behavior, Ctx, NodeConfig, NodeState};
+pub use packet::{Packet, PacketKind};
+pub use phy::{PhyProfile, Tier};
+pub use time::{SimTime, MICROS_PER_SEC};
+pub use world::{World, WorldConfig};

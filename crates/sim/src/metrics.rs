@@ -1,0 +1,255 @@
+//! The metrics ledger.
+//!
+//! Everything the experiments report comes from here: per-kind packet
+//! counters, per-node energy, end-to-end deliveries with hop counts and
+//! latency, and the paper's headline figure — network lifetime, *"the time
+//! when the first sensor node drains its energy"* (§5.3).
+
+use crate::packet::PacketKind;
+use crate::time::SimTime;
+use serde::Serialize;
+use wmsn_util::stats::energy_variance;
+use wmsn_util::NodeId;
+
+/// A completed end-to-end application delivery, recorded by the
+/// destination protocol via [`crate::node::Ctx::record_delivery`].
+#[derive(Clone, Debug, Serialize)]
+pub struct Delivery {
+    /// Originating node.
+    pub source: NodeId,
+    /// Final destination (gateway / base station).
+    pub destination: NodeId,
+    /// Application message id (protocol-chosen).
+    pub msg_id: u64,
+    /// Time the source handed the message to the network.
+    pub sent_at: SimTime,
+    /// Time the destination accepted it.
+    pub delivered_at: SimTime,
+    /// Number of radio hops traversed.
+    pub hops: u32,
+}
+
+impl Delivery {
+    /// End-to-end latency in microseconds.
+    pub fn latency(&self) -> SimTime {
+        self.delivered_at.saturating_sub(self.sent_at)
+    }
+}
+
+/// Counters and records accumulated over one run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Metrics {
+    /// Frames transmitted, by kind.
+    pub sent_control: u64,
+    /// Data frames transmitted.
+    pub sent_data: u64,
+    /// Security frames transmitted.
+    pub sent_security: u64,
+    /// Total payload+header bytes clocked onto the air, by kind — the
+    /// basis of the security-overhead experiment (E7).
+    pub sent_bytes_control: u64,
+    /// Data bytes transmitted.
+    pub sent_bytes_data: u64,
+    /// Security bytes transmitted.
+    pub sent_bytes_security: u64,
+    /// Frames successfully received (addressed to the receiver).
+    pub received: u64,
+    /// Receptions lost to the random-loss model.
+    pub lost: u64,
+    /// Receptions lost to collisions.
+    pub collided: u64,
+    /// Receptions discarded because the receiver was dead.
+    pub dead_receiver: u64,
+    /// Transmissions deferred by CSMA carrier sensing.
+    pub csma_deferrals: u64,
+    /// Transmissions abandoned after exhausting CSMA backoff attempts.
+    pub csma_drops: u64,
+    /// Application messages originated (denominator of delivery ratio).
+    pub originated: u64,
+    /// Completed deliveries.
+    pub deliveries: Vec<Delivery>,
+    /// Time of first sensor death, if any — the paper's network lifetime.
+    pub first_death: Option<SimTime>,
+    /// Node that died first.
+    pub first_death_node: Option<NodeId>,
+    /// Per-node energy consumed (indexed by node id; gateways report 0
+    /// under unlimited batteries).
+    pub energy_consumed: Vec<f64>,
+}
+
+impl Metrics {
+    /// Record a transmission of `kind` carrying `bytes` bytes.
+    pub fn count_sent(&mut self, kind: PacketKind, bytes: usize) {
+        match kind {
+            PacketKind::Control => {
+                self.sent_control += 1;
+                self.sent_bytes_control += bytes as u64;
+            }
+            PacketKind::Data => {
+                self.sent_data += 1;
+                self.sent_bytes_data += bytes as u64;
+            }
+            PacketKind::Security => {
+                self.sent_security += 1;
+                self.sent_bytes_security += bytes as u64;
+            }
+        }
+    }
+
+    /// Total bytes transmitted across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.sent_bytes_control + self.sent_bytes_data + self.sent_bytes_security
+    }
+
+    /// Total frames transmitted.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_control + self.sent_data + self.sent_security
+    }
+
+    /// Delivery ratio: unique delivered messages / originated messages
+    /// (1.0 when nothing was originated). Duplicate arrivals of the same
+    /// (source, msg_id) count once.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.originated == 0 {
+            return 1.0;
+        }
+        self.unique_deliveries() as f64 / self.originated as f64
+    }
+
+    /// Number of unique (source, msg_id) messages delivered — duplicate
+    /// arrivals (multi-path, replay, or the base station re-recording an
+    /// end-to-end delivery) count once.
+    pub fn unique_deliveries(&self) -> u64 {
+        let unique: std::collections::HashSet<(NodeId, u64)> = self
+            .deliveries
+            .iter()
+            .map(|d| (d.source, d.msg_id))
+            .collect();
+        unique.len() as u64
+    }
+
+    /// Mean hop count over deliveries (0 if none).
+    pub fn mean_hops(&self) -> f64 {
+        if self.deliveries.is_empty() {
+            return 0.0;
+        }
+        self.deliveries.iter().map(|d| d.hops as f64).sum::<f64>() / self.deliveries.len() as f64
+    }
+
+    /// Mean end-to-end latency in microseconds (0 if none).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.deliveries.is_empty() {
+            return 0.0;
+        }
+        self.deliveries.iter().map(|d| d.latency() as f64).sum::<f64>()
+            / self.deliveries.len() as f64
+    }
+
+    /// The paper's energy-balance variance `D²` over the given node
+    /// subset (normally: all sensors).
+    pub fn energy_d2(&self, nodes: &[NodeId]) -> f64 {
+        let es: Vec<f64> = nodes
+            .iter()
+            .map(|n| self.energy_consumed.get(n.index()).copied().unwrap_or(0.0))
+            .collect();
+        energy_variance(&es)
+    }
+
+    /// Total energy consumed by the given node subset.
+    pub fn total_energy(&self, nodes: &[NodeId]) -> f64 {
+        nodes
+            .iter()
+            .map(|n| self.energy_consumed.get(n.index()).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Control overhead ratio: control frames / total frames (0 if idle).
+    pub fn control_overhead(&self) -> f64 {
+        let total = self.total_sent();
+        if total == 0 {
+            0.0
+        } else {
+            self.sent_control as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivery(src: u32, msg: u64, hops: u32, sent: SimTime, got: SimTime) -> Delivery {
+        Delivery {
+            source: NodeId(src),
+            destination: NodeId(99),
+            msg_id: msg,
+            sent_at: sent,
+            delivered_at: got,
+            hops,
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_counts_unique_messages() {
+        let mut m = Metrics {
+            originated: 4,
+            ..Default::default()
+        };
+        m.deliveries.push(delivery(1, 1, 2, 0, 10));
+        m.deliveries.push(delivery(1, 1, 3, 0, 12)); // duplicate arrival
+        m.deliveries.push(delivery(2, 1, 1, 0, 5));
+        assert!((m.delivery_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_ratio_one() {
+        assert_eq!(Metrics::default().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn hop_and_latency_means() {
+        let mut m = Metrics::default();
+        m.deliveries.push(delivery(1, 1, 2, 100, 300));
+        m.deliveries.push(delivery(2, 1, 4, 100, 500));
+        assert!((m.mean_hops() - 3.0).abs() < 1e-12);
+        assert!((m.mean_latency_us() - 300.0).abs() < 1e-12);
+        assert_eq!(Metrics::default().mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn latency_saturates_instead_of_underflowing() {
+        let d = delivery(1, 1, 1, 50, 40);
+        assert_eq!(d.latency(), 0);
+    }
+
+    #[test]
+    fn kind_counters() {
+        let mut m = Metrics::default();
+        m.count_sent(PacketKind::Control, 10);
+        m.count_sent(PacketKind::Control, 20);
+        m.count_sent(PacketKind::Data, 5);
+        m.count_sent(PacketKind::Security, 1);
+        assert_eq!(m.total_sent(), 4);
+        assert!((m.control_overhead() - 0.5).abs() < 1e-12);
+        assert_eq!(m.sent_bytes_control, 30);
+        assert_eq!(m.sent_bytes_data, 5);
+        assert_eq!(m.total_bytes(), 36);
+    }
+
+    #[test]
+    fn energy_views_respect_the_subset() {
+        let m = Metrics {
+            energy_consumed: vec![1.0, 3.0, 100.0],
+            ..Default::default()
+        };
+        let sensors = [NodeId(0), NodeId(1)];
+        assert!((m.total_energy(&sensors) - 4.0).abs() < 1e-12);
+        assert!((m.energy_d2(&sensors) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_energy_entries_read_as_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.total_energy(&[NodeId(7)]), 0.0);
+    }
+}

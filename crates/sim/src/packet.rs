@@ -1,0 +1,94 @@
+//! Packets: what travels on the air.
+//!
+//! A packet is a link-layer frame: sender, optional link-layer destination
+//! (`None` = local broadcast — the normal case for flooding and for the
+//! paper's "broadcast a packet DATA" steps), the tier it is sent on, a
+//! coarse kind used by the metrics ledger to separate control overhead
+//! from data delivery, and an opaque payload that each protocol encodes
+//! with `wmsn_util::codec`.
+
+use crate::phy::Tier;
+use wmsn_util::NodeId;
+
+/// Coarse classification for overhead accounting (E5, E7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PacketKind {
+    /// Routing-control traffic: RREQ/RRES floods, gateway announcements,
+    /// cluster advertisements, hello beacons.
+    Control,
+    /// Application data en route to a gateway (or onward on the backbone).
+    Data,
+    /// Security-only traffic (μTESLA key disclosures).
+    Security,
+}
+
+/// A frame in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Globally unique transmission id (assigned by the world).
+    pub seq: u64,
+    /// Link-layer sender — the node whose radio emitted this frame. Under
+    /// identity attacks this may differ from any id claimed *inside* the
+    /// payload; honest protocols must parse the payload, not trust `src`.
+    pub src: NodeId,
+    /// Link-layer destination; `None` is a local broadcast.
+    pub link_dst: Option<NodeId>,
+    /// Radio tier the frame is sent on.
+    pub tier: Tier,
+    /// Metrics classification.
+    pub kind: PacketKind,
+    /// Protocol payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Network-layer size used for energy/latency: payload plus a fixed
+    /// 8-byte network header (src, dst, kind tag). The PHY adds its own
+    /// frame overhead on top.
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len() + 8
+    }
+
+    /// Whether this frame is addressed to `node` (directly or broadcast).
+    pub fn addressed_to(&self, node: NodeId) -> bool {
+        match self.link_dst {
+            None => true,
+            Some(d) => d == node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(link_dst: Option<NodeId>) -> Packet {
+        Packet {
+            seq: 1,
+            src: NodeId(0),
+            link_dst,
+            tier: Tier::Sensor,
+            kind: PacketKind::Data,
+            payload: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn size_includes_header() {
+        assert_eq!(pkt(None).size_bytes(), 11);
+    }
+
+    #[test]
+    fn broadcast_addresses_everyone() {
+        let p = pkt(None);
+        assert!(p.addressed_to(NodeId(5)));
+        assert!(p.addressed_to(NodeId(0)));
+    }
+
+    #[test]
+    fn unicast_addresses_exactly_one() {
+        let p = pkt(Some(NodeId(5)));
+        assert!(p.addressed_to(NodeId(5)));
+        assert!(!p.addressed_to(NodeId(6)));
+    }
+}

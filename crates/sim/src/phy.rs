@@ -1,0 +1,93 @@
+//! Radio tiers and PHY profiles.
+//!
+//! The architecture uses two radios (§3.2): *"sensor nodes only support
+//! 802.15.4; WMRs only support 802.11; WMGs support both"*. The protocol
+//! identity matters to routing only through range, bitrate, and energy
+//! cost, so a PHY here is a small parameter block. Defaults follow
+//! commonly-cited figures for CC2420-class motes and 802.11b mesh radios.
+
+use serde::Serialize;
+
+/// Which of the two logical radio networks a transmission happens on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+pub enum Tier {
+    /// The low-level sensor network (802.15.4-class).
+    Sensor,
+    /// The wireless-mesh backbone (802.11-class).
+    Mesh,
+}
+
+/// Physical-layer parameters for one tier.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PhyProfile {
+    /// Radio range in metres (unit disk).
+    pub range_m: f64,
+    /// Bitrate in bits per second (determines transmission delay).
+    pub bitrate_bps: f64,
+    /// Fixed per-hop processing/propagation latency in microseconds.
+    pub hop_latency_us: u64,
+    /// Link-layer header+trailer overhead added to every frame, bytes.
+    pub frame_overhead_bytes: usize,
+}
+
+impl PhyProfile {
+    /// 802.15.4-class sensor radio: 30 m range, 250 kbit/s, 11-byte
+    /// MAC header + FCS.
+    pub fn zigbee() -> Self {
+        PhyProfile {
+            range_m: 30.0,
+            bitrate_bps: 250_000.0,
+            hop_latency_us: 192, // a-turnaround + CCA order of magnitude
+            frame_overhead_bytes: 11,
+        }
+    }
+
+    /// 802.11b-class mesh radio: 250 m range, 11 Mbit/s, 34-byte overhead.
+    pub fn wifi() -> Self {
+        PhyProfile {
+            range_m: 250.0,
+            bitrate_bps: 11_000_000.0,
+            hop_latency_us: 50,
+            frame_overhead_bytes: 34,
+        }
+    }
+
+    /// Time to clock `payload_bytes` (plus frame overhead) onto the air,
+    /// in microseconds (at least 1).
+    pub fn tx_time_us(&self, payload_bytes: usize) -> u64 {
+        let bits = ((payload_bytes + self.frame_overhead_bytes) * 8) as f64;
+        ((bits / self.bitrate_bps) * 1e6).ceil().max(1.0) as u64
+    }
+
+    /// Total one-hop latency for a frame: transmission + fixed hop cost.
+    pub fn hop_delay_us(&self, payload_bytes: usize) -> u64 {
+        self.tx_time_us(payload_bytes) + self.hop_latency_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigbee_frame_timing_matches_hand_calculation() {
+        let phy = PhyProfile::zigbee();
+        // 30-byte payload + 11 overhead = 41 bytes = 328 bits at 250 kbit/s
+        // = 1312 µs.
+        assert_eq!(phy.tx_time_us(30), 1312);
+        assert_eq!(phy.hop_delay_us(30), 1312 + 192);
+    }
+
+    #[test]
+    fn wifi_is_much_faster_and_longer_range() {
+        let z = PhyProfile::zigbee();
+        let w = PhyProfile::wifi();
+        assert!(w.range_m > 3.0 * z.range_m);
+        assert!(w.tx_time_us(100) < z.tx_time_us(100) / 10);
+    }
+
+    #[test]
+    fn tiny_frames_still_take_time() {
+        assert!(PhyProfile::wifi().tx_time_us(0) >= 1);
+    }
+}

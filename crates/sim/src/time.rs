@@ -1,0 +1,41 @@
+//! Simulation time.
+//!
+//! Time is a `u64` count of microseconds since the start of the run —
+//! fine-grained enough for per-packet transmission delays at 250 kbit/s
+//! (a 30-byte 802.15.4 frame is ≈960 µs on the air) while leaving room for
+//! simulations spanning simulated months.
+
+/// Microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// A simulation timestamp in microseconds.
+pub type SimTime = u64;
+
+/// Convert whole seconds to [`SimTime`].
+#[inline]
+pub const fn secs(s: u64) -> SimTime {
+    s * MICROS_PER_SEC
+}
+
+/// Convert whole milliseconds to [`SimTime`].
+#[inline]
+pub const fn millis(ms: u64) -> SimTime {
+    ms * 1_000
+}
+
+/// Render a timestamp as fractional seconds for reports.
+pub fn as_secs_f64(t: SimTime) -> f64 {
+    t as f64 / MICROS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(secs(2), 2_000_000);
+        assert_eq!(millis(3), 3_000);
+        assert_eq!(as_secs_f64(1_500_000), 1.5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Topology control (§4.4): power control and sleep scheduling.
+//!
+//! The paper names the two standard families: *"power control adjusts
+//! sensors' transmission power … to save energy"* and *"sleep scheduling
+//! controls sensors between work and sleep states"*. We implement one
+//! canonical representative of each:
+//!
+//! * [`critical_range`] — the minimal common transmission range that keeps
+//!   the field connected (binary search over the sorted pairwise-distance
+//!   candidates; the answer is always one of them). Running the network at
+//!   this range minimises per-hop amplifier energy under a common-power
+//!   regime.
+//! * [`gaf_sleep_schedule`] — GAF-style (Xu, Heidemann & Estrin 2001,
+//!   cited as \[26\]) virtual-grid scheduling: cells of side `r/√5` ensure
+//!   any node in a cell can talk to any node in a 4-adjacent cell, so one
+//!   awake node per cell preserves routing fidelity while the rest sleep.
+
+use wmsn_util::geom::unit_disk_adjacency;
+use wmsn_util::Point;
+
+use crate::connectivity::is_connected;
+
+/// The minimal common radio range (a pairwise distance) at which the
+/// point set is connected. Returns `None` for fields that cannot connect
+/// (fewer than 2 points are trivially connected → `Some(0.0)`).
+pub fn critical_range(points: &[Point]) -> Option<f64> {
+    if points.len() < 2 {
+        return Some(0.0);
+    }
+    // Candidate ranges: all pairwise distances, sorted.
+    let mut dists = Vec::with_capacity(points.len() * (points.len() - 1) / 2);
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            dists.push(points[i].dist(points[j]));
+        }
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Binary search the smallest candidate that connects. The nudge
+    // compensates for sqrt/square rounding: a candidate IS one of the
+    // pairwise distances, so its own edge must count as in range.
+    let connected_at = |r: f64| is_connected(&unit_disk_adjacency(points, r * (1.0 + 1e-12)));
+    if !connected_at(*dists.last().unwrap()) {
+        return None; // cannot happen for finite points, kept for safety
+    }
+    let mut lo = 0usize;
+    let mut hi = dists.len() - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if connected_at(dists[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(dists[lo])
+}
+
+/// GAF virtual-grid sleep schedule: partition nodes into cells of side
+/// `range / √5` and keep awake, per cell, the node with the highest
+/// residual energy (ties → lowest index). Returns `awake[i]` flags.
+///
+/// `energies[i]` is node `i`'s residual energy; pass uniform values to get
+/// plain leader-per-cell behaviour.
+pub fn gaf_sleep_schedule(points: &[Point], energies: &[f64], range: f64) -> Vec<bool> {
+    assert_eq!(points.len(), energies.len());
+    if points.is_empty() {
+        return Vec::new();
+    }
+    assert!(range > 0.0, "range must be positive");
+    let cell = range / 5f64.sqrt();
+    let mut leaders: std::collections::HashMap<(i64, i64), usize> = std::collections::HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let key = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        match leaders.get_mut(&key) {
+            Some(best) => {
+                if energies[i] > energies[*best] {
+                    *best = i;
+                }
+            }
+            None => {
+                leaders.insert(key, i);
+            }
+        }
+    }
+    let mut awake = vec![false; points.len()];
+    for (_, &i) in leaders.iter() {
+        awake[i] = true;
+    }
+    awake
+}
+
+/// Fraction of nodes kept awake by a schedule.
+pub fn awake_fraction(awake: &[bool]) -> f64 {
+    if awake.is_empty() {
+        return 0.0;
+    }
+    awake.iter().filter(|&&a| a).count() as f64 / awake.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsn_util::{Rect, SplitMix64};
+
+    #[test]
+    fn critical_range_of_a_chain_is_the_longest_gap() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(25.0, 0.0), // 15 m gap — the critical link
+            Point::new(30.0, 0.0),
+        ];
+        let r = critical_range(&pts).unwrap();
+        assert!((r - 15.0).abs() < 1e-9);
+        // Just below disconnects; at r connects.
+        assert!(!is_connected(&unit_disk_adjacency(&pts, r - 1e-6)));
+        assert!(is_connected(&unit_disk_adjacency(&pts, r)));
+    }
+
+    #[test]
+    fn critical_range_trivial_cases() {
+        assert_eq!(critical_range(&[]), Some(0.0));
+        assert_eq!(critical_range(&[Point::new(3.0, 4.0)]), Some(0.0));
+        let two = [Point::new(0.0, 0.0), Point::new(7.0, 0.0)];
+        assert!((critical_range(&two).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_range_on_random_fields_matches_linear_scan() {
+        let mut rng = SplitMix64::new(5);
+        let field = Rect::field(50.0, 50.0);
+        let pts: Vec<Point> = (0..40)
+            .map(|_| {
+                Point::new(
+                    rng.range_f64(field.min.x, field.max.x),
+                    rng.range_f64(field.min.y, field.max.y),
+                )
+            })
+            .collect();
+        let fast = critical_range(&pts).unwrap();
+        // Linear scan over the same candidates.
+        let mut dists: Vec<f64> = Vec::new();
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                dists.push(pts[i].dist(pts[j]));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let slow = dists
+            .iter()
+            .copied()
+            .find(|&r| is_connected(&unit_disk_adjacency(&pts, r)))
+            .unwrap();
+        assert!((fast - slow).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaf_keeps_one_leader_per_cell() {
+        // Two tight clumps far apart: exactly two awake nodes.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.1),
+            Point::new(0.2, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(50.1, 50.1),
+        ];
+        let awake = gaf_sleep_schedule(&pts, &[1.0; 5], 10.0);
+        assert_eq!(awake.iter().filter(|&&a| a).count(), 2);
+    }
+
+    #[test]
+    fn gaf_prefers_the_highest_energy_node() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.1, 0.0)];
+        let awake = gaf_sleep_schedule(&pts, &[0.2, 0.9], 10.0);
+        assert_eq!(awake, vec![false, true]);
+    }
+
+    #[test]
+    fn gaf_saves_energy_on_dense_fields() {
+        let mut rng = SplitMix64::new(6);
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)))
+            .collect();
+        let awake = gaf_sleep_schedule(&pts, &vec![1.0; 400], 30.0);
+        let frac = awake_fraction(&awake);
+        assert!(frac < 0.5, "dense field should sleep >50%: {frac}");
+        assert!(frac > 0.0);
+    }
+
+    #[test]
+    fn gaf_awake_set_preserves_connectivity_of_dense_fields() {
+        // Grid-dense field: the awake subgraph at the full range must stay
+        // connected (GAF's design guarantee given ≥1 node per cell).
+        let mut pts = Vec::new();
+        for x in 0..20 {
+            for y in 0..20 {
+                pts.push(Point::new(x as f64 * 2.0, y as f64 * 2.0));
+            }
+        }
+        let range = 10.0;
+        let awake = gaf_sleep_schedule(&pts, &vec![1.0; pts.len()], range);
+        let awake_pts: Vec<Point> = pts
+            .iter()
+            .zip(&awake)
+            .filter(|(_, &a)| a)
+            .map(|(p, _)| *p)
+            .collect();
+        assert!(is_connected(&unit_disk_adjacency(&awake_pts, range)));
+    }
+
+    #[test]
+    fn gaf_empty_input() {
+        assert!(gaf_sleep_schedule(&[], &[], 10.0).is_empty());
+        assert_eq!(awake_fraction(&[]), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Sensor deployment generators.
+//!
+//! The paper's fields are "hundreds or even thousands of sensors
+//! (randomly) distributed in a monitoring area" (§2.1). Three generators
+//! cover the evaluation:
+//!
+//! * [`Deployment::Uniform`] — i.i.d. uniform over the field (the default
+//!   workload; SPR "has good performance for sensor networks with nodes
+//!   distributed evenly", §5.2).
+//! * [`Deployment::JitteredGrid`] — engineered deployments (building /
+//!   HVAC monitoring) with bounded placement error.
+//! * [`Deployment::Clustered`] — uneven fields (the case MLR exists for:
+//!   "if sensor nodes are unevenly distributed, some nodes … take charge
+//!   of too heavy forwarding tasks and die before others", §5.3).
+
+use wmsn_util::{Point, Rect, SplitMix64};
+
+/// A deployment recipe.
+#[derive(Clone, Debug)]
+pub enum Deployment {
+    /// `n` points uniform over the field.
+    Uniform {
+        /// Number of sensors.
+        n: usize,
+    },
+    /// Points on a √n × √n grid, each jittered by up to `jitter` metres
+    /// per axis.
+    JitteredGrid {
+        /// Number of sensors (rounded up to a full grid).
+        n: usize,
+        /// Maximum per-axis jitter in metres.
+        jitter: f64,
+    },
+    /// `clusters` Gaussian blobs with standard deviation `sigma`, centres
+    /// uniform over the field, points clipped to the field.
+    Clustered {
+        /// Total number of sensors.
+        n: usize,
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Cluster standard deviation in metres.
+        sigma: f64,
+    },
+}
+
+impl Deployment {
+    /// Generate sensor positions inside `field` using `rng`.
+    pub fn generate(&self, field: Rect, rng: &mut SplitMix64) -> Vec<Point> {
+        match *self {
+            Deployment::Uniform { n } => (0..n)
+                .map(|_| {
+                    Point::new(
+                        rng.range_f64(field.min.x, field.max.x),
+                        rng.range_f64(field.min.y, field.max.y),
+                    )
+                })
+                .collect(),
+            Deployment::JitteredGrid { n, jitter } => {
+                if n == 0 {
+                    return Vec::new();
+                }
+                let cols = (n as f64).sqrt().ceil() as usize;
+                let rows = n.div_ceil(cols);
+                let dx = field.width() / cols as f64;
+                let dy = field.height() / rows as f64;
+                let mut pts = Vec::with_capacity(n);
+                'outer: for r in 0..rows {
+                    for c in 0..cols {
+                        if pts.len() == n {
+                            break 'outer;
+                        }
+                        let base = Point::new(
+                            field.min.x + (c as f64 + 0.5) * dx,
+                            field.min.y + (r as f64 + 0.5) * dy,
+                        );
+                        let jittered = Point::new(
+                            base.x + rng.range_f64(-jitter, jitter),
+                            base.y + rng.range_f64(-jitter, jitter),
+                        );
+                        pts.push(field.clamp(jittered));
+                    }
+                }
+                pts
+            }
+            Deployment::Clustered { n, clusters, sigma } => {
+                let k = clusters.max(1);
+                let centres: Vec<Point> = (0..k)
+                    .map(|_| {
+                        Point::new(
+                            rng.range_f64(field.min.x, field.max.x),
+                            rng.range_f64(field.min.y, field.max.y),
+                        )
+                    })
+                    .collect();
+                (0..n)
+                    .map(|i| {
+                        let c = centres[i % k];
+                        let p = Point::new(
+                            c.x + rng.next_gaussian() * sigma,
+                            c.y + rng.next_gaussian() * sigma,
+                        );
+                        field.clamp(p)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Rect {
+        Rect::field(100.0, 100.0)
+    }
+
+    #[test]
+    fn uniform_generates_n_points_in_field() {
+        let mut rng = SplitMix64::new(1);
+        let pts = Deployment::Uniform { n: 250 }.generate(field(), &mut rng);
+        assert_eq!(pts.len(), 250);
+        assert!(pts.iter().all(|p| field().contains(*p)));
+    }
+
+    #[test]
+    fn uniform_is_seed_deterministic() {
+        let gen = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            Deployment::Uniform { n: 10 }.generate(field(), &mut rng)
+        };
+        assert_eq!(gen(5), gen(5));
+        assert_ne!(gen(5), gen(6));
+    }
+
+    #[test]
+    fn grid_covers_field_roughly_evenly() {
+        let mut rng = SplitMix64::new(2);
+        let pts = Deployment::JitteredGrid { n: 100, jitter: 0.0 }.generate(field(), &mut rng);
+        assert_eq!(pts.len(), 100);
+        // Zero jitter 10×10 grid: first point at cell centre (5,5).
+        assert_eq!(pts[0], Point::new(5.0, 5.0));
+        assert_eq!(pts[99], Point::new(95.0, 95.0));
+    }
+
+    #[test]
+    fn grid_handles_non_square_counts() {
+        let mut rng = SplitMix64::new(3);
+        for n in [1usize, 2, 7, 12, 50] {
+            let pts = Deployment::JitteredGrid { n, jitter: 1.0 }.generate(field(), &mut rng);
+            assert_eq!(pts.len(), n, "n={n}");
+            assert!(pts.iter().all(|p| field().contains(*p)));
+        }
+        let none = Deployment::JitteredGrid { n: 0, jitter: 1.0 }.generate(field(), &mut rng);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn clustered_points_hug_their_centres() {
+        let mut rng = SplitMix64::new(4);
+        let pts = Deployment::Clustered {
+            n: 300,
+            clusters: 3,
+            sigma: 3.0,
+        }
+        .generate(field(), &mut rng);
+        assert_eq!(pts.len(), 300);
+        assert!(pts.iter().all(|p| field().contains(*p)));
+        // Mean nearest-neighbour distance should be far below uniform's.
+        let mut rng2 = SplitMix64::new(4);
+        let uni = Deployment::Uniform { n: 300 }.generate(field(), &mut rng2);
+        let mean_nn = |pts: &[Point]| {
+            pts.iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    pts.iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, q)| p.dist(*q))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / pts.len() as f64
+        };
+        assert!(mean_nn(&pts) < mean_nn(&uni));
+    }
+
+    #[test]
+    fn clustered_with_one_cluster_is_one_blob() {
+        let mut rng = SplitMix64::new(5);
+        let pts = Deployment::Clustered {
+            n: 50,
+            clusters: 1,
+            sigma: 2.0,
+        }
+        .generate(field(), &mut rng);
+        // Spread (max pairwise distance) bounded by a few sigma.
+        let spread = pts
+            .iter()
+            .flat_map(|p| pts.iter().map(move |q| p.dist(*q)))
+            .fold(0.0, f64::max);
+        assert!(spread < 30.0, "spread {spread}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Gateway movement schedules.
+//!
+//! §5.1: sensors are static while "gateway(s) Gⱼ discretely move(s) within
+//! the range of its sensor network"; a *round* is the period during which
+//! all gateways are static. §4.2 motivates the movement: "to balance
+//! energy consumption of all sensor nodes, gateways should keep mobile
+//! because sensor nodes around gateways consume more energy".
+//!
+//! A [`MovementSchedule`] produces, per round, the `m` occupied place ids
+//! out of the feasible set `P`, plus the list of gateways that moved —
+//! exactly what MLR's incremental table maintenance consumes (moved
+//! gateways announce; unmoved ones stay silent, §5.3 step 2).
+
+use crate::places::FeasiblePlaces;
+use wmsn_util::SplitMix64;
+
+/// Per-round movement policy.
+#[derive(Clone, Debug)]
+pub enum MovementPolicy {
+    /// Gateways never move (the traditional static-sink model).
+    Static,
+    /// Each round, one gateway (cycling through them) advances to the
+    /// next free place — the paper's Table 1 pattern, where exactly one
+    /// gateway relocates per round.
+    RoundRobin,
+    /// Each round, each gateway moves to a random free place with
+    /// probability `move_prob`.
+    RandomWalk {
+        /// Per-gateway per-round probability of moving.
+        move_prob: f64,
+    },
+    /// Scripted: explicit place ids per round (used to reproduce Table 1
+    /// verbatim). Rounds beyond the script repeat the last entry.
+    Scripted {
+        /// `rounds[r]` = occupied place ids during round `r`.
+        rounds: Vec<Vec<usize>>,
+    },
+}
+
+/// One round's outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundPlacement {
+    /// Occupied place ids, index = gateway index (gateway `g` sits at
+    /// `places[occupied[g]]`).
+    pub occupied: Vec<usize>,
+    /// Gateway indices that changed place since the previous round
+    /// (everyone, in round 0 — initial deployment is announced).
+    pub moved: Vec<usize>,
+}
+
+/// Round-by-round placement generator.
+#[derive(Clone, Debug)]
+pub struct MovementSchedule {
+    policy: MovementPolicy,
+    n_places: usize,
+    current: Vec<usize>,
+    round: usize,
+    rr_next_gateway: usize,
+    rng: SplitMix64,
+}
+
+impl MovementSchedule {
+    /// Create a schedule starting from `initial` occupied places.
+    pub fn new(
+        policy: MovementPolicy,
+        places: &FeasiblePlaces,
+        initial: Vec<usize>,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            initial.iter().all(|&p| p < places.len()),
+            "initial placement outside P"
+        );
+        MovementSchedule {
+            policy,
+            n_places: places.len(),
+            current: initial,
+            round: 0,
+            rr_next_gateway: 0,
+            rng: SplitMix64::new(seed).split(0x4D4F_5645), // "MOVE"
+        }
+    }
+
+    /// Occupied places as of the last produced round.
+    pub fn current(&self) -> &[usize] {
+        &self.current
+    }
+
+    /// Rounds produced so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// A random place not currently occupied; `None` if all are taken.
+    fn random_free_place(&mut self) -> Option<usize> {
+        let free: Vec<usize> = (0..self.n_places)
+            .filter(|p| !self.current.contains(p))
+            .collect();
+        if free.is_empty() {
+            None
+        } else {
+            Some(free[self.rng.next_index(free.len())])
+        }
+    }
+
+    /// Produce the next round's placement.
+    pub fn next_round(&mut self) -> RoundPlacement {
+        let previous = self.current.clone();
+        if self.round > 0 {
+            let policy = self.policy.clone();
+            match policy {
+                MovementPolicy::Static => {}
+                MovementPolicy::RoundRobin => {
+                    if !self.current.is_empty() && self.n_places > self.current.len() {
+                        let g = self.rr_next_gateway % self.current.len();
+                        self.rr_next_gateway += 1;
+                        let mut candidate = (self.current[g] + 1) % self.n_places;
+                        while self.current.contains(&candidate) {
+                            candidate = (candidate + 1) % self.n_places;
+                        }
+                        self.current[g] = candidate;
+                    }
+                }
+                MovementPolicy::RandomWalk { move_prob } => {
+                    for g in 0..self.current.len() {
+                        if self.rng.chance(move_prob) {
+                            if let Some(p) = self.random_free_place() {
+                                self.current[g] = p;
+                            }
+                        }
+                    }
+                }
+                MovementPolicy::Scripted { ref rounds } => {
+                    if let Some(spec) = rounds.get(self.round).or_else(|| rounds.last()) {
+                        assert!(
+                            spec.iter().all(|&p| p < self.n_places),
+                            "scripted placement outside P"
+                        );
+                        self.current = spec.clone();
+                    }
+                }
+            }
+        } else if let MovementPolicy::Scripted { ref rounds } = self.policy {
+            if let Some(spec) = rounds.first() {
+                self.current = spec.clone();
+            }
+        }
+        self.round += 1;
+        let moved = if self.round == 1 {
+            (0..self.current.len()).collect()
+        } else {
+            (0..self.current.len())
+                .filter(|&g| self.current[g] != previous[g])
+                .collect()
+        };
+        RoundPlacement {
+            occupied: self.current.clone(),
+            moved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmsn_util::Rect;
+
+    fn places(n: usize) -> FeasiblePlaces {
+        FeasiblePlaces::grid(Rect::field(100.0, 100.0), n, 1)
+    }
+
+    #[test]
+    fn first_round_reports_everyone_moved() {
+        let p = places(5);
+        let mut s = MovementSchedule::new(MovementPolicy::Static, &p, vec![0, 1, 2], 7);
+        let r = s.next_round();
+        assert_eq!(r.occupied, vec![0, 1, 2]);
+        assert_eq!(r.moved, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn static_policy_never_moves_after_round_one() {
+        let p = places(5);
+        let mut s = MovementSchedule::new(MovementPolicy::Static, &p, vec![0, 1], 7);
+        s.next_round();
+        for _ in 0..5 {
+            let r = s.next_round();
+            assert_eq!(r.occupied, vec![0, 1]);
+            assert!(r.moved.is_empty());
+        }
+    }
+
+    #[test]
+    fn round_robin_moves_exactly_one_gateway_per_round() {
+        let p = places(5);
+        let mut s = MovementSchedule::new(MovementPolicy::RoundRobin, &p, vec![0, 1, 2], 7);
+        s.next_round();
+        for _ in 0..8 {
+            let r = s.next_round();
+            assert_eq!(r.moved.len(), 1, "exactly one mover: {:?}", r);
+            // Occupied places stay distinct.
+            let set: std::collections::HashSet<_> = r.occupied.iter().collect();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn round_robin_visits_every_place_eventually() {
+        let p = places(6);
+        let mut s = MovementSchedule::new(MovementPolicy::RoundRobin, &p, vec![0, 1], 7);
+        let mut visited: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let r = s.next_round();
+            visited.extend(r.occupied.iter().copied());
+        }
+        assert_eq!(visited.len(), 6, "all of P visited: {visited:?}");
+    }
+
+    #[test]
+    fn round_robin_with_m_equals_p_stays_put() {
+        let p = places(2);
+        let mut s = MovementSchedule::new(MovementPolicy::RoundRobin, &p, vec![0, 1], 7);
+        s.next_round();
+        let r = s.next_round();
+        assert!(r.moved.is_empty(), "no free place to move to");
+    }
+
+    #[test]
+    fn random_walk_keeps_places_distinct_and_in_range() {
+        let p = places(6);
+        let mut s = MovementSchedule::new(
+            MovementPolicy::RandomWalk { move_prob: 0.8 },
+            &p,
+            vec![0, 1, 2],
+            42,
+        );
+        for _ in 0..20 {
+            let r = s.next_round();
+            assert!(r.occupied.iter().all(|&x| x < 6));
+            let set: std::collections::HashSet<_> = r.occupied.iter().collect();
+            assert_eq!(set.len(), 3, "distinct places: {:?}", r.occupied);
+        }
+    }
+
+    #[test]
+    fn random_walk_zero_probability_is_static() {
+        let p = places(6);
+        let mut s = MovementSchedule::new(
+            MovementPolicy::RandomWalk { move_prob: 0.0 },
+            &p,
+            vec![3, 4],
+            42,
+        );
+        s.next_round();
+        for _ in 0..5 {
+            assert!(s.next_round().moved.is_empty());
+        }
+    }
+
+    #[test]
+    fn scripted_reproduces_the_papers_table1_rounds() {
+        // Table 1: round 1 = {A,B,C}, round 2 = {A,C,D} (B moved to D),
+        // round 3 = {E,C,D} (A moved to E). Place ids: A=0 B=1 C=2 D=3 E=4.
+        let p = places(5);
+        let script = vec![vec![0, 1, 2], vec![0, 3, 2], vec![4, 3, 2]];
+        let mut s = MovementSchedule::new(
+            MovementPolicy::Scripted { rounds: script },
+            &p,
+            vec![0, 1, 2],
+            7,
+        );
+        let r1 = s.next_round();
+        assert_eq!(r1.occupied, vec![0, 1, 2]);
+        let r2 = s.next_round();
+        assert_eq!(r2.occupied, vec![0, 3, 2]);
+        assert_eq!(r2.moved, vec![1], "only gateway 1 (B→D) moved");
+        let r3 = s.next_round();
+        assert_eq!(r3.occupied, vec![4, 3, 2]);
+        assert_eq!(r3.moved, vec![0], "only gateway 0 (A→E) moved");
+        // Past the script: repeats the last round.
+        let r4 = s.next_round();
+        assert_eq!(r4.occupied, vec![4, 3, 2]);
+        assert!(r4.moved.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial placement outside P")]
+    fn initial_out_of_range_panics() {
+        let p = places(3);
+        let _ = MovementSchedule::new(MovementPolicy::Static, &p, vec![5], 7);
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let p = places(8);
+        let run = |seed| {
+            let mut s = MovementSchedule::new(
+                MovementPolicy::RandomWalk { move_prob: 0.5 },
+                &p,
+                vec![0, 1, 2],
+                seed,
+            );
+            (0..10).map(|_| s.next_round().occupied).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,192 @@
+//! Concrete topologies realising the paper's worked examples.
+//!
+//! The paper's Fig. 2 and Table 1 are stated in hop counts, not
+//! coordinates; these builders lay out geometric fields whose unit-disk
+//! graphs reproduce those hop counts *exactly*, so experiments E1 and E2
+//! can assert the paper's numbers verbatim.
+//!
+//! * [`fig2_single_sink`] / [`fig2_three_gateways`] — Fig. 2's example:
+//!   with one sink, S1..S4 reach it in 2, 7, 6, 9 hops; with three
+//!   gateways the same sensors reach their best gateways in 1, 1, 1, 2
+//!   hops.
+//! * [`table1_topology`] — the MLR walkthrough: a node `S_i` whose hop
+//!   counts to feasible places A..E are 8, 6, 7, 5, 6 (Table 1), with the
+//!   scripted round sequence {A,B,C} → {A,D,C} → {E,D,C}.
+
+use crate::Topology;
+use wmsn_util::{Point, Rect};
+
+/// Radio range used by all paper example fields (m).
+pub const PAPER_RANGE: f64 = 10.0;
+
+/// Index of S1..S4 within the sensor list of the Fig. 2 topologies.
+pub const FIG2_NAMED: [usize; 4] = [0, 1, 2, 3];
+
+/// Hop counts Fig. 2(a) reports for S1..S4 with a single sink.
+pub const FIG2_SINGLE_SINK_HOPS: [u32; 4] = [2, 7, 6, 9];
+
+/// Hop counts Fig. 2(b) reports for S1..S4 with three gateways.
+pub const FIG2_THREE_GATEWAY_HOPS: [u32; 4] = [1, 1, 1, 2];
+
+fn fig2_sensors() -> Vec<Point> {
+    let mut sensors = vec![
+        Point::new(20.0, 0.0),  // S1 — 2 hops east of the sink
+        Point::new(0.0, 70.0),  // S2 — 7 hops north
+        Point::new(-60.0, 0.0), // S3 — 6 hops west
+        Point::new(0.0, 90.0),  // S4 — 9 hops north (past S2)
+    ];
+    // Relay chains (plain sensors) realising the hop counts.
+    sensors.push(Point::new(10.0, 0.0)); // east chain
+    for k in 1..=6 {
+        sensors.push(Point::new(0.0, 10.0 * k as f64)); // north chain
+    }
+    for k in 1..=5 {
+        sensors.push(Point::new(-10.0 * k as f64, 0.0)); // west chain
+    }
+    sensors.push(Point::new(0.0, 80.0)); // between S2 and S4
+    sensors
+}
+
+fn fig2_field() -> Rect {
+    Rect::from_corners(Point::new(-70.0, -15.0), Point::new(30.0, 100.0))
+}
+
+/// Fig. 2(a): the flat architecture — one sink at the origin.
+pub fn fig2_single_sink() -> Topology {
+    Topology::new(
+        fig2_sensors(),
+        vec![Point::new(0.0, 0.0)],
+        fig2_field(),
+        PAPER_RANGE,
+    )
+}
+
+/// Fig. 2(b): the same field with three gateways G1, G2, G3.
+pub fn fig2_three_gateways() -> Topology {
+    Topology::new(
+        fig2_sensors(),
+        vec![
+            Point::new(20.0, 10.0), // G1 — adjacent to S1
+            Point::new(5.0, 72.0),  // G2 — adjacent to S2 and the S4 relay
+            Point::new(-60.0, 10.0), // G3 — adjacent to S3
+        ],
+        fig2_field(),
+        PAPER_RANGE,
+    )
+}
+
+/// Number of feasible places in the Table 1 walkthrough (A..E).
+pub const TABLE1_PLACES: usize = 5;
+
+/// The hop counts Table 1 lists for node `S_i` to places A..E.
+pub const TABLE1_HOPS: [u32; 5] = [8, 6, 7, 5, 6];
+
+/// The scripted occupied-place sets for the three rounds of Table 1:
+/// {A,B,C}, then B→D, then A→E. Place ids: A=0, B=1, C=2, D=3, E=4.
+pub const TABLE1_ROUNDS: [[usize; 3]; 3] = [[0, 1, 2], [0, 3, 2], [4, 3, 2]];
+
+/// The best (fewest-hops) place Table 1 selects each round: B, D, D.
+pub const TABLE1_SELECTED: [usize; 3] = [1, 3, 3];
+
+/// The Table 1 field: a 21-sensor chain with `S_i` at its head, and five
+/// feasible places whose hop counts from `S_i` are exactly
+/// [`TABLE1_HOPS`]. Returns `(sensor positions, place positions)`; the
+/// subject node `S_i` is sensor 0.
+pub fn table1_topology() -> (Vec<Point>, Vec<Point>) {
+    let sensors: Vec<Point> = (0..21).map(|k| Point::new(10.0 * k as f64, 0.0)).collect();
+    // A place hovering 8 m above sensor k is adjacent to that sensor only
+    // (next sensors are √164 ≈ 12.8 m away), so S_0 reaches it in k+1
+    // hops. B and E both need 6 hops; E hangs below the chain instead.
+    let places = vec![
+        Point::new(70.0, 8.0),  // A: 8 hops
+        Point::new(50.0, 8.0),  // B: 6 hops
+        Point::new(60.0, 8.0),  // C: 7 hops
+        Point::new(40.0, 8.0),  // D: 5 hops
+        Point::new(50.0, -8.0), // E: 6 hops
+    ];
+    (sensors, places)
+}
+
+/// Field rectangle for the Table 1 chain.
+pub fn table1_field() -> Rect {
+    Rect::from_corners(Point::new(-5.0, -15.0), Point::new(205.0, 15.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::HopField;
+
+    #[test]
+    fn fig2a_hop_counts_match_the_paper() {
+        let topo = fig2_single_sink();
+        let hf = HopField::compute(&topo);
+        for (s, &expected) in FIG2_NAMED.iter().zip(&FIG2_SINGLE_SINK_HOPS) {
+            assert_eq!(hf.sensor_hops(*s), expected, "S{}", s + 1);
+        }
+    }
+
+    #[test]
+    fn fig2b_hop_counts_match_the_paper() {
+        let topo = fig2_three_gateways();
+        let hf = HopField::compute(&topo);
+        for (s, &expected) in FIG2_NAMED.iter().zip(&FIG2_THREE_GATEWAY_HOPS) {
+            assert_eq!(hf.sensor_hops(*s), expected, "S{}", s + 1);
+        }
+    }
+
+    #[test]
+    fn fig2b_assigns_each_named_sensor_its_own_gateway() {
+        let topo = fig2_three_gateways();
+        let hf = HopField::compute(&topo);
+        assert_eq!(hf.nearest[0], 0, "S1 → G1");
+        assert_eq!(hf.nearest[1], 1, "S2 → G2");
+        assert_eq!(hf.nearest[2], 2, "S3 → G3");
+        assert_eq!(hf.nearest[3], 1, "S4 → G2");
+    }
+
+    #[test]
+    fn fig2_total_hops_drop_as_the_paper_argues() {
+        let a = HopField::compute(&fig2_single_sink());
+        let b = HopField::compute(&fig2_three_gateways());
+        let named_total = |hf: &HopField| -> u32 { FIG2_NAMED.iter().map(|&s| hf.hops[s]).sum() };
+        assert_eq!(named_total(&a), 2 + 7 + 6 + 9);
+        assert_eq!(named_total(&b), 1 + 1 + 1 + 2);
+    }
+
+    #[test]
+    fn table1_place_hops_match_the_paper() {
+        let (sensors, places) = table1_topology();
+        for (place_id, (&p, &expected)) in places.iter().zip(&TABLE1_HOPS).enumerate() {
+            let topo = Topology::new(sensors.clone(), vec![p], table1_field(), PAPER_RANGE);
+            let hf = HopField::compute(&topo);
+            assert_eq!(
+                hf.sensor_hops(0),
+                expected,
+                "place {}",
+                crate::places::FeasiblePlaces::label(place_id)
+            );
+        }
+    }
+
+    #[test]
+    fn table1_rounds_select_b_then_d_then_d() {
+        for (round, occupied) in TABLE1_ROUNDS.iter().enumerate() {
+            let best = occupied
+                .iter()
+                .min_by_key(|&&p| TABLE1_HOPS[p])
+                .copied()
+                .unwrap();
+            assert_eq!(best, TABLE1_SELECTED[round], "round {}", round + 1);
+        }
+    }
+
+    #[test]
+    fn fig2_fields_contain_all_nodes() {
+        for topo in [fig2_single_sink(), fig2_three_gateways()] {
+            for p in topo.positions() {
+                assert!(topo.field.contains(p), "{p} outside field");
+            }
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Gateway placement: choosing which `m` feasible places to occupy.
+//!
+//! §4.1's "gateway deployment model" asks where to put gateways so that
+//! total energy is minimised while per-node consumption stays balanced.
+//! Hop count is the proxy for energy under the paper's identical-power
+//! assumption, so every algorithm here is scored by the mean sensor→
+//! nearest-gateway hop count ([`evaluate_mean_hops`]):
+//!
+//! * [`PlacementAlgorithm::Random`] — the baseline every heuristic must beat.
+//! * [`PlacementAlgorithm::KMeans`] — Lloyd iterations on sensor
+//!   positions, centroids snapped to distinct feasible places; minimises
+//!   mean *distance*, a good surrogate for mean hops.
+//! * [`PlacementAlgorithm::GreedyKCenter`] — farthest-point traversal;
+//!   minimises the *maximum* distance, favouring worst-case hop bounds.
+//! * [`PlacementAlgorithm::ExhaustiveHops`] — the exact optimum of the
+//!   hop objective by enumerating all `C(|P|, m)` subsets; tractable for
+//!   the small `|P|` the paper's MLR tables assume.
+
+use crate::connectivity::HopField;
+use crate::places::FeasiblePlaces;
+use crate::Topology;
+use wmsn_util::{Point, Rect, SplitMix64};
+
+/// Placement algorithm selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlacementAlgorithm {
+    /// Uniformly random `m`-subset of `P`.
+    Random,
+    /// Lloyd's k-means on sensor positions, snapped to feasible places.
+    KMeans {
+        /// Lloyd iterations.
+        iterations: usize,
+    },
+    /// Greedy k-center (farthest-point) over sensors, choosing places.
+    GreedyKCenter,
+    /// Exact minimiser of mean sensor hops over all subsets (small `|P|`).
+    ExhaustiveHops,
+}
+
+/// Score a gateway subset: mean sensor hop count to the nearest gateway
+/// (unreachable sensors count as `penalty_hops`).
+pub fn evaluate_mean_hops(
+    sensors: &[Point],
+    field: Rect,
+    range: f64,
+    gateways: &[Point],
+    penalty_hops: f64,
+) -> f64 {
+    let topo = Topology::new(sensors.to_vec(), gateways.to_vec(), field, range);
+    let hf = HopField::compute(&topo);
+    let n = sensors.len();
+    if n == 0 {
+        return 0.0;
+    }
+    hf.hops[..n]
+        .iter()
+        .map(|&h| {
+            if h == u32::MAX {
+                penalty_hops
+            } else {
+                f64::from(h)
+            }
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Choose `m` place ids from `places` for the given sensor field.
+pub fn place_gateways(
+    algorithm: PlacementAlgorithm,
+    sensors: &[Point],
+    field: Rect,
+    range: f64,
+    places: &FeasiblePlaces,
+    m: usize,
+    rng: &mut SplitMix64,
+) -> Vec<usize> {
+    assert!(
+        m <= places.len(),
+        "cannot occupy {m} of {} places",
+        places.len()
+    );
+    if m == 0 {
+        return Vec::new();
+    }
+    match algorithm {
+        PlacementAlgorithm::Random => rng.sample_indices(places.len(), m),
+        PlacementAlgorithm::KMeans { iterations } => {
+            kmeans_placement(sensors, places, m, iterations, rng)
+        }
+        PlacementAlgorithm::GreedyKCenter => k_center_placement(sensors, places, m),
+        PlacementAlgorithm::ExhaustiveHops => {
+            exhaustive_placement(sensors, field, range, places, m)
+        }
+    }
+}
+
+fn nearest_place(p: Point, places: &FeasiblePlaces, taken: &[usize]) -> usize {
+    let mut best = usize::MAX;
+    let mut best_d = f64::INFINITY;
+    for (id, q) in places.places.iter().enumerate() {
+        if taken.contains(&id) {
+            continue;
+        }
+        let d = p.dist_sq(*q);
+        if d < best_d {
+            best_d = d;
+            best = id;
+        }
+    }
+    best
+}
+
+fn kmeans_placement(
+    sensors: &[Point],
+    places: &FeasiblePlaces,
+    m: usize,
+    iterations: usize,
+    rng: &mut SplitMix64,
+) -> Vec<usize> {
+    if sensors.is_empty() {
+        return rng.sample_indices(places.len(), m);
+    }
+    // Initialise centroids at random sensors.
+    let mut centroids: Vec<Point> = rng
+        .sample_indices(sensors.len(), m.min(sensors.len()))
+        .into_iter()
+        .map(|i| sensors[i])
+        .collect();
+    while centroids.len() < m {
+        // More clusters than sensors: fill with random places.
+        let id = rng.next_index(places.len());
+        centroids.push(places.position(id));
+    }
+    for _ in 0..iterations {
+        // Assign.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); m];
+        for s in sensors {
+            let k = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| s.dist_sq(**a).partial_cmp(&s.dist_sq(**b)).unwrap())
+                .map(|(k, _)| k)
+                .unwrap_or(0);
+            sums[k].0 += s.x;
+            sums[k].1 += s.y;
+            sums[k].2 += 1;
+        }
+        // Update (empty clusters keep their centroid).
+        for (k, c) in centroids.iter_mut().enumerate() {
+            if sums[k].2 > 0 {
+                *c = Point::new(sums[k].0 / sums[k].2 as f64, sums[k].1 / sums[k].2 as f64);
+            }
+        }
+    }
+    // Snap to distinct places.
+    let mut chosen = Vec::with_capacity(m);
+    for c in centroids {
+        let id = nearest_place(c, places, &chosen);
+        if id != usize::MAX {
+            chosen.push(id);
+        }
+    }
+    // Top up if snapping collided more than places allowed.
+    let mut id = 0;
+    while chosen.len() < m {
+        if !chosen.contains(&id) {
+            chosen.push(id);
+        }
+        id += 1;
+    }
+    chosen
+}
+
+fn k_center_placement(sensors: &[Point], places: &FeasiblePlaces, m: usize) -> Vec<usize> {
+    if sensors.is_empty() {
+        return (0..m).collect();
+    }
+    // Start with the place nearest the field centroid of the sensors.
+    let centroid = Point::new(
+        sensors.iter().map(|p| p.x).sum::<f64>() / sensors.len() as f64,
+        sensors.iter().map(|p| p.y).sum::<f64>() / sensors.len() as f64,
+    );
+    let mut chosen = vec![nearest_place(centroid, places, &[])];
+    while chosen.len() < m {
+        // Find the sensor farthest from all chosen places, then the free
+        // place nearest to it.
+        let farthest = sensors
+            .iter()
+            .max_by(|a, b| {
+                let da = chosen
+                    .iter()
+                    .map(|&id| a.dist_sq(places.position(id)))
+                    .fold(f64::INFINITY, f64::min);
+                let db = chosen
+                    .iter()
+                    .map(|&id| b.dist_sq(places.position(id)))
+                    .fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).unwrap()
+            })
+            .copied()
+            .unwrap();
+        let next = nearest_place(farthest, places, &chosen);
+        if next == usize::MAX {
+            break;
+        }
+        chosen.push(next);
+    }
+    let mut id = 0;
+    while chosen.len() < m {
+        if !chosen.contains(&id) {
+            chosen.push(id);
+        }
+        id += 1;
+    }
+    chosen
+}
+
+fn exhaustive_placement(
+    sensors: &[Point],
+    field: Rect,
+    range: f64,
+    places: &FeasiblePlaces,
+    m: usize,
+) -> Vec<usize> {
+    let p = places.len();
+    assert!(
+        binomial(p, m) <= 200_000,
+        "C({p},{m}) too large for exhaustive placement"
+    );
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut subset: Vec<usize> = (0..m).collect();
+    loop {
+        let gws: Vec<Point> = subset.iter().map(|&id| places.position(id)).collect();
+        let score = evaluate_mean_hops(sensors, field, range, &gws, 1e6);
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
+            best = Some((score, subset.clone()));
+        }
+        // Next combination in lexicographic order.
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return best.unwrap().1;
+            }
+            i -= 1;
+            if subset[i] != i + p - m {
+                break;
+            }
+        }
+        subset[i] += 1;
+        for j in i + 1..m {
+            subset[j] = subset[j - 1] + 1;
+        }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+
+    fn setup() -> (Vec<Point>, Rect, FeasiblePlaces, SplitMix64) {
+        let field = Rect::field(100.0, 100.0);
+        let mut rng = SplitMix64::new(11);
+        let sensors = Deployment::Uniform { n: 120 }.generate(field, &mut rng);
+        let places = FeasiblePlaces::grid(field, 3, 3);
+        (sensors, field, places, rng)
+    }
+
+    #[test]
+    fn all_algorithms_return_m_distinct_places() {
+        let (sensors, field, places, mut rng) = setup();
+        for alg in [
+            PlacementAlgorithm::Random,
+            PlacementAlgorithm::KMeans { iterations: 8 },
+            PlacementAlgorithm::GreedyKCenter,
+            PlacementAlgorithm::ExhaustiveHops,
+        ] {
+            let chosen = place_gateways(alg, &sensors, field, 25.0, &places, 3, &mut rng);
+            assert_eq!(chosen.len(), 3, "{alg:?}");
+            let set: std::collections::HashSet<_> = chosen.iter().collect();
+            assert_eq!(set.len(), 3, "{alg:?} returned duplicates");
+            assert!(chosen.iter().all(|&id| id < places.len()));
+        }
+    }
+
+    #[test]
+    fn exhaustive_is_at_least_as_good_as_random() {
+        let (sensors, field, places, mut rng) = setup();
+        let range = 25.0;
+        let score = |ids: &[usize]| {
+            let gws: Vec<Point> = ids.iter().map(|&i| places.position(i)).collect();
+            evaluate_mean_hops(&sensors, field, range, &gws, 1e6)
+        };
+        let best = place_gateways(
+            PlacementAlgorithm::ExhaustiveHops,
+            &sensors,
+            field,
+            range,
+            &places,
+            2,
+            &mut rng,
+        );
+        for _ in 0..5 {
+            let rand = place_gateways(
+                PlacementAlgorithm::Random,
+                &sensors,
+                field,
+                range,
+                &places,
+                2,
+                &mut rng,
+            );
+            assert!(score(&best) <= score(&rand) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_beats_random_on_clustered_fields() {
+        let field = Rect::field(100.0, 100.0);
+        let mut rng = SplitMix64::new(21);
+        let sensors = Deployment::Clustered {
+            n: 150,
+            clusters: 3,
+            sigma: 5.0,
+        }
+        .generate(field, &mut rng);
+        let places = FeasiblePlaces::grid(field, 4, 4);
+        let range = 20.0;
+        let score = |ids: &[usize]| {
+            let gws: Vec<Point> = ids.iter().map(|&i| places.position(i)).collect();
+            evaluate_mean_hops(&sensors, field, range, &gws, 50.0)
+        };
+        let km = place_gateways(
+            PlacementAlgorithm::KMeans { iterations: 12 },
+            &sensors,
+            field,
+            range,
+            &places,
+            3,
+            &mut rng,
+        );
+        // Average several random draws to avoid a lucky one.
+        let mut rand_total = 0.0;
+        let trials = 10;
+        for _ in 0..trials {
+            let r = place_gateways(
+                PlacementAlgorithm::Random,
+                &sensors,
+                field,
+                range,
+                &places,
+                3,
+                &mut rng,
+            );
+            rand_total += score(&r);
+        }
+        assert!(
+            score(&km) <= rand_total / trials as f64,
+            "k-means {} vs random avg {}",
+            score(&km),
+            rand_total / trials as f64
+        );
+    }
+
+    #[test]
+    fn m_zero_and_m_equals_p() {
+        let (sensors, field, places, mut rng) = setup();
+        let none = place_gateways(
+            PlacementAlgorithm::Random,
+            &sensors,
+            field,
+            25.0,
+            &places,
+            0,
+            &mut rng,
+        );
+        assert!(none.is_empty());
+        let all = place_gateways(
+            PlacementAlgorithm::GreedyKCenter,
+            &sensors,
+            field,
+            25.0,
+            &places,
+            places.len(),
+            &mut rng,
+        );
+        assert_eq!(all.len(), places.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot occupy")]
+    fn m_greater_than_p_panics() {
+        let (sensors, field, places, mut rng) = setup();
+        let _ = place_gateways(
+            PlacementAlgorithm::Random,
+            &sensors,
+            field,
+            25.0,
+            &places,
+            places.len() + 1,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn evaluate_penalises_uncovered_sensors() {
+        let field = Rect::field(100.0, 100.0);
+        let sensors = vec![Point::new(0.0, 0.0), Point::new(99.0, 99.0)];
+        // One gateway near the first sensor only; range too short for the
+        // second.
+        let score = evaluate_mean_hops(&sensors, field, 10.0, &[Point::new(5.0, 0.0)], 100.0);
+        assert!((score - (1.0 + 100.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(8, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(20, 10), 184_756);
+    }
+}

@@ -1,0 +1,127 @@
+//! Feasible gateway places — the set `P` of §5.3.
+//!
+//! MLR restricts mobile gateways to "a set of feasible places such that
+//! P = {Pᵢ: Pᵢ is a feasible place in the network area}, m of them are
+//! deployed gateways during a round". Routing tables are indexed by place,
+//! so `P` is small and fixed for a deployment. The default generator is a
+//! regular grid over the field; arbitrary hand-picked sets (the paper's
+//! A/B/C/D/E example) are supported directly.
+
+use wmsn_util::{Point, Rect, SplitMix64};
+
+/// The feasible-place set `P`.
+#[derive(Clone, Debug)]
+pub struct FeasiblePlaces {
+    /// Place positions; index = place id (the paper's A, B, C… become
+    /// 0, 1, 2…).
+    pub places: Vec<Point>,
+}
+
+impl FeasiblePlaces {
+    /// Wrap an explicit list.
+    pub fn new(places: Vec<Point>) -> Self {
+        FeasiblePlaces { places }
+    }
+
+    /// A `cols × rows` grid of places, inset half a cell from the border
+    /// (gateways in the strict interior serve more sensors).
+    pub fn grid(field: Rect, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must be non-empty");
+        let dx = field.width() / cols as f64;
+        let dy = field.height() / rows as f64;
+        let mut places = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                places.push(Point::new(
+                    field.min.x + (c as f64 + 0.5) * dx,
+                    field.min.y + (r as f64 + 0.5) * dy,
+                ));
+            }
+        }
+        FeasiblePlaces { places }
+    }
+
+    /// `n` uniform-random places.
+    pub fn random(field: Rect, n: usize, rng: &mut SplitMix64) -> Self {
+        let places = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.range_f64(field.min.x, field.max.x),
+                    rng.range_f64(field.min.y, field.max.y),
+                )
+            })
+            .collect();
+        FeasiblePlaces { places }
+    }
+
+    /// Number of places `|P|`.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Whether `P` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// Position of place `id`.
+    pub fn position(&self, id: usize) -> Point {
+        self.places[id]
+    }
+
+    /// Human label for a place id: 0→"A", 1→"B", …, 26→"AA" — matching
+    /// the paper's Table 1 naming.
+    pub fn label(id: usize) -> String {
+        let mut id = id;
+        let mut s = String::new();
+        loop {
+            s.insert(0, (b'A' + (id % 26) as u8) as char);
+            id /= 26;
+            if id == 0 {
+                break;
+            }
+            id -= 1;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_places_are_inset_and_counted() {
+        let p = FeasiblePlaces::grid(Rect::field(100.0, 100.0), 2, 2);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.position(0), Point::new(25.0, 25.0));
+        assert_eq!(p.position(3), Point::new(75.0, 75.0));
+    }
+
+    #[test]
+    fn random_places_stay_in_field() {
+        let field = Rect::field(50.0, 20.0);
+        let mut rng = SplitMix64::new(9);
+        let p = FeasiblePlaces::random(field, 40, &mut rng);
+        assert_eq!(p.len(), 40);
+        assert!(p.places.iter().all(|q| field.contains(*q)));
+    }
+
+    #[test]
+    fn labels_match_the_papers_naming() {
+        assert_eq!(FeasiblePlaces::label(0), "A");
+        assert_eq!(FeasiblePlaces::label(1), "B");
+        assert_eq!(FeasiblePlaces::label(4), "E");
+        assert_eq!(FeasiblePlaces::label(25), "Z");
+        assert_eq!(FeasiblePlaces::label(26), "AA");
+        assert_eq!(FeasiblePlaces::label(27), "AB");
+    }
+
+    #[test]
+    fn empty_and_explicit_sets() {
+        let p = FeasiblePlaces::new(vec![]);
+        assert!(p.is_empty());
+        let p2 = FeasiblePlaces::new(vec![Point::new(1.0, 2.0)]);
+        assert_eq!(p2.position(0), Point::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,310 @@
+//! Byte-level encode/decode helpers for protocol wire formats.
+//!
+//! The secure routing protocol (§6.2, Figs. 4–6) is specified at the level
+//! of concrete packet fields — type tags, node ids, counters, paths, MACs —
+//! so we encode packets as real byte buffers and authenticate those bytes.
+//! This module provides a tiny writer/reader pair with explicit error
+//! handling; all integers are little-endian.
+
+use std::fmt;
+
+/// Errors produced while decoding a wire buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The buffer ended before the requested field.
+    Truncated {
+        /// Bytes requested.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A tag or enum discriminant had no defined meaning.
+    BadTag(u8),
+    /// A length prefix exceeded a sanity bound.
+    LengthOutOfRange(usize),
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => {
+                write!(f, "truncated buffer: needed {needed}, had {remaining}")
+            }
+            DecodeError::BadTag(t) => write!(f, "unknown tag {t:#04x}"),
+            DecodeError::LengthOutOfRange(n) => write!(f, "length {n} out of range"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only wire writer.
+#[derive(Default, Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write raw bytes with no length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Write a `u16` length prefix followed by the bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        let len = u16::try_from(bytes.len()).expect("field longer than u16::MAX");
+        self.u16(len);
+        self.raw(bytes)
+    }
+
+    /// Write a list of `u32` node ids with a `u16` count prefix — the
+    /// encoding used for `path_ij(k)` fields.
+    pub fn id_list(&mut self, ids: &[u32]) -> &mut Self {
+        let len = u16::try_from(ids.len()).expect("path longer than u16::MAX");
+        self.u16(len);
+        for &id in ids {
+            self.u32(id);
+        }
+        self
+    }
+}
+
+/// Cursor-based wire reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the buffer is fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read exactly `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Read a `u16`-length-prefixed byte field, bounded by `max` for sanity.
+    pub fn bytes(&mut self, max: usize) -> Result<&'a [u8], DecodeError> {
+        let len = self.u16()? as usize;
+        if len > max {
+            return Err(DecodeError::LengthOutOfRange(len));
+        }
+        self.take(len)
+    }
+
+    /// Read a `u16`-count-prefixed list of `u32` ids, bounded by `max`.
+    pub fn id_list(&mut self, max: usize) -> Result<Vec<u32>, DecodeError> {
+        let len = self.u16()? as usize;
+        if len > max {
+            return Err(DecodeError::LengthOutOfRange(len));
+        }
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            ids.push(self.u32()?);
+        }
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(0xAB).u16(0x1234).u32(0xDEAD_BEEF).u64(0x0102_0304_0506_0708);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_reported_with_counts() {
+        let bytes = [1u8, 2];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        let err = r.u32().unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { needed: 4, remaining: 0 });
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let bytes = [0u8; 3];
+        let mut r = Reader::new(&bytes);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.finish().unwrap_err(), DecodeError::TrailingBytes(2));
+    }
+
+    #[test]
+    fn length_prefixed_bytes_roundtrip_and_bound() {
+        let mut w = Writer::new();
+        w.bytes(b"hello");
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes(16).unwrap(), b"hello");
+        // Same buffer, tighter bound → rejected.
+        let mut r2 = Reader::new(&buf);
+        assert_eq!(r2.bytes(4).unwrap_err(), DecodeError::LengthOutOfRange(5));
+    }
+
+    #[test]
+    fn id_list_roundtrip() {
+        let ids = [5u32, 0, 9_999_999];
+        let mut w = Writer::new();
+        w.id_list(&ids);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.id_list(10).unwrap(), ids.to_vec());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn id_list_respects_bound() {
+        let ids: Vec<u32> = (0..20).collect();
+        let mut w = Writer::new();
+        w.id_list(&ids);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.id_list(10).unwrap_err(), DecodeError::LengthOutOfRange(20));
+    }
+
+    #[test]
+    fn empty_collections_roundtrip() {
+        let mut w = Writer::new();
+        w.bytes(b"").id_list(&[]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes(8).unwrap(), b"");
+        assert!(r.id_list(8).unwrap().is_empty());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn decode_error_displays() {
+        let msgs = [
+            DecodeError::Truncated { needed: 4, remaining: 1 }.to_string(),
+            DecodeError::BadTag(0x7F).to_string(),
+            DecodeError::LengthOutOfRange(9).to_string(),
+            DecodeError::TrailingBytes(2).to_string(),
+        ];
+        assert!(msgs[0].contains("truncated"));
+        assert!(msgs[1].contains("0x7f"));
+        assert!(msgs[2].contains('9'));
+        assert!(msgs[3].contains("trailing"));
+    }
+}

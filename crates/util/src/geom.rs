@@ -1,0 +1,250 @@
+//! 2-D geometry for deployment fields.
+//!
+//! The paper models a sensor network as nodes scattered in a planar
+//! monitoring area with unit-disk radio reachability ("the radio range of a
+//! sensor node only covers its immediate neighboring nodes", §5.1). All
+//! coordinates are in metres.
+
+use std::fmt;
+
+/// A point in the deployment plane (metres).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper; use for comparisons).
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Whether `other` lies within radio range `r` of `self` (inclusive).
+    #[inline]
+    pub fn within(self, other: Point, r: f64) -> bool {
+        self.dist_sq(other) <= r * r
+    }
+
+    /// Midpoint between two points.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle, the deployment field boundary.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// A field spanning `[0,w] × [0,h]`.
+    pub fn field(w: f64, h: f64) -> Self {
+        assert!(w >= 0.0 && h >= 0.0, "field dimensions must be non-negative");
+        Rect {
+            min: Point::new(0.0, 0.0),
+            max: Point::new(w, h),
+        }
+    }
+
+    /// Construct from two corners (normalised so `min <= max`).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square metres.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside (inclusive of the boundary).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamp a point into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// The length of the diagonal — an upper bound on any in-field distance.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.min.dist(self.max)
+    }
+}
+
+/// Build the unit-disk adjacency lists for a set of positions with radio
+/// range `range`: `adj[i]` lists every `j != i` with `dist(i,j) <= range`.
+///
+/// Uses a uniform grid bucketing so construction is O(n) for bounded
+/// density rather than O(n²); fields in the experiments reach thousands of
+/// nodes.
+pub fn unit_disk_adjacency(positions: &[Point], range: f64) -> Vec<Vec<usize>> {
+    let n = positions.len();
+    let mut adj = vec![Vec::new(); n];
+    if n == 0 || range <= 0.0 {
+        return adj;
+    }
+    // Grid cell = range, so neighbours of a point lie in its 3×3 cell block.
+    let min_x = positions.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let min_y = positions.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let cell = |p: &Point| -> (i64, i64) {
+        (
+            ((p.x - min_x) / range).floor() as i64,
+            ((p.y - min_y) / range).floor() as i64,
+        )
+    };
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, p) in positions.iter().enumerate() {
+        buckets.entry(cell(p)).or_default().push(i);
+    }
+    for (i, p) in positions.iter().enumerate() {
+        let (cx, cy) = cell(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = buckets.get(&(cx + dx, cy + dy)) {
+                    for &j in bucket {
+                        if j != i && p.within(positions[j], range) {
+                            adj[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+        adj[i].sort_unstable();
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive_of_the_boundary() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert!(a.within(b, 10.0));
+        assert!(!a.within(b, 9.999));
+    }
+
+    #[test]
+    fn rect_contains_and_clamps() {
+        let r = Rect::field(100.0, 50.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(100.0, 50.0)));
+        assert!(!r.contains(Point::new(100.1, 0.0)));
+        let clamped = r.clamp(Point::new(-5.0, 60.0));
+        assert_eq!(clamped, Point::new(0.0, 50.0));
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::field(100.0, 50.0);
+        assert_eq!(r.area(), 5000.0);
+        assert_eq!(r.center(), Point::new(50.0, 25.0));
+        assert!((r.diagonal() - (100.0f64.powi(2) + 50.0f64.powi(2)).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_from_corners_normalises() {
+        let r = Rect::from_corners(Point::new(5.0, 9.0), Point::new(1.0, 2.0));
+        assert_eq!(r.min, Point::new(1.0, 2.0));
+        assert_eq!(r.max, Point::new(5.0, 9.0));
+    }
+
+    #[test]
+    fn adjacency_matches_brute_force() {
+        // Deterministic pseudo-random layout without pulling in `rand`.
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect();
+        let range = 17.0;
+        let fast = unit_disk_adjacency(&pts, range);
+        for i in 0..pts.len() {
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&j| j != i && pts[i].within(pts[j], range))
+                .collect();
+            assert_eq!(fast[i], brute, "adjacency mismatch at node {i}");
+        }
+    }
+
+    #[test]
+    fn adjacency_handles_degenerate_inputs() {
+        assert!(unit_disk_adjacency(&[], 10.0).is_empty());
+        let one = unit_disk_adjacency(&[Point::new(1.0, 1.0)], 10.0);
+        assert_eq!(one, vec![Vec::<usize>::new()]);
+        let zero_range = unit_disk_adjacency(&[Point::new(0.0, 0.0); 3], 0.0);
+        assert!(zero_range.iter().all(|v| v.is_empty()));
+    }
+}

@@ -1,0 +1,172 @@
+//! Node identifiers and the WMSN node-role taxonomy.
+//!
+//! The paper's architecture (§3.2, Fig. 1) distinguishes four kinds of
+//! nodes: resource-poor **sensor nodes** (802.15.4 only), **wireless mesh
+//! gateways** (WMGs — sink + backbone router, both MACs), **wireless mesh
+//! routers** (WMRs — backbone only, 802.11), and **base stations** bridging
+//! the mesh backbone to the Internet.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A dense, copyable node identifier.
+///
+/// Identifiers are indices into the simulation's node table, so they are
+/// cheap to store in routing tables and packet headers (encoded as `u32`
+/// on the wire). `NodeId` is deliberately *not* an address with structure;
+/// the paper's sensor nodes need no globally meaningful IDs beyond
+/// distinguishing neighbours and gateways.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a vector index (panics if it does not fit in `u32`).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// The role a node plays in the three-layer architecture (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeRole {
+    /// Low-level sensing node; short-range radio only (802.15.4 in the
+    /// paper). Sources of all sensed data; energy-constrained.
+    Sensor,
+    /// Wireless mesh gateway (WMG): sink of a sensor subnet *and* router of
+    /// the mesh backbone. Speaks both MACs. Trusted in SecMLR.
+    Gateway,
+    /// Wireless mesh router (WMR): backbone-only relay (802.11 in the
+    /// paper). Never a routing destination for sensors.
+    MeshRouter,
+    /// Base station: bridges the mesh backbone to the Internet and anchors
+    /// gateway mobility (§3.2). Treated as having unlimited resources.
+    BaseStation,
+}
+
+impl NodeRole {
+    /// Whether this node participates in the low-level sensor network
+    /// (sends or receives on the short-range PHY).
+    #[inline]
+    pub fn in_sensor_tier(self) -> bool {
+        matches!(self, NodeRole::Sensor | NodeRole::Gateway)
+    }
+
+    /// Whether this node participates in the mesh backbone (long-range PHY).
+    #[inline]
+    pub fn in_mesh_tier(self) -> bool {
+        matches!(
+            self,
+            NodeRole::Gateway | NodeRole::MeshRouter | NodeRole::BaseStation
+        )
+    }
+
+    /// Whether sensors may select this node as a routing destination
+    /// (the paper's sinks are exactly the WMGs).
+    #[inline]
+    pub fn is_sink(self) -> bool {
+        matches!(self, NodeRole::Gateway)
+    }
+
+    /// Whether the node is considered energy-unconstrained. The paper's
+    /// MLR model assumes "gateways have unrestricted energy" (§5.3).
+    #[inline]
+    pub fn unlimited_energy(self) -> bool {
+        !matches!(self, NodeRole::Sensor)
+    }
+
+    /// Short label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeRole::Sensor => "sensor",
+            NodeRole::Gateway => "wmg",
+            NodeRole::MeshRouter => "wmr",
+            NodeRole::BaseStation => "base",
+        }
+    }
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        for i in [0usize, 1, 41, 65_535, 1_000_000] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_orders_by_value() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(NodeId(7), NodeId::from(7u32));
+    }
+
+    #[test]
+    fn roles_partition_tiers_as_in_fig1() {
+        // Fig. 1: sensors only in the sensor tier; WMRs only in the mesh
+        // tier; WMGs in both; base stations in the mesh tier.
+        assert!(NodeRole::Sensor.in_sensor_tier());
+        assert!(!NodeRole::Sensor.in_mesh_tier());
+        assert!(NodeRole::Gateway.in_sensor_tier());
+        assert!(NodeRole::Gateway.in_mesh_tier());
+        assert!(!NodeRole::MeshRouter.in_sensor_tier());
+        assert!(NodeRole::MeshRouter.in_mesh_tier());
+        assert!(!NodeRole::BaseStation.in_sensor_tier());
+        assert!(NodeRole::BaseStation.in_mesh_tier());
+    }
+
+    #[test]
+    fn only_gateways_are_sinks() {
+        assert!(NodeRole::Gateway.is_sink());
+        for r in [NodeRole::Sensor, NodeRole::MeshRouter, NodeRole::BaseStation] {
+            assert!(!r.is_sink());
+        }
+    }
+
+    #[test]
+    fn only_sensors_are_energy_constrained() {
+        assert!(!NodeRole::Sensor.unlimited_energy());
+        assert!(NodeRole::Gateway.unlimited_energy());
+        assert!(NodeRole::MeshRouter.unlimited_energy());
+        assert!(NodeRole::BaseStation.unlimited_energy());
+    }
+
+    #[test]
+    fn display_labels_are_stable() {
+        assert_eq!(NodeRole::Gateway.to_string(), "wmg");
+        assert_eq!(NodeId(12).to_string(), "N12");
+        assert_eq!(format!("{:?}", NodeId(12)), "N12");
+    }
+}

@@ -1,0 +1,275 @@
+//! Deterministic randomness for reproducible simulations.
+//!
+//! Every simulation run is derived from a single `u64` seed. We use
+//! SplitMix64 (Steele, Lea & Flood 2014) both as a fast generator and as a
+//! seed *splitter*: independent subsystems (deployment, traffic, radio
+//! loss, adversary behaviour) each get their own stream so that, e.g.,
+//! toggling the attack module does not perturb the deployment.
+//!
+//! We also implement `rand::RngCore` so the same streams can drive
+//! `rand`-based distributions where convenient.
+
+use rand::RngCore;
+
+/// SplitMix64 PRNG. Tiny state, passes BigCrush, and supports cheap
+/// independent substreams via [`SplitMix64::split`].
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Golden-ratio increment used by SplitMix64.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64_raw(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derive an independent substream labelled by `label`. Streams with
+    /// different labels from the same parent are de-correlated; the parent
+    /// is not advanced, so subsystem order does not matter.
+    pub fn split(&self, label: u64) -> SplitMix64 {
+        let mut mixer = SplitMix64::new(self.state ^ label.wrapping_mul(GAMMA | 1));
+        // Burn one output so that label 0 differs from the parent stream.
+        let s = mixer.next_u64_raw();
+        SplitMix64::new(s)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64_raw() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's method. Panics if
+    /// `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Widening-multiply rejection sampling (unbiased).
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64_raw();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` index in `[0, len)`. Panics if `len == 0`.
+    #[inline]
+    pub fn next_index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices out of `0..n` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+
+    /// Standard normal variate (Box–Muller; one value per call).
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u away from zero.
+        let u = (self.next_f64()).max(f64::MIN_POSITIVE);
+        let v = self.next_f64();
+        (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+    }
+
+    /// Exponential variate with rate `lambda` (mean `1/lambda`).
+    pub fn next_exp(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0);
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        -u.ln() / lambda
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64_raw().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_raw(), b.next_u64_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_consumption_order() {
+        let root = SplitMix64::new(7);
+        let mut s1 = root.split(1);
+        let first = s1.next_u64_raw();
+        // Consuming another stream must not change stream 1.
+        let root2 = SplitMix64::new(7);
+        let mut other = root2.split(2);
+        let _ = other.next_u64_raw();
+        let mut s1b = root2.split(1);
+        assert_eq!(s1b.next_u64_raw(), first);
+    }
+
+    #[test]
+    fn split_label_zero_differs_from_parent() {
+        let root = SplitMix64::new(99);
+        let mut child = root.split(0);
+        let mut parent = root.clone();
+        assert_ne!(child.next_u64_raw(), parent.next_u64_raw());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut r = SplitMix64::new(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10 000; allow ±10 %.
+            assert!((9_000..=11_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let mut r = SplitMix64::new(8);
+        let s = r.sample_indices(100, 30);
+        assert_eq!(s.len(), 30);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn gaussian_mean_and_variance_sane() {
+        let mut r = SplitMix64::new(9);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_sane() {
+        let mut r = SplitMix64::new(10);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.next_exp(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SplitMix64::new(11);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Compare with a fresh stream assembled by hand.
+        let mut r2 = SplitMix64::new(11);
+        let a = r2.next_u64_raw().to_le_bytes();
+        let b = r2.next_u64_raw().to_le_bytes();
+        assert_eq!(&buf[..8], &a);
+        assert_eq!(&buf[8..13], &b[..5]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Statistics used across the evaluation: running summaries, the paper's
+//! energy-balance variance `D²`, and percentile reports.
+//!
+//! §5.3 of the paper defines network-lifetime optimality via two criteria:
+//! minimal total energy `Σ Eᵢ` and minimal variance
+//! `D² = Σ (Eᵢ − Ē)²` of per-node energy consumption. [`energy_variance`]
+//! computes exactly that quantity (not the sample variance — the paper sums
+//! squared deviations without dividing by `n`).
+
+use serde::Serialize;
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build a summary from a slice.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The paper's energy-balance objective `D² = Σᵢ (Eᵢ − Ē)²` (eq. 1, §5.3).
+///
+/// `Ē` is the mean of `energies`. Returns 0 for an empty slice.
+pub fn energy_variance(energies: &[f64]) -> f64 {
+    if energies.is_empty() {
+        return 0.0;
+    }
+    let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+    energies.iter().map(|e| (e - mean) * (e - mean)).sum()
+}
+
+/// Linear-interpolation percentile of a sample; `q` in `[0,1]`.
+/// Returns `None` for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// A labelled row of an experiment report table — the unit every benchmark
+/// prints and serialises, so paper tables can be regenerated line by line.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReportRow {
+    /// Experiment identifier, e.g. `"E3"`.
+    pub experiment: String,
+    /// Independent-variable description, e.g. `"n=100 m=3"`.
+    pub config: String,
+    /// Metric name, e.g. `"lifetime_rounds"`.
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl ReportRow {
+    /// Construct a row.
+    pub fn new(
+        experiment: impl Into<String>,
+        config: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        ReportRow {
+            experiment: experiment.into(),
+            config: config.into(),
+            metric: metric.into(),
+            value,
+        }
+    }
+}
+
+impl std::fmt::Display for ReportRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<5} {:<32} {:<28} {:>12.4}",
+            self.experiment, self.config, self.metric, self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::of(&xs);
+        let mut left = Summary::of(&xs[..37]);
+        let right = Summary::of(&xs[37..]);
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        let mut s = Summary::of(&xs);
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), 3);
+        let mut e = Summary::new();
+        e.merge(&Summary::of(&xs));
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_variance_matches_paper_definition() {
+        // D² sums squared deviations WITHOUT dividing by n.
+        let es = [1.0, 3.0];
+        // mean = 2, deviations ±1 → D² = 2.
+        assert!((energy_variance(&es) - 2.0).abs() < 1e-12);
+        assert_eq!(energy_variance(&[]), 0.0);
+        assert_eq!(energy_variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn perfectly_balanced_energy_has_zero_variance() {
+        // 4.2 is not exactly representable, so allow rounding dust.
+        assert!(energy_variance(&[4.2; 17]) < 1e-24);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    fn report_row_display_is_aligned() {
+        let row = ReportRow::new("E1", "n=100", "avg_hops", 3.25);
+        let s = row.to_string();
+        assert!(s.starts_with("E1"));
+        assert!(s.contains("avg_hops"));
+        assert!(s.contains("3.2500"));
+    }
+}

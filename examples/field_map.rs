@@ -1,0 +1,162 @@
+//! Render a WMSN deployment as an SVG map: sensors coloured by their
+//! hop count to the nearest gateway, gateways, feasible places, and the
+//! discovered routes of a few sample sensors.
+//!
+//! ```sh
+//! cargo run --release --example field_map        # writes wmsn_field.svg
+//! ```
+
+use std::fmt::Write as _;
+use wmsn::core::builder::build_mlr;
+use wmsn::core::drivers::MlrDriver;
+use wmsn::core::params::{FieldParams, GatewayParams, TrafficParams};
+use wmsn::prelude::*;
+use wmsn::routing::mlr::MlrSensor;
+use wmsn::topology::connectivity::HopField;
+use wmsn::topology::Topology;
+
+const SCALE: f64 = 6.0;
+const MARGIN: f64 = 20.0;
+
+fn pt(p: Point) -> (f64, f64) {
+    (MARGIN + p.x * SCALE, MARGIN + p.y * SCALE)
+}
+
+fn hop_color(h: u32) -> &'static str {
+    match h {
+        0..=1 => "#2a9d8f",
+        2 => "#8ab17d",
+        3 => "#e9c46a",
+        4 => "#f4a261",
+        _ => "#e76f51",
+    }
+}
+
+fn main() {
+    let field = FieldParams {
+        battery_j: 10.0,
+        ..FieldParams::default_uniform(80, 12)
+    };
+    let scenario = build_mlr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+        0.0,
+    );
+    let sensor_positions = scenario.sensor_positions.clone();
+    let places = scenario.places.clone();
+    let occupied: Vec<usize> = scenario.schedule.current().to_vec();
+    let gateway_positions: Vec<Point> = occupied.iter().map(|&p| places.position(p)).collect();
+    let topo = Topology::new(
+        sensor_positions.clone(),
+        gateway_positions.clone(),
+        field.field,
+        field.range_m,
+    );
+    let hops = HopField::compute(&topo);
+
+    // Run one round so sample sensors hold real discovered routes.
+    let sensors = scenario.sensors.clone();
+    let mut driver = MlrDriver::new(scenario);
+    let report = driver.run_round();
+    println!(
+        "round 0: {}/{} delivered",
+        report.delivered, report.originated
+    );
+
+    let w = field.field.width() * SCALE + 2.0 * MARGIN;
+    let h = field.field.height() * SCALE + 2.0 * MARGIN;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"##
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fbf7f0"/>"##);
+    // Field border.
+    let (fx, fy) = pt(field.field.min);
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{fx:.1}" y="{fy:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#999" stroke-dasharray="4 3"/>"##,
+        field.field.width() * SCALE,
+        field.field.height() * SCALE
+    );
+    // Feasible places (small hollow squares; occupied get a ring).
+    for (id, &p) in places.places.iter().enumerate() {
+        let (x, y) = pt(p);
+        let occupied_here = occupied.contains(&id);
+        let stroke = if occupied_here { "#264653" } else { "#bbb" };
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="none" stroke="{stroke}" stroke-width="1.5"/>"##,
+            x - 5.0,
+            y - 5.0
+        );
+    }
+    // Sample routes: the 6 sensors with the longest hop counts.
+    let mut by_hops: Vec<usize> = (0..sensor_positions.len()).collect();
+    by_hops.sort_by_key(|&i| std::cmp::Reverse(hops.sensor_hops(i)));
+    for &i in by_hops.iter().take(6) {
+        let sensor_node = sensors[i];
+        let Some(b) = driver.scenario.world.behavior_as::<MlrSensor>(sensor_node) else {
+            continue;
+        };
+        let Some(route) = b.table.best_among_places(
+            &occupied.iter().map(|&p| p as u16).collect::<Vec<_>>(),
+        ) else {
+            continue;
+        };
+        // Polyline: sensor → relays → gateway (place position).
+        let mut pts = vec![sensor_positions[i]];
+        for relay in &route.relays {
+            pts.push(sensor_positions[relay.index()]);
+        }
+        pts.push(places.position(route.place as usize));
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&p| {
+                let (x, y) = pt(p);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        let _ = writeln!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="#5c4d7d" stroke-width="1.5" opacity="0.75"/>"##,
+            path.join(" ")
+        );
+    }
+    // Sensors coloured by hop count.
+    for (i, &p) in sensor_positions.iter().enumerate() {
+        let (x, y) = pt(p);
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="4" fill="{}" stroke="#333" stroke-width="0.5"/>"##,
+            hop_color(hops.sensor_hops(i))
+        );
+    }
+    // Gateways.
+    for &g in &gateway_positions {
+        let (x, y) = pt(g);
+        let _ = writeln!(
+            svg,
+            r##"<path d="M {x:.1} {:.1} L {:.1} {:.1} L {:.1} {:.1} Z" fill="#264653"/>"##,
+            y - 9.0,
+            x - 8.0,
+            y + 7.0,
+            x + 8.0,
+            y + 7.0
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="{MARGIN}" y="{:.0}" font-family="monospace" font-size="12" fill="#333">{} sensors · {} gateways · colour = hops to nearest gateway · lines = discovered MLR routes</text>"##,
+        h - 6.0,
+        sensor_positions.len(),
+        gateway_positions.len()
+    );
+    let _ = writeln!(svg, "</svg>");
+
+    std::fs::write("wmsn_field.svg", &svg).expect("write svg");
+    println!("wrote wmsn_field.svg ({} bytes)", svg.len());
+    assert!(svg.contains("<circle"));
+    assert!(svg.contains("<polyline"), "sample routes must render");
+}

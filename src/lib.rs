@@ -1,0 +1,29 @@
+//! `wmsn` — facade crate for the Wireless Mesh Sensor Network reproduction
+//! (Tang, Guo, Li, Wang & Dong, 2007).
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use wmsn::prelude::*;
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use wmsn_attacks as attacks;
+pub use wmsn_core as core;
+pub use wmsn_crypto as crypto;
+pub use wmsn_routing as routing;
+pub use wmsn_secure as secure;
+pub use wmsn_sim as sim;
+pub use wmsn_topology as topology;
+pub use wmsn_util as util;
+
+/// Common imports for examples and quick experiments.
+pub mod prelude {
+    pub use wmsn_core::prelude::*;
+    pub use wmsn_util::{NodeId, NodeRole, Point, Rect, SplitMix64};
+}

@@ -1,0 +1,138 @@
+//! Cross-crate end-to-end integration tests: the full stack from crypto
+//! bytes to three-tier delivery, plus reproducibility guarantees.
+
+use wmsn::core::builder::{build_mlr, build_secmlr};
+use wmsn::core::drivers::{MlrDriver, SecMlrDriver};
+use wmsn::core::experiments::e12_three_tier;
+use wmsn::core::params::{FieldParams, GatewayParams, TrafficParams};
+use wmsn::core::report::find_value;
+use wmsn::routing::optimal_lifetime_rounds;
+use wmsn::topology::Topology;
+use wmsn::util::Rect;
+
+#[test]
+fn three_tier_architecture_delivers_to_the_base_station() {
+    let rows = e12_three_tier(23);
+    let v = |metric: &str| find_value(&rows, "three-tier", metric).unwrap();
+    assert!(v("round0_delivery_ratio") > 0.9);
+    assert!(v("round1_delivery_ratio") > 0.9);
+    assert!(v("wmg_absorbed") > 0.0);
+    assert_eq!(
+        v("uplinked"),
+        v("wmg_absorbed"),
+        "every absorbed reading goes up the backbone"
+    );
+    assert_eq!(
+        v("base_station_received"),
+        v("uplinked"),
+        "the backbone loses nothing"
+    );
+}
+
+#[test]
+fn simulated_lifetime_never_exceeds_the_optimal_bound() {
+    // The Dinic bound is an upper bound on ANY protocol's lifetime; the
+    // simulated MLR run (which also pays discovery energy) must sit at or
+    // below it.
+    let battery = 0.8; // survives the round-0 discovery flood, dies on data
+    let field = FieldParams {
+        battery_j: battery,
+        ..FieldParams::default_uniform(40, 31)
+    };
+    let scen = build_mlr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+        0.0,
+    );
+    let topo = Topology::new(
+        scen.sensor_positions.clone(),
+        scen.schedule
+            .current()
+            .iter()
+            .map(|&p| scen.places.position(p))
+            .collect(),
+        Rect::field(100.0, 100.0),
+        scen.range_m,
+    );
+    let bound = optimal_lifetime_rounds(&topo, battery, 1e-3, 1e-3, 1.0);
+    let mut driver = MlrDriver::new(scen);
+    let lt = driver.run_until_first_death(300);
+    let sim = lt.lifetime_rounds.expect("short batteries must die") as f64;
+    assert!(
+        sim <= bound + 1.0,
+        "simulation ({sim}) must not beat the optimal bound ({bound:.1})"
+    );
+    assert!(sim > 0.0);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = || {
+        let field = FieldParams::default_uniform(40, 99);
+        let mut d = MlrDriver::new(build_mlr(
+            &field,
+            &GatewayParams::rotating(2, 2, 2),
+            TrafficParams::default(),
+            0.0,
+        ));
+        let reports = d.run_rounds(3);
+        let m = d.scenario.world.metrics();
+        (
+            reports
+                .iter()
+                .map(|r| (r.delivered, r.control_frames, r.data_frames))
+                .collect::<Vec<_>>(),
+            m.total_bytes(),
+            m.mean_latency_us().to_bits(),
+            m.energy_consumed.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run(), "runs must be bit-reproducible");
+}
+
+#[test]
+fn different_seeds_give_different_fields_but_similar_quality() {
+    let ratio = |seed: u64| {
+        let field = FieldParams::default_uniform(50, seed);
+        let mut d = MlrDriver::new(build_mlr(
+            &field,
+            &GatewayParams::default_three(),
+            TrafficParams::default(),
+            0.0,
+        ));
+        d.run_round();
+        d.scenario.world.metrics().delivery_ratio()
+    };
+    for seed in [1, 2, 3] {
+        let r = ratio(seed);
+        assert!(r > 0.9, "seed {seed} ratio {r}");
+    }
+}
+
+#[test]
+fn secmlr_full_stack_round_trip_under_movement_and_loss() {
+    // Lossy medium + moving gateways + crypto, all at once.
+    let field = FieldParams {
+        loss_prob: 0.03,
+        battery_j: 20.0,
+        ..FieldParams::default_uniform(40, 55)
+    };
+    let mut driver = SecMlrDriver::new(build_secmlr(
+        &field,
+        &GatewayParams::rotating(2, 3, 2),
+        TrafficParams::default(),
+    ));
+    let reports = driver.run_rounds(3);
+    for r in &reports {
+        assert!(
+            r.delivery_ratio() > 0.6,
+            "round {} ratio {} under 3% loss",
+            r.round,
+            r.delivery_ratio()
+        );
+    }
+    let m = driver.scenario.world.metrics();
+    assert!(m.lost > 0, "the loss model must have fired");
+    assert!(m.sent_security > 0, "μTESLA stream must be running");
+}
