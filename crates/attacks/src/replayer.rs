@@ -9,6 +9,7 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::rc::Rc;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 
 const TIMER_REPLAY: u64 = 0xBAD0_0001;
@@ -18,7 +19,7 @@ pub struct Replayer {
     delay_us: u64,
     /// Only replay frames of this kind (`None` = everything).
     only: Option<PacketKind>,
-    queue: VecDeque<Vec<u8>>,
+    queue: VecDeque<Rc<[u8]>>,
     /// Frames replayed so far.
     pub replayed: u64,
     /// Cap on total replays (keeps experiments bounded).

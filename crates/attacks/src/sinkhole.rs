@@ -87,12 +87,7 @@ impl Sinkhole {
         ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
     }
 
-    fn forge_secmlr_reply(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        origin: NodeId,
-        path: Vec<NodeId>,
-    ) {
+    fn forge_secmlr_reply(&mut self, ctx: &mut Ctx<'_>, origin: NodeId, path: Vec<NodeId>) {
         let Some(&prev) = path.last() else { return };
         let mut forged_path = path;
         forged_path.push(ctx.id());
@@ -129,9 +124,7 @@ impl Behavior for Sinkhole {
                 _ => {}
             },
             TargetProtocol::SecMlr => match SecMsg::decode(&pkt.payload) {
-                Ok(SecMsg::Rreq { origin, path, .. }) => {
-                    self.forge_secmlr_reply(ctx, origin, path)
-                }
+                Ok(SecMsg::Rreq { origin, path, .. }) => self.forge_secmlr_reply(ctx, origin, path),
                 Ok(SecMsg::Data { .. }) => self.swallowed += 1,
                 _ => {}
             },
@@ -229,7 +222,7 @@ impl Behavior for Sybil {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wmsn_crypto::{KeyStore, Key128};
+    use wmsn_crypto::{Key128, KeyStore};
     use wmsn_routing::mlr::{MlrConfig, MlrGateway, MlrSensor};
     use wmsn_secure::{SecGatewayConfig, SecMlrGateway, SecMlrSensor, SecSensorConfig};
     use wmsn_sim::{NodeConfig, World, WorldConfig};

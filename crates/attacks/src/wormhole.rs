@@ -26,7 +26,7 @@ use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, SimTime, Tier};
 
 const TIMER_PUMP: u64 = 0xBAD0_0003;
 
-type Tunnel = Rc<RefCell<VecDeque<(Vec<u8>, PacketKind)>>>;
+type Tunnel = Rc<RefCell<VecDeque<(Rc<[u8]>, PacketKind)>>>;
 
 /// One end of a wormhole.
 pub struct WormholeEnd {

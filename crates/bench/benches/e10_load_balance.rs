@@ -1,7 +1,8 @@
 //! E10: QoS load balance under a traffic hot spot.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e10_load_balance;
 
 fn bench(c: &mut Criterion) {

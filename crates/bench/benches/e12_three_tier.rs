@@ -1,7 +1,8 @@
 //! E12: the full three-layer architecture end-to-end (Fig. 1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e12_three_tier;
 
 fn bench(c: &mut Criterion) {

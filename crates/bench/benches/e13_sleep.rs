@@ -1,7 +1,8 @@
 //! E13: GAF sleep scheduling — awake fraction vs energy vs delivery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e13_sleep_scheduling;
 use wmsn_topology::control::gaf_sleep_schedule;
 use wmsn_topology::Deployment;

@@ -1,7 +1,8 @@
 //! E14: loss sweep + collision/CSMA ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::builder::build_mlr;
 use wmsn_core::drivers::MlrDriver;
 use wmsn_core::experiments::e14_loss_and_collisions;

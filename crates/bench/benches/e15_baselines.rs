@@ -1,7 +1,8 @@
 //! E15: the baseline comparison table (§2.2 quantified).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e15_baselines;
 
 fn bench(c: &mut Criterion) {

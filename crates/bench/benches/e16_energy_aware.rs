@@ -1,8 +1,9 @@
 //! E16: the energy-aware route-selection ablation (§5.3's D² objective
 //! made routable).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e16_energy_aware;
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,9 @@
-//! E17: seed-robustness sweep, fanned out across cores with rayon —
+//! E17: seed-robustness sweep, fanned out across cores —
 //! the throughput benchmark for running many independent simulations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::{e17_seed_sweep, parallel_sweep};
 
 fn bench(c: &mut Criterion) {

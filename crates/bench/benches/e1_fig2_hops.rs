@@ -1,8 +1,9 @@
 //! E1 (Fig. 2): hop counts single-sink vs three gateways — regenerates
 //! the paper's numbers, then times the analytic hop-field kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::{e1_fig2, e1_random_fields};
 use wmsn_topology::connectivity::HopField;
 use wmsn_topology::paper::fig2_three_gateways;

@@ -1,7 +1,8 @@
 //! E2 (Table 1): the MLR incremental-table walkthrough in simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e2_table1;
 
 fn bench(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! E3: network lifetime — SPR (m=1, m=3) vs MLR vs the optimal bound.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::builder::build_spr;
 use wmsn_core::experiments::e3_lifetime;
 use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};

@@ -1,7 +1,8 @@
 //! E4: the K_max saturation sweep plus the placement-algorithm ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e4_kmax;
 use wmsn_topology::{placement, Deployment, FeasiblePlaces};
 use wmsn_util::{Rect, SplitMix64};

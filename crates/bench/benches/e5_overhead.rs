@@ -1,7 +1,8 @@
 //! E5: incremental MLR tables vs reset-every-round control overhead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::builder::build_mlr;
 use wmsn_core::drivers::MlrDriver;
 use wmsn_core::experiments::e5_overhead;

@@ -1,7 +1,8 @@
 //! E7: the byte/latency/energy price of SecMLR vs plain MLR.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e7_secmlr_cost;
 use wmsn_crypto::{open, seal, Key128};
 

@@ -1,7 +1,8 @@
 //! E8: robustness — dead LEACH heads vs dead WMSN gateways + redirect.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::builder::build_leach;
 use wmsn_core::drivers::LeachDriver;
 use wmsn_core::experiments::e8_robustness;

@@ -1,13 +1,20 @@
 //! E9: constant-density scalability — flat single sink vs scaled gateways.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_core::experiments::e9_scalability;
 
 fn bench(c: &mut Criterion) {
     // Analytic sweep up to 800 sensors; simulated latency up to 200.
-    emit("e9_scalability_analytic", &e9_scalability(&[50, 100, 200, 400, 800], 17, false));
-    emit("e9_scalability_simulated", &e9_scalability(&[50, 100], 17, true));
+    emit(
+        "e9_scalability_analytic",
+        &e9_scalability(&[50, 100, 200, 400, 800], 17, false),
+    );
+    emit(
+        "e9_scalability_simulated",
+        &e9_scalability(&[50, 100], 17, true),
+    );
     c.bench_function("e9/analytic_400", |b| {
         b.iter(|| std::hint::black_box(e9_scalability(&[400], 17, false)))
     });

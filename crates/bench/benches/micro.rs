@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the substrates: cipher, MAC, hash chains, the
 //! event queue, flood throughput, and the max-flow oracle.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wmsn_bench::harness::{Criterion, Throughput};
+use wmsn_bench::{criterion_group, criterion_main};
 use wmsn_crypto::hash::{chain_step, hash};
 use wmsn_crypto::mac::cmac;
 use wmsn_crypto::speck::Speck64;
@@ -19,9 +20,13 @@ fn crypto(c: &mut Criterion) {
     let msg = [0xA5u8; 64];
     let mut g = c.benchmark_group("micro/cmac");
     g.throughput(Throughput::Bytes(64));
-    g.bench_function("cmac_64B", |b| b.iter(|| cmac(&key, std::hint::black_box(&msg))));
+    g.bench_function("cmac_64B", |b| {
+        b.iter(|| cmac(&key, std::hint::black_box(&msg)))
+    });
     g.finish();
-    c.bench_function("micro/hash_64B", |b| b.iter(|| hash(std::hint::black_box(&msg))));
+    c.bench_function("micro/hash_64B", |b| {
+        b.iter(|| hash(std::hint::black_box(&msg)))
+    });
     let k = hash(b"chain");
     c.bench_function("micro/tesla_chain_step", |b| {
         b.iter(|| chain_step(std::hint::black_box(&k)))
@@ -42,16 +47,16 @@ fn simulator(c: &mut Criterion) {
                 for y in 0..10 {
                     for x in 0..10 {
                         let id = w.add_node(
-                            NodeConfig::sensor(
-                                Point::new(x as f64 * 9.0, y as f64 * 9.0),
-                                1000.0,
-                            ),
+                            NodeConfig::sensor(Point::new(x as f64 * 9.0, y as f64 * 9.0), 1000.0),
                             FloodSensor::boxed(FloodMode::Flood, 32),
                         );
                         first.get_or_insert(id);
                     }
                 }
-                w.add_node(NodeConfig::gateway(Point::new(85.0, 85.0)), FloodSink::boxed());
+                w.add_node(
+                    NodeConfig::gateway(Point::new(85.0, 85.0)),
+                    FloodSink::boxed(),
+                );
                 (w, first.unwrap())
             },
             |(mut w, src)| {

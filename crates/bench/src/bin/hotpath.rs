@@ -1,0 +1,186 @@
+//! End-to-end timing of the simulator's hot paths.
+//!
+//! Times the E9-scalability kernel (n = 800, analytic and fully
+//! simulated) and the E17 seed sweep, and writes the tracked perf
+//! baseline `BENCH_hotpath.json` at the repo root.
+//!
+//! Workflow:
+//!
+//! ```text
+//! cargo run --release -p wmsn-bench --bin hotpath -- --label before
+//! # ... land the optimisation ...
+//! cargo run --release -p wmsn-bench --bin hotpath -- --label after
+//! ```
+//!
+//! `--label before` snapshots timings to `BENCH_hotpath.before.json`;
+//! `--label after` (the default) re-times, folds in the snapshot if one
+//! exists, and writes `BENCH_hotpath.json` with before/after/speedup per
+//! kernel. Repetitions default to 3 (min is reported; override with
+//! `HOTPATH_REPS`).
+
+use std::time::Instant;
+use wmsn_bench::harness::fmt_secs;
+use wmsn_core::experiments::{e17_seed_sweep, e9_scalability};
+use wmsn_util::json::Json;
+
+struct Kernel {
+    name: &'static str,
+    desc: &'static str,
+    run: fn() -> usize,
+}
+
+const KERNELS: &[Kernel] = &[
+    Kernel {
+        name: "e9_n800_analytic",
+        desc: "E9 scalability n=800: build + placement + hop fields (no event loop)",
+        run: || e9_scalability(&[800], 17, false).len(),
+    },
+    Kernel {
+        name: "e9_n800_sim",
+        desc: "E9 scalability n=800: full SPR round simulation (transmit/deliver hot path)",
+        run: || e9_scalability(&[800], 17, true).len(),
+    },
+    Kernel {
+        name: "e17_sweep_8seeds",
+        desc: "E17 robustness sweep: 8 seeded MLR rounds across cores",
+        run: || {
+            let seeds: Vec<u64> = (1..=8).collect();
+            e17_seed_sweep(&seeds).len()
+        },
+    },
+];
+
+fn time_kernel(k: &Kernel, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for rep in 0..reps {
+        let t = Instant::now();
+        let rows = (k.run)();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        println!(
+            "  {} rep {}/{}: {} ({} rows)",
+            k.name,
+            rep + 1,
+            reps,
+            fmt_secs(dt),
+            rows
+        );
+    }
+    best
+}
+
+/// Pull `"key": <float>` out of a JSON document this tool wrote earlier.
+/// (The workspace has no JSON parser; the format is our own, so a
+/// substring scan is exact enough.)
+fn extract_f64(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = &doc[start..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = "after".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: hotpath [--label before|after]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps: usize = std::env::var("HOTPATH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
+    println!(
+        "hotpath: timing {} kernels, {} reps each (label: {label})",
+        KERNELS.len(),
+        reps
+    );
+    let mut timings = Vec::new();
+    for k in KERNELS {
+        println!("{}: {}", k.name, k.desc);
+        timings.push((k, time_kernel(k, reps)));
+    }
+
+    if label == "before" {
+        let snap = Json::Obj(
+            timings
+                .iter()
+                .map(|(k, s)| (format!("{}_before_s", k.name), Json::Num(*s)))
+                .collect(),
+        );
+        std::fs::write("BENCH_hotpath.before.json", snap.to_string_pretty())
+            .expect("write before snapshot");
+        println!("wrote BENCH_hotpath.before.json");
+        return;
+    }
+
+    let before_doc = std::fs::read_to_string("BENCH_hotpath.before.json").ok();
+    let kernels = Json::Arr(
+        timings
+            .iter()
+            .map(|(k, after_s)| {
+                let mut pairs = vec![
+                    ("kernel", Json::from(k.name)),
+                    ("description", Json::from(k.desc)),
+                    ("reps", Json::from(reps)),
+                    ("after_s", Json::Num(*after_s)),
+                ];
+                if let Some(before_s) = before_doc
+                    .as_deref()
+                    .and_then(|doc| extract_f64(doc, &format!("{}_before_s", k.name)))
+                {
+                    pairs.push(("before_s", Json::Num(before_s)));
+                    pairs.push(("speedup", Json::Num(before_s / after_s)));
+                }
+                Json::obj(pairs)
+            })
+            .collect(),
+    );
+    let doc = Json::obj([
+        ("bench", Json::from("hotpath")),
+        (
+            "command",
+            Json::from("cargo run --release -p wmsn-bench --bin hotpath -- --label after"),
+        ),
+        ("reps_policy", Json::from("min wall-clock over reps")),
+        ("kernels", kernels),
+    ]);
+    std::fs::write("BENCH_hotpath.json", doc.to_string_pretty()).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
+    for (k, after_s) in &timings {
+        if let Some(before_s) = before_doc
+            .as_deref()
+            .and_then(|doc| extract_f64(doc, &format!("{}_before_s", k.name)))
+        {
+            println!(
+                "{:<20} before {:>12}  after {:>12}  speedup {:.2}x",
+                k.name,
+                fmt_secs(before_s),
+                fmt_secs(*after_s),
+                before_s / after_s
+            );
+        } else {
+            println!(
+                "{:<20} after {:>12} (no before snapshot)",
+                k.name,
+                fmt_secs(*after_s)
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! A tiny, dependency-free stand-in for the slice of the Criterion API
+//! the per-experiment benches use.
+//!
+//! The workspace builds fully offline, so the real `criterion` crate is
+//! not available. The benches only need `Criterion::default()`,
+//! `sample_size`, `bench_function`, `benchmark_group` + `Throughput`, and
+//! `Bencher::{iter, iter_with_setup}` — this module provides those with
+//! the same shapes, timed with `std::time::Instant`.
+//!
+//! Methodology: after a warm-up call, each benchmark runs `sample_size`
+//! samples; each sample times a batch of iterations sized so one batch
+//! takes roughly [`TARGET_SAMPLE`]. We report the median and minimum
+//! per-iteration time (median is robust to scheduler noise; min
+//! approximates the noise floor).
+
+use std::time::{Duration, Instant};
+
+/// Batch-duration target per sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Throughput annotation for a benchmark group (bytes per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time a routine under `name`. The closure receives a [`Bencher`]
+    /// and must call [`Bencher::iter`] or [`Bencher::iter_with_setup`].
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &mut b.per_iter, None);
+        self
+    }
+
+    /// Open a named group (supports a throughput annotation).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A benchmark group (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time a routine within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            &mut b.per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timing state handed to the routine closure.
+pub struct Bencher {
+    sample_size: usize,
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, batching iterations per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + batch sizing from a single timed call.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.per_iter.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Time `routine` only, re-running `setup` un-timed before every call.
+    pub fn iter_with_setup<S, O, Setup, R>(&mut self, mut setup: Setup, mut routine: R)
+    where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.per_iter.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn report(name: &str, per_iter: &mut [f64], throughput: Option<Throughput>) {
+    if per_iter.is_empty() {
+        println!("bench {name:<40} (no samples)");
+        return;
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let extra = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+            format!("  {:>9.1} MiB/s", bytes as f64 / median / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<40} median {:>12}  min {:>12}{extra}",
+        fmt_secs(median),
+        fmt_secs(min)
+    );
+}
+
+/// Render a duration in seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Expand to a function running the listed targets against `config`
+/// (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expand to `fn main` running the listed groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        // Smoke: must not panic, and the closure must run.
+        let mut ran = 0u32;
+        c.bench_function("selftest/iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 3);
+    }
+
+    #[test]
+    fn iter_with_setup_separates_setup_from_routine() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("selftest/setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+        });
+    }
+
+    #[test]
+    fn fmt_secs_picks_sane_units() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(0.0025), "2.500 ms");
+        assert_eq!(fmt_secs(0.0000025), "2.500 us");
+        assert_eq!(fmt_secs(0.0000000025), "2.5 ns");
+    }
+}

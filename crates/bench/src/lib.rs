@@ -1,5 +1,4 @@
-//! `wmsn-bench` — shared plumbing for the per-experiment Criterion
-//! benches.
+//! `wmsn-bench` — shared plumbing for the per-experiment benches.
 //!
 //! Every bench target does two things:
 //!
@@ -7,11 +6,14 @@
 //!    runner once (un-timed), print the report rows (the same
 //!    rows/series EXPERIMENTS.md records), and archive them as JSON under
 //!    `target/experiment-reports/`.
-//! 2. **Time a representative kernel** with Criterion, so performance
-//!    regressions in the simulator/protocols are caught.
+//! 2. **Time a representative kernel** with the in-repo [`harness`]
+//!    (a Criterion-shaped shim, since the workspace builds offline), so
+//!    performance regressions in the simulator/protocols are caught.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::path::PathBuf;
 use wmsn_core::report::{print_rows, rows_to_json};
@@ -20,10 +22,8 @@ use wmsn_util::stats::ReportRow;
 /// Print the experiment's rows and archive them as JSON.
 pub fn emit(name: &str, rows: &[ReportRow]) {
     print_rows(name, rows);
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    )
-    .join("experiment-reports");
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("experiment-reports");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
         if std::fs::write(&path, rows_to_json(rows)).is_ok() {
@@ -40,10 +40,9 @@ mod tests {
     fn emit_writes_the_archive() {
         let rows = vec![ReportRow::new("T", "cfg", "metric", 1.0)];
         emit("selftest", &rows);
-        let path = PathBuf::from(
-            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-        )
-        .join("experiment-reports/selftest.json");
+        let path =
+            PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+                .join("experiment-reports/selftest.json");
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("metric"));
     }

@@ -15,9 +15,7 @@ use wmsn_routing::mlr::{MlrConfig, MlrGateway, MlrSensor};
 use wmsn_routing::spr::{SprConfig, SprGateway, SprSensor};
 use wmsn_secure::{SecGatewayConfig, SecMlrGateway, SecMlrSensor, SecSensorConfig};
 use wmsn_sim::{NodeConfig, World};
-use wmsn_topology::{
-    placement, FeasiblePlaces, MovementSchedule, Topology,
-};
+use wmsn_topology::{placement, FeasiblePlaces, MovementSchedule, Topology};
 use wmsn_util::{NodeId, Point, SplitMix64};
 
 /// Generate the sensor deployment, redrawing until connected when the
@@ -27,9 +25,7 @@ fn generate_sensors(field: &FieldParams, rng: &mut SplitMix64) -> Vec<Point> {
     use wmsn_util::geom::unit_disk_adjacency;
     for attempt in 0..100 {
         let pts = field.deployment.generate(field.field, rng);
-        if !field.require_connected
-            || is_connected(&unit_disk_adjacency(&pts, field.range_m))
-        {
+        if !field.require_connected || is_connected(&unit_disk_adjacency(&pts, field.range_m)) {
             return pts;
         }
         let _ = attempt;
@@ -83,10 +79,7 @@ pub struct MlrScenario {
 impl MlrScenario {
     /// The analytic topology for the currently-occupied places.
     pub fn topology_for(&self, occupied: &[usize]) -> Topology {
-        let gws = occupied
-            .iter()
-            .map(|&p| self.places.position(p))
-            .collect();
+        let gws = occupied.iter().map(|&p| self.places.position(p)).collect();
         Topology::new(
             self.sensor_positions.clone(),
             gws,
@@ -147,8 +140,7 @@ pub fn build_mlr_with(
             )
         })
         .collect();
-    let schedule =
-        MovementSchedule::new(gw.movement.clone(), &places, initial, field.seed);
+    let schedule = MovementSchedule::new(gw.movement.clone(), &places, initial, field.seed);
     MlrScenario {
         world,
         sensors,
@@ -217,10 +209,7 @@ impl SprScenario {
         Topology::new(
             self.sensor_positions.clone(),
             self.gateway_positions.clone(),
-            wmsn_util::Rect::from_corners(
-                Point::new(-1e9, -1e9),
-                Point::new(1e9, 1e9),
-            ),
+            wmsn_util::Rect::from_corners(Point::new(-1e9, -1e9), Point::new(1e9, 1e9)),
             self.range_m,
         )
     }
@@ -255,7 +244,9 @@ pub fn build_secmlr(
     let sensor_positions = generate_sensors(field, &mut rng);
     let (places, initial) = place_initial(field, gw, &sensor_positions, &mut rng);
     let mut master_bytes = [0u8; 16];
-    SplitMix64::new(field.seed).split(0x5EC0).fill_bytes_compat(&mut master_bytes);
+    SplitMix64::new(field.seed)
+        .split(0x5EC0)
+        .fill_bytes(&mut master_bytes);
     let master = Key128(master_bytes);
     let n = sensor_positions.len();
     let gateway_ids: Vec<NodeId> = (0..gw.m).map(|j| NodeId((n + j) as u32)).collect();
@@ -427,7 +418,10 @@ pub fn build_leach(
     let sensors: Vec<NodeId> = sensor_positions
         .iter()
         .map(|&pos| {
-            world.add_node(NodeConfig::sensor(pos, field.battery_j), LeachSensor::boxed(cfg))
+            world.add_node(
+                NodeConfig::sensor(pos, field.battery_j),
+                LeachSensor::boxed(cfg),
+            )
         })
         .collect();
     let sink = world.add_node(NodeConfig::gateway(sink_pos), LeachSink::boxed());
@@ -440,19 +434,6 @@ pub fn build_leach(
     }
 }
 
-/// Helper trait shim: `SplitMix64` exposes `fill_bytes` through
-/// `rand::RngCore`; re-expose it without the trait import at call sites.
-trait FillBytesCompat {
-    fn fill_bytes_compat(&mut self, dest: &mut [u8]);
-}
-
-impl FillBytesCompat for SplitMix64 {
-    fn fill_bytes_compat(&mut self, dest: &mut [u8]) {
-        use rand::RngCore;
-        self.fill_bytes(dest);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,7 +442,12 @@ mod tests {
     #[test]
     fn mlr_builder_lays_out_ids_as_documented() {
         let field = FieldParams::default_uniform(30, 1);
-        let s = build_mlr(&field, &GatewayParams::default_three(), TrafficParams::default(), 0.0);
+        let s = build_mlr(
+            &field,
+            &GatewayParams::default_three(),
+            TrafficParams::default(),
+            0.0,
+        );
         assert_eq!(s.sensors.len(), 30);
         assert_eq!(s.gateways.len(), 3);
         assert_eq!(s.sensors[0], NodeId(0));
@@ -475,12 +461,20 @@ mod tests {
     #[test]
     fn spr_builder_matches_analytic_topology() {
         let field = FieldParams::default_uniform(40, 2);
-        let s = build_spr(&field, &GatewayParams::default_three(), TrafficParams::default());
+        let s = build_spr(
+            &field,
+            &GatewayParams::default_three(),
+            TrafficParams::default(),
+        );
         let topo = s.topology();
         assert_eq!(topo.sensors.len(), 40);
         assert_eq!(topo.gateways.len(), 3);
         // The builder is deterministic per seed.
-        let s2 = build_spr(&field, &GatewayParams::default_three(), TrafficParams::default());
+        let s2 = build_spr(
+            &field,
+            &GatewayParams::default_three(),
+            TrafficParams::default(),
+        );
         assert_eq!(s.sensor_positions, s2.sensor_positions);
         assert_eq!(s.gateway_positions, s2.gateway_positions);
     }
@@ -491,7 +485,11 @@ mod tests {
             require_connected: false, // 12 sensors at range 25 rarely connect
             ..FieldParams::default_uniform(12, 3)
         };
-        let mut s = build_secmlr(&field, &GatewayParams::default_three(), TrafficParams::default());
+        let mut s = build_secmlr(
+            &field,
+            &GatewayParams::default_three(),
+            TrafficParams::default(),
+        );
         // Every sensor can immediately select among 3 occupied places.
         for &sensor in &s.sensors {
             let b = s.world.behavior_as::<SecMlrSensor>(sensor).unwrap();
@@ -521,7 +519,12 @@ mod tests {
     #[test]
     fn leach_builder_configures_the_sink() {
         let field = FieldParams::default_uniform(25, 5);
-        let s = build_leach(&field, Point::new(50.0, 130.0), 0.1, TrafficParams::default());
+        let s = build_leach(
+            &field,
+            Point::new(50.0, 130.0),
+            0.1,
+            TrafficParams::default(),
+        );
         assert_eq!(s.sensors.len(), 25);
         assert_eq!(s.sink, NodeId(25));
     }

@@ -69,7 +69,12 @@ fn snapshot(m: &Metrics) -> (u64, u64, u64, u64, u64) {
     )
 }
 
-fn delta_report(round: u32, before: (u64, u64, u64, u64, u64), m: &Metrics, moved: usize) -> RoundReport {
+fn delta_report(
+    round: u32,
+    before: (u64, u64, u64, u64, u64),
+    m: &Metrics,
+    moved: usize,
+) -> RoundReport {
     let after = snapshot(m);
     RoundReport {
         round,
@@ -164,9 +169,10 @@ impl MlrDriver {
                 b.set_place(ctx, place as u16, round);
             });
             // Composite WMGs (three-tier) hold the gateway inside.
-            s.world.with_behavior::<crate::wmg::WmgBehavior, _>(node, |b, ctx| {
-                b.gateway.set_place(ctx, place as u16, round);
-            });
+            s.world
+                .with_behavior::<crate::wmg::WmgBehavior, _>(node, |b, ctx| {
+                    b.gateway.set_place(ctx, place as u16, round);
+                });
         }
         if self.reset_tables {
             for &sensor in &s.sensors {
@@ -178,10 +184,9 @@ impl MlrDriver {
         let msgs = s.traffic.msgs_per_sensor_per_round;
         let fraction = s.traffic.reporting_fraction;
         let gap = s.traffic.round_duration_us / (msgs as u64 + 1).max(2);
-        let sensors = s.sensors.clone();
         inject_traffic(
             &mut s.world,
-            &sensors,
+            &s.sensors,
             msgs,
             fraction,
             gap,
@@ -261,10 +266,9 @@ impl SprDriver {
         let msgs = s.traffic.msgs_per_sensor_per_round;
         let fraction = s.traffic.reporting_fraction;
         let gap = s.traffic.round_duration_us / (msgs as u64 + 1).max(2);
-        let sensors = s.sensors.clone();
         inject_traffic(
             &mut s.world,
-            &sensors,
+            &s.sensors,
             msgs,
             fraction,
             gap,
@@ -350,10 +354,9 @@ impl SecMlrDriver {
         let msgs = s.traffic.msgs_per_sensor_per_round;
         let fraction = s.traffic.reporting_fraction;
         let gap = s.traffic.round_duration_us / (msgs as u64 + 1).max(2);
-        let sensors = s.sensors.clone();
         inject_traffic(
             &mut s.world,
-            &sensors,
+            &s.sensors,
             msgs,
             fraction,
             gap,
@@ -393,15 +396,15 @@ impl LeachDriver {
         let s = &mut self.scenario;
         let before = snapshot(s.world.metrics());
         let round = self.round;
-        let sensors = s.sensors.clone();
-        for &id in &sensors {
+        for &id in &s.sensors {
             s.world.with_behavior::<LeachSensor, _>(id, |b, ctx| {
                 b.start_round(ctx, round);
             });
         }
         s.world.run_for(200_000);
         if kill_heads_after_join {
-            let heads: Vec<NodeId> = sensors
+            let heads: Vec<NodeId> = s
+                .sensors
                 .iter()
                 .copied()
                 .filter(|&id| {
@@ -415,12 +418,14 @@ impl LeachDriver {
                 s.world.kill(h);
             }
         }
-        for &id in &sensors {
-            s.world.with_behavior::<LeachSensor, _>(id, |b, ctx| b.report(ctx));
+        for &id in &s.sensors {
+            s.world
+                .with_behavior::<LeachSensor, _>(id, |b, ctx| b.report(ctx));
         }
         s.world.run_for(200_000);
-        for &id in &sensors {
-            s.world.with_behavior::<LeachSensor, _>(id, |b, ctx| b.flush(ctx));
+        for &id in &s.sensors {
+            s.world
+                .with_behavior::<LeachSensor, _>(id, |b, ctx| b.flush(ctx));
         }
         s.world.run_for(200_000);
         self.round += 1;
@@ -492,9 +497,12 @@ mod tests {
         let r0 = d.run_round();
         let r1 = d.run_round();
         let r2 = d.run_round();
-        assert!(r1.control_frames < r0.control_frames / 5,
+        assert!(
+            r1.control_frames < r0.control_frames / 5,
             "steady state should need almost no control traffic: r0={} r1={}",
-            r0.control_frames, r1.control_frames);
+            r0.control_frames,
+            r1.control_frames
+        );
         assert!(r2.delivery_ratio() > 0.9);
     }
 
@@ -510,8 +518,18 @@ mod tests {
         };
         let mut incremental = MlrDriver::new(build());
         let mut reset = MlrDriver::new(build()).with_table_reset();
-        let inc: u64 = incremental.run_rounds(4).iter().skip(1).map(|r| r.control_frames).sum();
-        let rst: u64 = reset.run_rounds(4).iter().skip(1).map(|r| r.control_frames).sum();
+        let inc: u64 = incremental
+            .run_rounds(4)
+            .iter()
+            .skip(1)
+            .map(|r| r.control_frames)
+            .sum();
+        let rst: u64 = reset
+            .run_rounds(4)
+            .iter()
+            .skip(1)
+            .map(|r| r.control_frames)
+            .sum();
         assert!(
             rst > inc.max(1) * 5,
             "reset ablation must flood every round: incremental={inc} reset={rst}"
@@ -596,7 +614,11 @@ mod tests {
         );
         let mut d = SecMlrDriver::new(s);
         let reports = d.run_rounds(3);
-        assert!(reports[0].delivery_ratio() > 0.9, "round 0: {:?}", reports[0]);
+        assert!(
+            reports[0].delivery_ratio() > 0.9,
+            "round 0: {:?}",
+            reports[0]
+        );
         for r in &reports[1..] {
             assert!(
                 r.delivery_ratio() > 0.8,

@@ -6,9 +6,7 @@
 //! [`ReportRow`]s, and are shared between the criterion benches and the
 //! examples. Parameterised sizes let benches scale runs up or down.
 
-use crate::builder::{
-    build_leach, build_mlr, build_secmlr, build_spr, build_three_tier,
-};
+use crate::builder::{build_leach, build_mlr, build_secmlr, build_spr, build_three_tier};
 use crate::drivers::{LeachDriver, MlrDriver, SecMlrDriver, SprDriver};
 use crate::params::{FieldParams, GatewayParams, TrafficParams};
 use wmsn_attacks::announcer::{AnnounceTarget, FalseAnnouncer};
@@ -86,9 +84,10 @@ pub fn e1_random_fields(ns: &[usize], seed: u64) -> Vec<ReportRow> {
             // mean (unreachable sensors are excluded from it).
             let sensors = loop {
                 let pts = field.deployment.generate(field.field, &mut rng);
-                if wmsn_topology::connectivity::is_connected(
-                    &wmsn_util::geom::unit_disk_adjacency(&pts, field.range_m),
-                ) {
+                if wmsn_topology::connectivity::is_connected(&wmsn_util::geom::unit_disk_adjacency(
+                    &pts,
+                    field.range_m,
+                )) {
                     break pts;
                 }
             };
@@ -178,13 +177,21 @@ pub fn e2_table1() -> Vec<ReportRow> {
         let label = |r: usize| FeasiblePlaces::label(r);
         rows.push(ReportRow::new(
             "E2",
-            format!("round {} occupied {:?}", round + 1, occupied.iter().map(|&p| label(p)).collect::<Vec<_>>()),
+            format!(
+                "round {} occupied {:?}",
+                round + 1,
+                occupied.iter().map(|&p| label(p)).collect::<Vec<_>>()
+            ),
             "selected_place_id",
             f64::from(selected),
         ));
         rows.push(ReportRow::new(
             "E2",
-            format!("round {} paper_selects {}", round + 1, label(TABLE1_SELECTED[round])),
+            format!(
+                "round {} paper_selects {}",
+                round + 1,
+                label(TABLE1_SELECTED[round])
+            ),
             "selected_place_paper",
             TABLE1_SELECTED[round] as f64,
         ));
@@ -337,7 +344,10 @@ pub fn e4_kmax(ms: &[usize], seed: u64) -> Vec<ReportRow> {
     // Placement ablation at m = 3.
     for (name, alg) in [
         ("random", placement::PlacementAlgorithm::Random),
-        ("kmeans", placement::PlacementAlgorithm::KMeans { iterations: 10 }),
+        (
+            "kmeans",
+            placement::PlacementAlgorithm::KMeans { iterations: 10 },
+        ),
         ("kcenter", placement::PlacementAlgorithm::GreedyKCenter),
         ("exhaustive", placement::PlacementAlgorithm::ExhaustiveHops),
     ] {
@@ -520,12 +530,7 @@ pub fn run_attack_cell(protocol: TargetProtocol, attack: Attack, seed: u64) -> A
         ),
         TargetProtocol::SecMlr => world.add_node(
             NodeConfig::gateway(Point::new(n as f64 * 10.0, 0.0)),
-            SecMlrGateway::boxed(
-                wmsn_secure::SecGatewayConfig::default(),
-                &master,
-                gw_id,
-                0,
-            ),
+            SecMlrGateway::boxed(wmsn_secure::SecGatewayConfig::default(), &master, gw_id, 0),
         ),
     };
     // Adversary node(s).
@@ -562,10 +567,7 @@ pub fn run_attack_cell(protocol: TargetProtocol, attack: Attack, seed: u64) -> A
         }
         Attack::Wormhole | Attack::WormholeGuarded => {
             let (a, b) = wormhole_pair(5_000, true);
-            let ea = world.add_node(
-                NodeConfig::sensor(Point::new(0.0, 7.0), 100.0),
-                Box::new(a),
-            );
+            let ea = world.add_node(NodeConfig::sensor(Point::new(0.0, 7.0), 100.0), Box::new(a));
             let eb = world.add_node(
                 NodeConfig::sensor(Point::new(n as f64 * 10.0, 7.0), 100.0),
                 Box::new(b),
@@ -592,7 +594,10 @@ pub fn run_attack_cell(protocol: TargetProtocol, attack: Attack, seed: u64) -> A
             world.run_for(500_000);
         }
         TargetProtocol::SecMlr => {
-            let params = world.behavior_as::<SecMlrGateway>(gw).unwrap().tesla_params();
+            let params = world
+                .behavior_as::<SecMlrGateway>(gw)
+                .unwrap()
+                .tesla_params();
             for &s in &sensors {
                 world.with_behavior::<SecMlrSensor, _>(s, |b, _| {
                     b.install_tesla(
@@ -624,11 +629,8 @@ pub fn run_attack_cell(protocol: TargetProtocol, attack: Attack, seed: u64) -> A
         world.run_for(3_000_000);
     }
     let m = world.metrics();
-    let unique: std::collections::HashSet<(NodeId, u64)> = m
-        .deliveries
-        .iter()
-        .map(|d| (d.source, d.msg_id))
-        .collect();
+    let unique: std::collections::HashSet<(NodeId, u64)> =
+        m.deliveries.iter().map(|d| (d.source, d.msg_id)).collect();
     AttackOutcome {
         delivery_ratio: m.delivery_ratio(),
         duplicate_deliveries: m.deliveries.len() as u64 - unique.len() as u64,
@@ -734,9 +736,24 @@ pub fn e8_robustness(seed: u64) -> Vec<ReportRow> {
     // LEACH has no recovery mechanism within the failed round; the next
     // election round recovers (heads are re-elected among survivors).
     let recovered = leach.run_round(false);
-    rows.push(ReportRow::new("E8", "leach healthy", "delivery_ratio", healthy.delivery_ratio()));
-    rows.push(ReportRow::new("E8", "leach heads_killed", "delivery_ratio", faulty.delivery_ratio()));
-    rows.push(ReportRow::new("E8", "leach next_round", "delivery_ratio", recovered.delivery_ratio()));
+    rows.push(ReportRow::new(
+        "E8",
+        "leach healthy",
+        "delivery_ratio",
+        healthy.delivery_ratio(),
+    ));
+    rows.push(ReportRow::new(
+        "E8",
+        "leach heads_killed",
+        "delivery_ratio",
+        faulty.delivery_ratio(),
+    ));
+    rows.push(ReportRow::new(
+        "E8",
+        "leach next_round",
+        "delivery_ratio",
+        recovered.delivery_ratio(),
+    ));
 
     // MLR: three gateways; kill one and let the watchdog redirect.
     let mut mlr = MlrDriver::new(build_mlr(
@@ -757,9 +774,24 @@ pub fn e8_robustness(seed: u64) -> Vec<ReportRow> {
             .with_behavior::<MlrSensor, _>(s, |b, _| b.remove_gateway(victim));
     }
     let recovered = mlr.run_round();
-    rows.push(ReportRow::new("E8", "mlr healthy", "delivery_ratio", healthy.delivery_ratio()));
-    rows.push(ReportRow::new("E8", "mlr gateway_killed", "delivery_ratio", failure.delivery_ratio()));
-    rows.push(ReportRow::new("E8", "mlr after_redirect", "delivery_ratio", recovered.delivery_ratio()));
+    rows.push(ReportRow::new(
+        "E8",
+        "mlr healthy",
+        "delivery_ratio",
+        healthy.delivery_ratio(),
+    ));
+    rows.push(ReportRow::new(
+        "E8",
+        "mlr gateway_killed",
+        "delivery_ratio",
+        failure.delivery_ratio(),
+    ));
+    rows.push(ReportRow::new(
+        "E8",
+        "mlr after_redirect",
+        "delivery_ratio",
+        recovered.delivery_ratio(),
+    ));
     rows
 }
 
@@ -803,7 +835,12 @@ pub fn e9_scalability(ns: &[usize], seed: u64, simulate: bool) -> Vec<ReportRow>
             if simulate {
                 let mut d = SprDriver::new(scen);
                 let r = d.run_round();
-                rows.push(ReportRow::new("E9", &cfg_label, "delivery_ratio", r.delivery_ratio()));
+                rows.push(ReportRow::new(
+                    "E9",
+                    &cfg_label,
+                    "delivery_ratio",
+                    r.delivery_ratio(),
+                ));
                 rows.push(ReportRow::new(
                     "E9",
                     &cfg_label,
@@ -825,7 +862,17 @@ pub fn e10_load_balance(seed: u64) -> Vec<ReportRow> {
     let mut rows = Vec::new();
     for alpha in [0.0, 4.0] {
         let field = FieldParams::default_uniform(60, seed);
-        let scen = build_mlr(&field, &GatewayParams { m: 2, place_grid: (2, 1), placement: placement::PlacementAlgorithm::ExhaustiveHops, movement: wmsn_topology::MovementPolicy::Static }, TrafficParams::default(), alpha);
+        let scen = build_mlr(
+            &field,
+            &GatewayParams {
+                m: 2,
+                place_grid: (2, 1),
+                placement: placement::PlacementAlgorithm::ExhaustiveHops,
+                movement: wmsn_topology::MovementPolicy::Static,
+            },
+            TrafficParams::default(),
+            alpha,
+        );
         let gw0_pos = scen.places.position(scen.schedule.current()[0]);
         let mut driver = MlrDriver::new(scen);
         // Round 0: discovery + baseline traffic.
@@ -875,9 +922,24 @@ pub fn e10_load_balance(seed: u64) -> Vec<ReportRow> {
             (loads[0] as f64 - loads[1] as f64).abs() / total as f64
         };
         let cfg_label = format!("alpha={alpha}");
-        rows.push(ReportRow::new("E10", &cfg_label, "gw0_absorbed", loads[0] as f64));
-        rows.push(ReportRow::new("E10", &cfg_label, "gw1_absorbed", loads[1] as f64));
-        rows.push(ReportRow::new("E10", &cfg_label, "load_imbalance", imbalance));
+        rows.push(ReportRow::new(
+            "E10",
+            &cfg_label,
+            "gw0_absorbed",
+            loads[0] as f64,
+        ));
+        rows.push(ReportRow::new(
+            "E10",
+            &cfg_label,
+            "gw1_absorbed",
+            loads[1] as f64,
+        ));
+        rows.push(ReportRow::new(
+            "E10",
+            &cfg_label,
+            "load_imbalance",
+            imbalance,
+        ));
         rows.push(ReportRow::new(
             "E10",
             &cfg_label,
@@ -963,11 +1025,26 @@ pub fn e12_three_tier(seed: u64) -> Vec<ReportRow> {
         })
         .sum();
     vec![
-        ReportRow::new("E12", "three-tier", "round0_delivery_ratio", r0.delivery_ratio()),
-        ReportRow::new("E12", "three-tier", "round1_delivery_ratio", r1.delivery_ratio()),
+        ReportRow::new(
+            "E12",
+            "three-tier",
+            "round0_delivery_ratio",
+            r0.delivery_ratio(),
+        ),
+        ReportRow::new(
+            "E12",
+            "three-tier",
+            "round1_delivery_ratio",
+            r1.delivery_ratio(),
+        ),
         ReportRow::new("E12", "three-tier", "wmg_absorbed", wmg_absorbed as f64),
         ReportRow::new("E12", "three-tier", "uplinked", uplinked as f64),
-        ReportRow::new("E12", "three-tier", "base_station_received", base_delivered as f64),
+        ReportRow::new(
+            "E12",
+            "three-tier",
+            "base_station_received",
+            base_delivered as f64,
+        ),
     ]
 }
 
@@ -1017,7 +1094,12 @@ pub fn e13_sleep_scheduling(seed: u64) -> Vec<ReportRow> {
             "awake_fraction",
             awake_fraction(&awake),
         ));
-        rows.push(ReportRow::new("E13", cfg_label, "delivery_ratio", m.delivery_ratio()));
+        rows.push(ReportRow::new(
+            "E13",
+            cfg_label,
+            "delivery_ratio",
+            m.delivery_ratio(),
+        ));
         rows.push(ReportRow::new(
             "E13",
             cfg_label,
@@ -1134,9 +1216,10 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
     let mut rng = SplitMix64::new(seed).split(0xE15);
     let positions: Vec<Point> = loop {
         let pts = field.deployment.generate(field.field, &mut rng);
-        if wmsn_topology::connectivity::is_connected(
-            &wmsn_util::geom::unit_disk_adjacency(&pts, field.range_m),
-        ) {
+        if wmsn_topology::connectivity::is_connected(&wmsn_util::geom::unit_disk_adjacency(
+            &pts,
+            field.range_m,
+        )) {
             break pts;
         }
     };
@@ -1146,10 +1229,30 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
     let mut rows = Vec::new();
     let mut record = |name: &str, world: &World, sensors: &[NodeId]| {
         let m = world.metrics();
-        rows.push(ReportRow::new("E15", name, "delivery_ratio", m.delivery_ratio()));
-        rows.push(ReportRow::new("E15", name, "data_frames", m.sent_data as f64));
-        rows.push(ReportRow::new("E15", name, "control_frames", m.sent_control as f64));
-        rows.push(ReportRow::new("E15", name, "total_bytes", m.total_bytes() as f64));
+        rows.push(ReportRow::new(
+            "E15",
+            name,
+            "delivery_ratio",
+            m.delivery_ratio(),
+        ));
+        rows.push(ReportRow::new(
+            "E15",
+            name,
+            "data_frames",
+            m.sent_data as f64,
+        ));
+        rows.push(ReportRow::new(
+            "E15",
+            name,
+            "control_frames",
+            m.sent_control as f64,
+        ));
+        rows.push(ReportRow::new(
+            "E15",
+            name,
+            "total_bytes",
+            m.total_bytes() as f64,
+        ));
         rows.push(ReportRow::new(
             "E15",
             name,
@@ -1172,7 +1275,12 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
         let mut w = World::new(field.world_config());
         let sensors: Vec<NodeId> = positions
             .iter()
-            .map(|&p| w.add_node(NodeConfig::sensor(p, field.battery_j), FloodSensor::boxed(FloodMode::Flood, 32)))
+            .map(|&p| {
+                w.add_node(
+                    NodeConfig::sensor(p, field.battery_j),
+                    FloodSensor::boxed(FloodMode::Flood, 32),
+                )
+            })
             .collect();
         w.add_node(NodeConfig::gateway(sink_pos), FloodSink::boxed());
         w.start();
@@ -1187,7 +1295,12 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
         let mut w = World::new(field.world_config());
         let sensors: Vec<NodeId> = positions
             .iter()
-            .map(|&p| w.add_node(NodeConfig::sensor(p, field.battery_j), FloodSensor::boxed(FloodMode::Gossip, 64)))
+            .map(|&p| {
+                w.add_node(
+                    NodeConfig::sensor(p, field.battery_j),
+                    FloodSensor::boxed(FloodMode::Gossip, 64),
+                )
+            })
             .collect();
         w.add_node(NodeConfig::gateway(sink_pos), FloodSink::boxed());
         w.start();
@@ -1202,7 +1315,12 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
         let mut w = World::new(field.world_config());
         let sensors: Vec<NodeId> = positions
             .iter()
-            .map(|&p| w.add_node(NodeConfig::sensor(p, field.battery_j), SpinSensor::boxed(SpinConfig::default())))
+            .map(|&p| {
+                w.add_node(
+                    NodeConfig::sensor(p, field.battery_j),
+                    SpinSensor::boxed(SpinConfig::default()),
+                )
+            })
             .collect();
         w.add_node(NodeConfig::gateway(sink_pos), SpinSink::boxed());
         w.start();
@@ -1239,7 +1357,12 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
         let mut w = World::new(field.world_config());
         let sensors: Vec<NodeId> = positions
             .iter()
-            .map(|&p| w.add_node(NodeConfig::sensor(p, field.battery_j), LeachSensor::boxed(cfg)))
+            .map(|&p| {
+                w.add_node(
+                    NodeConfig::sensor(p, field.battery_j),
+                    LeachSensor::boxed(cfg),
+                )
+            })
             .collect();
         w.add_node(NodeConfig::gateway(sink_pos), LeachSink::boxed());
         w.start();
@@ -1283,7 +1406,10 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
                 )
             })
             .collect();
-        w.add_node(NodeConfig::gateway(sink_pos), PegasisSink::boxed(chain_ids.clone()));
+        w.add_node(
+            NodeConfig::gateway(sink_pos),
+            PegasisSink::boxed(chain_ids.clone()),
+        );
         w.start();
         for &s in &sensors {
             w.with_behavior::<PegasisSensor, _>(s, |b, _| b.start_round(0));
@@ -1305,7 +1431,12 @@ pub fn e15_baselines(seed: u64) -> Vec<ReportRow> {
         let mut w = World::new(field.world_config());
         let sensors: Vec<NodeId> = positions
             .iter()
-            .map(|&p| w.add_node(NodeConfig::sensor(p, field.battery_j), SprSensor::boxed(SprConfig::default())))
+            .map(|&p| {
+                w.add_node(
+                    NodeConfig::sensor(p, field.battery_j),
+                    SprSensor::boxed(SprConfig::default()),
+                )
+            })
             .collect();
         w.add_node(NodeConfig::gateway(sink_pos), SprGateway::boxed());
         w.start();
@@ -1362,28 +1493,80 @@ pub fn e16_energy_aware(seed: u64) -> Vec<ReportRow> {
             "E16",
             &cfg_label,
             "lifetime_rounds",
-            lt.lifetime_rounds.map(|r| f64::from(r + 8)).unwrap_or(f64::NAN),
+            lt.lifetime_rounds
+                .map(|r| f64::from(r + 8))
+                .unwrap_or(f64::NAN),
         ));
-        rows.push(ReportRow::new("E16", &cfg_label, "energy_d2_round8", d2_at_8));
-        rows.push(ReportRow::new("E16", &cfg_label, "delivery_ratio", m.delivery_ratio()));
-        rows.push(ReportRow::new("E16", &cfg_label, "mean_hops", m.mean_hops()));
+        rows.push(ReportRow::new(
+            "E16",
+            &cfg_label,
+            "energy_d2_round8",
+            d2_at_8,
+        ));
+        rows.push(ReportRow::new(
+            "E16",
+            &cfg_label,
+            "delivery_ratio",
+            m.delivery_ratio(),
+        ));
+        rows.push(ReportRow::new(
+            "E16",
+            &cfg_label,
+            "mean_hops",
+            m.mean_hops(),
+        ));
     }
     rows
 }
 
 // ------------------------------------------------------- seed sweeps --
 
-/// Run `f(seed)` for every seed **in parallel** (rayon) and collect the
-/// results in seed order. Simulations are single-threaded and
-/// deterministic; sweeps across seeds are embarrassingly parallel, so
-/// this is where the workstation's cores go.
+/// Run `f(seed)` for every seed **in parallel** and collect the results
+/// in seed order. Simulations are single-threaded and deterministic;
+/// sweeps across seeds are embarrassingly parallel, so this is where the
+/// workstation's cores go. Work is chunked over scoped threads (one per
+/// available core); results land in their seed's slot, so ordering is
+/// independent of scheduling.
 pub fn parallel_sweep<T, F>(seeds: &[u64], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    use rayon::prelude::*;
-    seeds.par_iter().map(|&s| f(s)).collect()
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(seeds.len().max(1));
+    if workers <= 1 || seeds.len() <= 1 {
+        return seeds.iter().map(|&s| f(s)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let r = f(seeds[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(seeds.len(), || None);
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|x| x.expect("every seed slot filled"))
+        .collect()
 }
 
 /// E17: seed-robustness sweep — MLR delivery ratio and mean hops across
@@ -1421,7 +1604,12 @@ pub fn e17_seed_sweep(seeds: &[u64]) -> Vec<ReportRow> {
         ReportRow::new("E17", &cfg_label, "mean_hops_mean", hops.mean()),
         ReportRow::new("E17", &cfg_label, "mean_hops_std", hops.std_dev()),
         ReportRow::new("E17", &cfg_label, "control_frames_mean", control.mean()),
-        ReportRow::new("E17", &cfg_label, "delivery_min", delivery.min().unwrap_or(0.0)),
+        ReportRow::new(
+            "E17",
+            &cfg_label,
+            "delivery_min",
+            delivery.min().unwrap_or(0.0),
+        ),
     ]
 }
 
@@ -1458,10 +1646,10 @@ mod tests {
     fn e2_simulation_matches_table1() {
         let rows = e2_table1();
         for round in 1..=3usize {
-            let sel =
-                find_value(&rows, &format!("round {round}"), "selected_place_id").unwrap();
+            let sel = find_value(&rows, &format!("round {round}"), "selected_place_id").unwrap();
             assert_eq!(
-                sel as usize, TABLE1_SELECTED[round - 1],
+                sel as usize,
+                TABLE1_SELECTED[round - 1],
                 "round {round} selected place"
             );
             let hops = find_value(&rows, &format!("round {round}"), "selected_hops").unwrap();
@@ -1511,7 +1699,10 @@ mod tests {
                 scen.sensor_positions.len() as u64 + scen.gateway_positions.len() as u64 + s
             })
             .collect();
-        assert_eq!(parallel, serial, "sweep must preserve order and determinism");
+        assert_eq!(
+            parallel, serial,
+            "sweep must preserve order and determinism"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod wmg;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::builder::{build_mlr, build_mlr_with, build_secmlr, build_spr, build_three_tier, MlrScenario, SecMlrScenario, SprScenario, ThreeTierScenario};
+    pub use crate::builder::{
+        build_mlr, build_mlr_with, build_secmlr, build_spr, build_three_tier, MlrScenario,
+        SecMlrScenario, SprScenario, ThreeTierScenario,
+    };
     pub use crate::drivers::{LifetimeResult, MlrDriver, RoundReport, SecMlrDriver, SprDriver};
     pub use crate::params::{FieldParams, GatewayParams, TrafficParams};
     pub use crate::report::{print_rows, rows_to_json};

@@ -4,6 +4,7 @@
 //! an aligned terminal table (what the examples and benches show) and as
 //! JSON (what gets archived next to bench output).
 
+use wmsn_util::json::Json;
 use wmsn_util::stats::ReportRow;
 
 /// Print rows as an aligned table with a header.
@@ -21,7 +22,19 @@ pub fn print_rows(title: &str, rows: &[ReportRow]) {
 
 /// Serialise rows to pretty JSON.
 pub fn rows_to_json(rows: &[ReportRow]) -> String {
-    serde_json::to_string_pretty(rows).expect("ReportRow serialises")
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("experiment", Json::from(r.experiment.clone())),
+                    ("config", Json::from(r.config.clone())),
+                    ("metric", Json::from(r.metric.clone())),
+                    ("value", Json::Num(r.value)),
+                ])
+            })
+            .collect(),
+    )
+    .to_string_pretty()
 }
 
 /// Find the value of the first row matching `config` and `metric`
@@ -44,13 +57,15 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrips_fields() {
+    fn json_carries_all_fields() {
         let json = rows_to_json(&rows());
-        assert!(json.contains("mean_hops"));
-        assert!(json.contains("7.5"));
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed.as_array().unwrap().len(), 2);
-        assert_eq!(parsed[1]["value"], 2.5);
+        assert!(json.contains("\"metric\": \"mean_hops\""), "{json}");
+        assert!(json.contains("\"value\": 7.5"), "{json}");
+        assert!(json.contains("\"value\": 2.5"), "{json}");
+        assert!(json.contains("\"config\": \"n=100 m=3\""), "{json}");
+        // Two array elements: one object per row.
+        assert_eq!(json.matches("\"experiment\": \"E1\"").count(), 2);
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl Behavior for WmgBehavior {
                 self.gateway.on_packet(ctx, pkt);
                 if is_my_data {
                     if let Some(base) = self.uplink {
-                        if self.mesh.send(ctx, base, pkt.payload.clone()) {
+                        if self.mesh.send(ctx, base, pkt.payload.to_vec()) {
                             self.uplinked += 1;
                         }
                     }
@@ -191,7 +191,10 @@ mod tests {
         w.with_behavior::<MlrSensor, _>(sensor, |s, ctx| s.originate(ctx));
         w.run_for(3_000_000);
         // Delivered at the WMG (sensor tier) …
-        assert_eq!(w.behavior_as::<WmgBehavior>(wmg).unwrap().gateway.absorbed, 1);
+        assert_eq!(
+            w.behavior_as::<WmgBehavior>(wmg).unwrap().gateway.absorbed,
+            1
+        );
         assert_eq!(w.behavior_as::<WmgBehavior>(wmg).unwrap().uplinked, 1);
         // … and at the base station (mesh tier), two backbone hops away.
         let delivered = &w.behavior_as::<MeshNode>(base).unwrap().delivered;

@@ -152,7 +152,11 @@ mod tests {
     fn avalanche() {
         let a = hash(b"\x00");
         let b = hash(b"\x01");
-        let flipped: u32 = a.0.iter().zip(b.0.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let flipped: u32 =
+            a.0.iter()
+                .zip(b.0.iter())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum();
         assert!(flipped >= 32, "weak diffusion: {flipped} of 128 bits");
     }
 

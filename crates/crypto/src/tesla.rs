@@ -238,7 +238,10 @@ mod tests {
         let t_send = 1_150; // interval 1
         let (i, tag) = b.authenticate(t_send, b"gateway moved to place D");
         assert_eq!(i, 1);
-        assert_eq!(r.on_message(t_send + 5, i, b"gateway moved to place D", tag), ReceiveOutcome::Buffered);
+        assert_eq!(
+            r.on_message(t_send + 5, i, b"gateway moved to place D", tag),
+            ReceiveOutcome::Buffered
+        );
         // Key for interval 1 disclosable from interval 3, t = 1300.
         assert!(b.disclosable(1_250).is_none_or(|(idx, _)| idx < 1));
         let (idx, key) = b.disclosable(1_320).unwrap();
@@ -255,7 +258,10 @@ mod tests {
         assert_eq!(i, 1);
         // Key for interval 1 is disclosed at t0 + 2·interval = 1200; a
         // message claiming interval 1 that arrives at 1200+ is unsafe.
-        assert_eq!(r.on_message(1_200, i, b"move", tag), ReceiveOutcome::UnsafeArrival);
+        assert_eq!(
+            r.on_message(1_200, i, b"move", tag),
+            ReceiveOutcome::UnsafeArrival
+        );
     }
 
     #[test]
@@ -271,11 +277,17 @@ mod tests {
         // replays it after the key went public. The safety test kills it.
         let (b, mut r) = setup(2);
         let (i, tag) = b.authenticate(1_010, b"old place A");
-        assert_eq!(r.on_message(1_020, i, b"old place A", tag), ReceiveOutcome::Buffered);
+        assert_eq!(
+            r.on_message(1_020, i, b"old place A", tag),
+            ReceiveOutcome::Buffered
+        );
         let (idx, key) = b.disclosable(1_250).unwrap();
         r.on_disclosure(idx, key);
         // Replay much later.
-        assert_eq!(r.on_message(5_000, i, b"old place A", tag), ReceiveOutcome::UnsafeArrival);
+        assert_eq!(
+            r.on_message(5_000, i, b"old place A", tag),
+            ReceiveOutcome::UnsafeArrival
+        );
     }
 
     #[test]

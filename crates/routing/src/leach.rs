@@ -237,7 +237,13 @@ impl LeachSensor {
         match self.my_head {
             Some((head, head_pos)) => {
                 let d = ctx.pos().dist(head_pos).min(self.cfg.max_boost_range);
-                ctx.send_ranged(Some(head), Tier::Sensor, PacketKind::Data, report.encode(), d);
+                ctx.send_ranged(
+                    Some(head),
+                    Tier::Sensor,
+                    PacketKind::Data,
+                    report.encode(),
+                    d,
+                );
             }
             None => {
                 // No head heard: direct to sink (original LEACH fallback).
@@ -552,7 +558,10 @@ mod tests {
             1,
             "member must join the nearer head"
         );
-        assert_eq!(w.behavior_as::<LeachSensor>(far).unwrap().collected_len(), 0);
+        assert_eq!(
+            w.behavior_as::<LeachSensor>(far).unwrap().collected_len(),
+            0
+        );
     }
 
     #[test]
@@ -649,4 +658,3 @@ mod tests {
         let _ = w.nodes_with_role(NodeRole::Gateway);
     }
 }
-

@@ -426,7 +426,10 @@ mod tests {
             ));
         }
         let _s1 = w.add_node(NodeConfig::gateway(Point::new(0.0, 0.0)), McfaSink::boxed());
-        let _s2 = w.add_node(NodeConfig::gateway(Point::new(60.0, 0.0)), McfaSink::boxed());
+        let _s2 = w.add_node(
+            NodeConfig::gateway(Point::new(60.0, 0.0)),
+            McfaSink::boxed(),
+        );
         w.run_until(2_000_000);
         let costs: Vec<u32> = sensors
             .iter()

@@ -198,10 +198,7 @@ impl MeshRouter {
                 seq,
                 neighbors,
             } => {
-                let fresher = self
-                    .lsdb
-                    .get(&origin)
-                    .is_none_or(|(have, _)| seq > *have);
+                let fresher = self.lsdb.get(&origin).is_none_or(|(have, _)| seq > *have);
                 if fresher {
                     self.lsdb.insert(origin, (seq, neighbors.clone()));
                     // Re-flood.
@@ -475,9 +472,8 @@ mod tests {
         let (mut w, ids) = backbone();
         w.run_until(2_000_000);
         let ghost = NodeId(999);
-        let sent = w.with_behavior::<MeshNode, _>(ids[2], |n, ctx| {
-            n.router.send(ctx, ghost, vec![1])
-        });
+        let sent =
+            w.with_behavior::<MeshNode, _>(ids[2], |n, ctx| n.router.send(ctx, ghost, vec![1]));
         assert_eq!(sent, Some(false));
         assert_eq!(w.behavior_as::<MeshNode>(ids[2]).unwrap().router.dropped, 1);
     }
@@ -486,7 +482,10 @@ mod tests {
     fn rerouting_after_a_router_dies() {
         // Diamond: base(0,0) — A(200,100)/B(200,-100) — far(400,0).
         let mut w = World::new(WorldConfig::ideal(3));
-        let base = w.add_node(NodeConfig::base_station(Point::new(0.0, 0.0)), MeshNode::boxed());
+        let base = w.add_node(
+            NodeConfig::base_station(Point::new(0.0, 0.0)),
+            MeshNode::boxed(),
+        );
         let a = w.add_node(
             NodeConfig::mesh_router(Point::new(200.0, 100.0)),
             MeshNode::boxed(),
@@ -535,6 +534,10 @@ mod tests {
         });
         w.run_for(500_000);
         // No panic, no delivery.
-        assert!(w.behavior_as::<MeshNode>(ids[0]).unwrap().delivered.is_empty());
+        assert!(w
+            .behavior_as::<MeshNode>(ids[0])
+            .unwrap()
+            .delivered
+            .is_empty());
     }
 }

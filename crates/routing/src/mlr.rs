@@ -29,6 +29,7 @@ use crate::table::{Route, RoutingTable};
 use crate::wire::RoutingMsg;
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 use wmsn_util::NodeId;
 
@@ -115,7 +116,7 @@ pub struct MlrSensor {
     next_msg_id: u64,
     pending: Vec<PendingMsg>,
     discovering: Option<(u64, u32)>,
-    flood_queue: VecDeque<Vec<u8>>,
+    flood_queue: VecDeque<Rc<[u8]>>,
     /// Counters.
     pub stats: MlrStats,
 }
@@ -207,10 +208,7 @@ impl MlrSensor {
             .min_by(|a, b| {
                 let cost = |r: &Route| {
                     let gw = self.occupant_of(r.place);
-                    let load = gw
-                        .and_then(|g| self.loads.get(&g))
-                        .copied()
-                        .unwrap_or(0) as f64;
+                    let load = gw.and_then(|g| self.loads.get(&g)).copied().unwrap_or(0) as f64;
                     r.hops() as f64 + self.cfg.load_alpha * load / mean
                 };
                 cost(a)
@@ -290,7 +288,8 @@ impl MlrSensor {
         ctx.send(Some(next), Tier::Sensor, PacketKind::Data, data.encode());
     }
 
-    fn queue_flood(&mut self, ctx: &mut Ctx<'_>, bytes: Vec<u8>, kind: PacketKind) {
+    fn queue_flood(&mut self, ctx: &mut Ctx<'_>, bytes: impl Into<Rc<[u8]>>, kind: PacketKind) {
+        let bytes = bytes.into();
         if self.cfg.flood_jitter_us == 0 {
             ctx.send(None, Tier::Sensor, kind, bytes);
         } else {
@@ -433,7 +432,11 @@ impl MlrSensor {
             // Relay only the first/best reply per (origin, req, place).
             let remaining = path.len() - idx;
             let key = (origin, req_id, place);
-            if self.seen_rrep.get(&key).is_some_and(|&best| best <= remaining) {
+            if self
+                .seen_rrep
+                .get(&key)
+                .is_some_and(|&best| best <= remaining)
+            {
                 return;
             }
             self.seen_rrep.insert(key, remaining);
@@ -448,12 +451,7 @@ impl MlrSensor {
                 path,
             };
             self.stats.rrep_relayed += 1;
-            ctx.send(
-                Some(prev),
-                Tier::Sensor,
-                PacketKind::Control,
-                rrep.encode(),
-            );
+            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
         }
     }
 
@@ -710,9 +708,9 @@ impl Behavior for MlrGateway {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::NO_PLACE;
     use wmsn_sim::{NodeConfig, World, WorldConfig};
     use wmsn_util::Point;
-    use crate::wire::NO_PLACE;
 
     /// Test worlds use a 10 m sensor range so 10 m-spaced chains are
     /// genuine multi-hop topologies.

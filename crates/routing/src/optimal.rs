@@ -115,8 +115,8 @@ fn feasible(
         return false;
     }
     let g = rounds * packets_per_round; // packets each sensor must inject
-    // Vertices: 0 = source, 1 = sink, sensors in: 2+i, sensors out:
-    // 2+ns+i, gateways: 2+2ns+j.
+                                        // Vertices: 0 = source, 1 = sink, sensors in: 2+i, sensors out:
+                                        // 2+ns+i, gateways: 2+2ns+j.
     let v_in = |i: usize| 2 + i;
     let v_out = |i: usize| 2 + ns + i;
     let v_gw = |j: usize| 2 + 2 * ns + j;
@@ -210,7 +210,10 @@ mod tests {
             vec![Point::new(20.0, 0.0)],
         );
         let r = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
-        assert!((r - 1000.0 / 3.0).abs() < 1.0, "expected ~333 rounds, got {r}");
+        assert!(
+            (r - 1000.0 / 3.0).abs() < 1.0,
+            "expected ~333 rounds, got {r}"
+        );
     }
 
     #[test]
@@ -232,7 +235,11 @@ mod tests {
         // so the bound must exceed the single-path lifetime.
         // S(0,0); A(8,6); B(8,-6); G(16,0). Range 10: S↔A, S↔B, A↔G, B↔G.
         let t = topo(
-            vec![Point::new(0.0, 0.0), Point::new(8.0, 6.0), Point::new(8.0, -6.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(8.0, 6.0),
+                Point::new(8.0, -6.0),
+            ],
             vec![Point::new(16.0, 0.0)],
         );
         let r = optimal_lifetime_rounds(&t, 1.0, 1e-3, 1e-3, 1.0);
@@ -284,12 +291,12 @@ mod tests {
         // gateway can only raise the optimum.
         let sensors: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 9.0, 0.0)).collect();
         let one = topo(sensors.clone(), vec![Point::new(-5.0, 0.0)]);
-        let two = topo(
-            sensors,
-            vec![Point::new(-5.0, 0.0), Point::new(86.0, 0.0)],
-        );
+        let two = topo(sensors, vec![Point::new(-5.0, 0.0), Point::new(86.0, 0.0)]);
         let r1 = optimal_lifetime_rounds(&one, 1.0, 1e-3, 1e-3, 1.0);
         let r2 = optimal_lifetime_rounds(&two, 1.0, 1e-3, 1e-3, 1.0);
-        assert!(r2 > r1 * 1.5, "second gateway should help a chain: {r1} → {r2}");
+        assert!(
+            r2 > r1 * 1.5,
+            "second gateway should help a chain: {r1} → {r2}"
+        );
     }
 }

@@ -568,7 +568,10 @@ mod tests {
                 }),
             ));
         }
-        wd.add_node(NodeConfig::gateway(sink_pos), crate::leach::LeachSink::boxed());
+        wd.add_node(
+            NodeConfig::gateway(sink_pos),
+            crate::leach::LeachSink::boxed(),
+        );
         wd.start();
         for &s in &direct {
             wd.with_behavior::<crate::leach::LeachSensor, _>(s, |b, ctx| {

@@ -313,7 +313,12 @@ impl Behavior for SpinSink {
                 let key = (origin, msg_id);
                 if !self.have.contains(&key) && self.requested.insert(key) {
                     let req = SpinMsg::Req { origin, msg_id };
-                    ctx.send(Some(pkt.src), Tier::Sensor, PacketKind::Control, req.encode());
+                    ctx.send(
+                        Some(pkt.src),
+                        Tier::Sensor,
+                        PacketKind::Control,
+                        req.encode(),
+                    );
                 }
             }
             SpinMsg::Data {
@@ -437,7 +442,10 @@ mod tests {
                 ));
             }
         }
-        wf.add_node(NodeConfig::gateway(Point::new(36.0, 27.0)), FloodSink::boxed());
+        wf.add_node(
+            NodeConfig::gateway(Point::new(36.0, 27.0)),
+            FloodSink::boxed(),
+        );
         wf.start();
         wf.with_behavior::<FloodSensor, _>(fsensors[0], |s, ctx| s.originate(ctx));
         wf.run_until(10_000_000);
@@ -467,12 +475,18 @@ mod tests {
             min_battery_fraction: 0.5,
             ..SpinConfig::default()
         };
-        let source = w.add_node(NodeConfig::sensor(Point::new(0.0, 0.0), 100.0), SpinSensor::boxed(cfg));
+        let source = w.add_node(
+            NodeConfig::sensor(Point::new(0.0, 0.0), 100.0),
+            SpinSensor::boxed(cfg),
+        );
         let relay = w.add_node(
             NodeConfig::sensor(Point::new(10.0, 0.0), 0.004), // 4 packets
             SpinSensor::boxed(cfg),
         );
-        let outpost = w.add_node(NodeConfig::sensor(Point::new(20.0, 0.0), 100.0), SpinSensor::boxed(cfg));
+        let outpost = w.add_node(
+            NodeConfig::sensor(Point::new(20.0, 0.0), 100.0),
+            SpinSensor::boxed(cfg),
+        );
         w.start();
         w.with_behavior::<SpinSensor, _>(source, |s, ctx| s.originate(ctx));
         w.run_until(10_000_000);

@@ -24,6 +24,7 @@ use crate::table::{Route, RoutingTable};
 use crate::wire::{RoutingMsg, NO_PLACE};
 use std::any::Any;
 use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 use wmsn_util::NodeId;
 
@@ -96,7 +97,7 @@ pub struct SprSensor {
     pending: Vec<PendingMsg>,
     /// Outstanding discovery, with retries used.
     discovering: Option<(u64, u32)>,
-    flood_queue: VecDeque<Vec<u8>>,
+    flood_queue: VecDeque<Rc<[u8]>>,
     /// Counters.
     pub stats: SprStats,
 }
@@ -194,7 +195,8 @@ impl SprSensor {
         );
     }
 
-    fn queue_flood(&mut self, ctx: &mut Ctx<'_>, bytes: Vec<u8>) {
+    fn queue_flood(&mut self, ctx: &mut Ctx<'_>, bytes: impl Into<Rc<[u8]>>) {
+        let bytes = bytes.into();
         if self.cfg.flood_jitter_us == 0 {
             ctx.send(None, Tier::Sensor, PacketKind::Control, bytes);
         } else {
@@ -280,7 +282,11 @@ impl SprSensor {
         } else {
             let remaining = path.len() - idx;
             let key = (origin, req_id, gateway);
-            if self.seen_rrep.get(&key).is_some_and(|&best| best <= remaining) {
+            if self
+                .seen_rrep
+                .get(&key)
+                .is_some_and(|&best| best <= remaining)
+            {
                 return;
             }
             self.seen_rrep.insert(key, remaining);
@@ -296,12 +302,7 @@ impl SprSensor {
                 path,
             };
             self.stats.rrep_relayed += 1;
-            ctx.send(
-                Some(prev),
-                Tier::Sensor,
-                PacketKind::Control,
-                rrep.encode(),
-            );
+            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
         }
     }
 
@@ -398,9 +399,7 @@ impl Behavior for SprSensor {
                 path,
             } => self.handle_rrep(ctx, origin, req_id, gateway, place, energy_pm, path),
             data @ RoutingMsg::Data { .. } => self.handle_data(ctx, data),
-            RoutingMsg::Announce {
-                gateway, round, ..
-            } => {
+            RoutingMsg::Announce { gateway, round, .. } => {
                 // SPR has no notion of places; just keep the flood moving
                 // so mixed deployments interoperate.
                 if self.announce_is_new(gateway, round) {
@@ -587,7 +586,10 @@ mod tests {
         let m = w.metrics();
         assert_eq!(m.originated, 1);
         assert_eq!(m.deliveries.len(), 1, "message must arrive");
-        assert_eq!(m.deliveries[0].hops, 5, "S0 is 5 radio hops from the gateway");
+        assert_eq!(
+            m.deliveries[0].hops, 5,
+            "S0 is 5 radio hops from the gateway"
+        );
         assert_eq!(m.deliveries[0].source, sensors[0]);
         assert!((m.delivery_ratio() - 1.0).abs() < 1e-12);
     }
@@ -718,7 +720,10 @@ mod tests {
         assert!(s.stats.data_dropped >= 1);
         assert_eq!(w.metrics().deliveries.len(), 0);
         // 1 original + max_retries floods.
-        assert_eq!(s.stats.rreq_originated as u32, 1 + SprConfig::default().max_retries);
+        assert_eq!(
+            s.stats.rreq_originated as u32,
+            1 + SprConfig::default().max_retries
+        );
     }
 
     #[test]

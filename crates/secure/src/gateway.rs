@@ -77,12 +77,12 @@ impl TopologyGuard {
     /// Whether every consecutive pair in `path` is a plausible radio link.
     /// Unknown nodes (fabricated sybil identities) are implausible too.
     pub fn plausible(&self, path: &[NodeId]) -> bool {
-        path.windows(2).all(|w| {
-            match (self.positions.get(&w[0]), self.positions.get(&w[1])) {
+        path.windows(2).all(
+            |w| match (self.positions.get(&w[0]), self.positions.get(&w[1])) {
                 (Some(a), Some(b)) => a.within(*b, self.max_link_m),
                 _ => false,
-            }
-        })
+            },
+        )
     }
 }
 
@@ -140,7 +140,13 @@ impl SecMlrGateway {
     pub fn new(cfg: SecGatewayConfig, master: &Key128, id: NodeId, place: u16) -> Self {
         let seed_key = derive_key(master, labels::TESLA_SEED, id.0, 0);
         let seed = hash(&seed_key.0);
-        let tesla = TeslaBroadcaster::new(&seed, cfg.tesla_intervals, 0, cfg.tesla_interval_us, cfg.tesla_delay);
+        let tesla = TeslaBroadcaster::new(
+            &seed,
+            cfg.tesla_intervals,
+            0,
+            cfg.tesla_interval_us,
+            cfg.tesla_delay,
+        );
         SecMlrGateway {
             cfg,
             keys: KeyStore::for_gateway(master, id.0),
@@ -158,7 +164,12 @@ impl SecMlrGateway {
     }
 
     /// Boxed, for `World::add_node`.
-    pub fn boxed(cfg: SecGatewayConfig, master: &Key128, id: NodeId, place: u16) -> Box<dyn Behavior> {
+    pub fn boxed(
+        cfg: SecGatewayConfig,
+        master: &Key128,
+        id: NodeId,
+        place: u16,
+    ) -> Box<dyn Behavior> {
         Box::new(Self::new(cfg, master, id, place))
     }
 
@@ -431,10 +442,7 @@ mod tests {
         );
         assert_eq!(gw, gw_id);
         // Deployment-time anchoring.
-        let params = w
-            .behavior_as::<SecMlrGateway>(gw)
-            .unwrap()
-            .tesla_params();
+        let params = w.behavior_as::<SecMlrGateway>(gw).unwrap().tesla_params();
         for &s in &sensors {
             w.with_behavior::<SecMlrSensor, _>(s, |b, _| {
                 b.install_tesla(
@@ -591,7 +599,12 @@ mod tests {
                 hops: 2,
                 sealed,
             };
-            ctx.send(Some(NodeId(2)), Tier::Sensor, PacketKind::Data, msg.encode());
+            ctx.send(
+                Some(NodeId(2)),
+                Tier::Sensor,
+                PacketKind::Data,
+                msg.encode(),
+            );
         });
         w.run_for(1_000_000);
         let g = w.behavior_as::<SecMlrGateway>(gw).unwrap();
@@ -726,8 +739,9 @@ mod tests {
     #[test]
     fn topology_guard_accepts_honest_paths_and_rejects_wormholes() {
         use wmsn_util::Point;
-        let layout: Vec<(NodeId, Point)> =
-            (0..6u32).map(|i| (NodeId(i), Point::new(f64::from(i) * 10.0, 0.0))).collect();
+        let layout: Vec<(NodeId, Point)> = (0..6u32)
+            .map(|i| (NodeId(i), Point::new(f64::from(i) * 10.0, 0.0)))
+            .collect();
         let guard = TopologyGuard::new(layout, 10.0);
         // Honest chain path: consecutive 10 m links.
         let honest: Vec<NodeId> = (0..6).map(NodeId).collect();
@@ -761,7 +775,10 @@ mod tests {
         // single-copy path (the first copy the gateway hears IS [S0]-ish
         // only if tunnelled; in this honest run nothing is discarded).
         let g = w.behavior_as::<SecMlrGateway>(gw).unwrap();
-        assert_eq!(g.stats.implausible_paths, 0, "honest run: nothing discarded");
+        assert_eq!(
+            g.stats.implausible_paths, 0,
+            "honest run: nothing discarded"
+        );
         assert_eq!(w.metrics().deliveries.len(), 1);
         assert_eq!(w.metrics().deliveries[0].hops, 5);
     }

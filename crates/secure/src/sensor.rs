@@ -11,6 +11,7 @@
 use crate::wire::{announce_plaintext, req_plaintext, QuerySection, SecMsg};
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use wmsn_crypto::keys::CounterSet;
 use wmsn_crypto::tesla::TeslaReceiver;
 use wmsn_crypto::{open, seal, KeyStore, ReplayGuard};
@@ -121,7 +122,7 @@ pub struct SecMlrSensor {
     next_msg_id: u64,
     pending: Vec<PendingMsg>,
     discovering: Option<(u64, u32)>,
-    flood_queue: VecDeque<(Vec<u8>, PacketKind)>,
+    flood_queue: VecDeque<(Rc<[u8]>, PacketKind)>,
     /// Counters.
     pub stats: SecSensorStats,
 }
@@ -292,7 +293,8 @@ impl SecMlrSensor {
         ctx.send(Some(ir), Tier::Sensor, PacketKind::Data, data.encode());
     }
 
-    fn queue_flood(&mut self, ctx: &mut Ctx<'_>, bytes: Vec<u8>, kind: PacketKind) {
+    fn queue_flood(&mut self, ctx: &mut Ctx<'_>, bytes: impl Into<Rc<[u8]>>, kind: PacketKind) {
+        let bytes = bytes.into();
         if self.cfg.flood_jitter_us == 0 {
             ctx.send(None, Tier::Sensor, kind, bytes);
         } else {

@@ -16,10 +16,8 @@
 //! mote-class batteries so that lifetime experiments converge quickly while
 //! preserving all ratios.
 
-use serde::Serialize;
-
 /// How radio operations are charged against a node's battery.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub enum EnergyModel {
     /// Heinzelman first-order model (per-bit, distance-dependent).
     FirstOrder {
@@ -77,7 +75,7 @@ impl EnergyModel {
 }
 
 /// A node's battery.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Battery {
     /// Initial charge, J. `f64::INFINITY` for unconstrained nodes
     /// (gateways/WMRs/base stations — §5.3 assumes gateways have

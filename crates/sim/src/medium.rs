@@ -12,11 +12,10 @@
 //!   simulating backoff state machines the paper never discusses.
 
 use crate::time::SimTime;
-use serde::Serialize;
 use wmsn_util::NodeId;
 
 /// Collision handling at receivers.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CollisionModel {
     /// Ideal medium: simultaneous receptions all succeed.
     None,
@@ -25,7 +24,7 @@ pub enum CollisionModel {
 }
 
 /// Medium configuration.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MediumConfig {
     /// Independent probability that any single reception is lost.
     pub loss_prob: f64,
@@ -50,14 +49,19 @@ impl Default for MediumConfig {
 }
 
 /// Tracks per-receiver busy windows for the collision model.
+///
+/// Stored as a dense table indexed by node index — `register` runs once
+/// per (transmit × receiver), so it must not pay hashing. A default
+/// (all-zero) entry behaves exactly like an absent one: its window is
+/// empty (`end == 0`), so any registration replaces it and no delivery
+/// reads it as corrupted.
 #[derive(Debug, Default)]
 pub struct CollisionTracker {
-    /// Per node: (busy_until, last_window_start, corrupted_flag, seq of
-    /// the in-flight frame).
-    windows: std::collections::HashMap<NodeId, Window>,
+    /// Per node index: the most recent busy window.
+    windows: Vec<Window>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Window {
     start: SimTime,
     end: SimTime,
@@ -75,24 +79,23 @@ impl CollisionTracker {
     /// then corrupted; the earlier frame's corruption is recorded and
     /// queried at its delivery time via [`CollisionTracker::corrupted`]).
     pub fn register(&mut self, rx: NodeId, start: SimTime, end: SimTime) -> bool {
-        match self.windows.get_mut(&rx) {
-            Some(w) if start < w.end => {
-                // Overlap: corrupt both; extend the busy window.
-                w.corrupted = true;
-                w.end = w.end.max(end);
-                true
-            }
-            _ => {
-                self.windows.insert(
-                    rx,
-                    Window {
-                        start,
-                        end,
-                        corrupted: false,
-                    },
-                );
-                false
-            }
+        let i = rx.index();
+        if i >= self.windows.len() {
+            self.windows.resize(i + 1, Window::default());
+        }
+        let w = &mut self.windows[i];
+        if start < w.end {
+            // Overlap: corrupt both; extend the busy window.
+            w.corrupted = true;
+            w.end = w.end.max(end);
+            true
+        } else {
+            *w = Window {
+                start,
+                end,
+                corrupted: false,
+            };
+            false
         }
     }
 
@@ -100,9 +103,22 @@ impl CollisionTracker {
     /// later overlapping frame?
     pub fn corrupted(&self, rx: NodeId, start: SimTime) -> bool {
         self.windows
-            .get(&rx)
+            .get(rx.index())
             .map(|w| w.corrupted && start >= w.start)
             .unwrap_or(false)
+    }
+
+    /// Clear every window that ended at or before `before`. Safe once all
+    /// deliveries scheduled against those windows have resolved (the world
+    /// calls this when its event queue drains): future registrations start
+    /// at or after `before`, so an expired window can neither overlap them
+    /// nor be queried again.
+    pub fn prune(&mut self, before: SimTime) {
+        for w in &mut self.windows {
+            if w.end <= before {
+                *w = Window::default();
+            }
+        }
     }
 }
 
@@ -147,6 +163,21 @@ mod tests {
         assert!(t.register(NodeId(1), 8, 30));
         // A third frame inside the extended window still collides.
         assert!(t.register(NodeId(1), 25, 35));
+    }
+
+    #[test]
+    fn pruning_clears_expired_windows_only() {
+        let mut t = CollisionTracker::new();
+        t.register(NodeId(1), 0, 10);
+        t.register(NodeId(1), 5, 15); // corrupt, window now [0, 15]
+        t.register(NodeId(2), 90, 110); // still in flight at t=20
+        t.prune(20);
+        assert!(!t.corrupted(NodeId(1), 0), "expired window is gone");
+        // The live window survives and still collides.
+        assert!(t.register(NodeId(2), 100, 120));
+        // A fresh registration after pruning behaves like a first one.
+        assert!(!t.register(NodeId(1), 30, 40));
+        assert!(!t.corrupted(NodeId(1), 30));
     }
 
     #[test]

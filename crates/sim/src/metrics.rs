@@ -7,13 +7,12 @@
 
 use crate::packet::PacketKind;
 use crate::time::SimTime;
-use serde::Serialize;
 use wmsn_util::stats::energy_variance;
 use wmsn_util::NodeId;
 
 /// A completed end-to-end application delivery, recorded by the
 /// destination protocol via [`crate::node::Ctx::record_delivery`].
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Delivery {
     /// Originating node.
     pub source: NodeId,
@@ -37,7 +36,7 @@ impl Delivery {
 }
 
 /// Counters and records accumulated over one run.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Frames transmitted, by kind.
     pub sent_control: u64,
@@ -141,7 +140,10 @@ impl Metrics {
         if self.deliveries.is_empty() {
             return 0.0;
         }
-        self.deliveries.iter().map(|d| d.latency() as f64).sum::<f64>()
+        self.deliveries
+            .iter()
+            .map(|d| d.latency() as f64)
+            .sum::<f64>()
             / self.deliveries.len() as f64
     }
 

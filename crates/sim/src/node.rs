@@ -158,14 +158,19 @@ impl Ctx<'_> {
     /// node on `tier`. Charges transmit energy; the frame is delivered
     /// after the PHY's hop delay, subject to loss/collisions. Returns
     /// `false` if the node was dead or lacks the tier.
+    ///
+    /// Accepts anything convertible to a shared buffer (`Vec<u8>`, an
+    /// existing `Rc<[u8]>` from a received packet, …); forwarding a
+    /// received payload is free.
     pub fn send(
         &mut self,
         link_dst: Option<NodeId>,
         tier: Tier,
         kind: PacketKind,
-        payload: Vec<u8>,
+        payload: impl Into<std::rc::Rc<[u8]>>,
     ) -> bool {
-        self.core.transmit(self.node, link_dst, tier, kind, payload)
+        self.core
+            .transmit(self.node, link_dst, tier, kind, payload.into())
     }
 
     /// Boosted-power transmission reaching every tier member within
@@ -177,11 +182,11 @@ impl Ctx<'_> {
         link_dst: Option<NodeId>,
         tier: Tier,
         kind: PacketKind,
-        payload: Vec<u8>,
+        payload: impl Into<std::rc::Rc<[u8]>>,
         range_m: f64,
     ) -> bool {
         self.core
-            .transmit_ranged(self.node, link_dst, tier, kind, payload, range_m)
+            .transmit_ranged(self.node, link_dst, tier, kind, payload.into(), range_m)
     }
 
     /// Set a timer that fires `delay` microseconds from now, returning
@@ -211,13 +216,7 @@ impl Ctx<'_> {
     }
 
     /// Record a completed end-to-end delivery at this node.
-    pub fn record_delivery(
-        &mut self,
-        source: NodeId,
-        msg_id: u64,
-        sent_at: SimTime,
-        hops: u32,
-    ) {
+    pub fn record_delivery(&mut self, source: NodeId, msg_id: u64, sent_at: SimTime, hops: u32) {
         let d = crate::metrics::Delivery {
             source,
             destination: self.node,

@@ -8,6 +8,7 @@
 //! with `wmsn_util::codec`.
 
 use crate::phy::Tier;
+use std::rc::Rc;
 use wmsn_util::NodeId;
 
 /// Coarse classification for overhead accounting (E5, E7).
@@ -37,8 +38,10 @@ pub struct Packet {
     pub tier: Tier,
     /// Metrics classification.
     pub kind: PacketKind,
-    /// Protocol payload bytes.
-    pub payload: Vec<u8>,
+    /// Protocol payload bytes. Reference-counted so broadcasts, CSMA
+    /// retransmits and store-and-forward queues share one buffer instead
+    /// of copying it.
+    pub payload: Rc<[u8]>,
 }
 
 impl Packet {
@@ -69,7 +72,7 @@ mod tests {
             link_dst,
             tier: Tier::Sensor,
             kind: PacketKind::Data,
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
         }
     }
 

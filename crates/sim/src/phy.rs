@@ -6,10 +6,8 @@
 //! cost, so a PHY here is a small parameter block. Defaults follow
 //! commonly-cited figures for CC2420-class motes and 802.11b mesh radios.
 
-use serde::Serialize;
-
 /// Which of the two logical radio networks a transmission happens on.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Tier {
     /// The low-level sensor network (802.15.4-class).
     Sensor,
@@ -18,7 +16,7 @@ pub enum Tier {
 }
 
 /// Physical-layer parameters for one tier.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PhyProfile {
     /// Radio range in metres (unit disk).
     pub range_m: f64,

@@ -13,9 +13,10 @@ use crate::node::{Behavior, Ctx, NodeConfig, NodeState};
 use crate::packet::{Packet, PacketKind};
 use crate::phy::{PhyProfile, Tier};
 use crate::time::SimTime;
+use std::collections::HashMap;
 use std::rc::Rc;
 use wmsn_util::geom::unit_disk_adjacency;
-use wmsn_util::{NodeId, NodeRole, SplitMix64};
+use wmsn_util::{NodeId, NodeRole, Point, SplitMix64};
 
 /// World construction parameters.
 #[derive(Clone, Debug)]
@@ -57,22 +58,102 @@ pub struct WorldCore {
     pub(crate) node_rngs: Vec<SplitMix64>,
     medium_rng: SplitMix64,
     next_packet_seq: u64,
-    /// In-flight transmissions for carrier sensing: (origin position,
-    /// airtime end, tier). Pruned lazily.
-    active_tx: Vec<(wmsn_util::Point, SimTime, Tier)>,
-    /// Cached adjacency per tier; rebuilt lazily after moves/additions.
+    /// In-flight transmissions for carrier sensing, bucketed per tier by
+    /// grid cell so `channel_busy` scans only the 3×3 block around the
+    /// sender instead of every transmission in the field.
+    active_tx: [TxBuckets; 2],
+    /// Cached adjacency per tier; built lazily in bulk, updated
+    /// incrementally when a node moves.
     adjacency: [Option<AdjacencyCache>; 2],
     collisions: [CollisionTracker; 2],
+    /// Reusable slot buffer for `transmit_ranged` receiver collection.
+    ranged_scratch: Vec<usize>,
 }
 
 struct AdjacencyCache {
     /// Node ids participating in this tier (alive or dead — liveness is
     /// checked at use time).
     members: Vec<NodeId>,
-    /// For each member (by position in `members`), indices into `members`.
+    /// For each member (by position in `members`), indices into `members`,
+    /// sorted ascending (delivery order is part of determinism).
     adj: Vec<Vec<usize>>,
     /// node id -> member slot.
     slot: Vec<Option<usize>>,
+    /// Member slots bucketed by grid cell (side = radio range), anchored
+    /// at `origin`. Everything within range of a point lies in the 3×3
+    /// cell block around it; the buckets are kept current across moves.
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+    /// Grid anchor (min corner of the positions at build time; moves may
+    /// go outside — cell coordinates just go negative).
+    origin: Point,
+    /// Grid cell side, equal to the tier's radio range.
+    cell: f64,
+}
+
+impl AdjacencyCache {
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            ((p.x - self.origin.x) / self.cell).floor() as i64,
+            ((p.y - self.origin.y) / self.cell).floor() as i64,
+        )
+    }
+}
+
+/// Carrier-sense index: in-flight transmissions bucketed by grid cell
+/// (side = the tier's radio range, so audibility is confined to the 3×3
+/// block). Expired entries are dropped lazily while scanning and swept
+/// whenever the world's event queue drains.
+struct TxBuckets {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<(Point, SimTime)>>,
+}
+
+impl TxBuckets {
+    fn new(range_m: f64) -> Self {
+        TxBuckets {
+            cell: if range_m > 0.0 { range_m } else { 1.0 },
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn key(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    fn push(&mut self, pos: Point, end: SimTime) {
+        self.buckets
+            .entry(self.key(pos))
+            .or_default()
+            .push((pos, end));
+    }
+
+    /// Whether any transmission still on the air at `now` is audible
+    /// within `range` of `pos`. Prunes expired entries in the scanned
+    /// cells as a side effect.
+    fn busy_near(&mut self, pos: Point, range: f64, now: SimTime) -> bool {
+        let (cx, cy) = self.key(pos);
+        let mut busy = false;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(b) = self.buckets.get_mut(&(cx + dx, cy + dy)) {
+                    b.retain(|&(_, end)| end > now);
+                    busy = busy || b.iter().any(|&(p, _)| p.within(pos, range));
+                }
+            }
+        }
+        busy
+    }
+
+    /// Drop every entry that has left the air.
+    fn prune(&mut self, now: SimTime) {
+        self.buckets.retain(|_, b| {
+            b.retain(|&(_, end)| end > now);
+            !b.is_empty()
+        });
+    }
 }
 
 fn tier_index(t: Tier) -> usize {
@@ -108,18 +189,103 @@ impl WorldCore {
             })
             .map(|n| n.id)
             .collect();
-        let positions: Vec<_> = members.iter().map(|id| self.nodes[id.index()].pos).collect();
-        let adj = unit_disk_adjacency(&positions, self.phy(tier).range_m);
+        let positions: Vec<_> = members
+            .iter()
+            .map(|id| self.nodes[id.index()].pos)
+            .collect();
+        let range = self.phy(tier).range_m;
+        let adj = unit_disk_adjacency(&positions, range);
         let mut slot = vec![None; self.nodes.len()];
         for (s, id) in members.iter().enumerate() {
             slot[id.index()] = Some(s);
         }
-        self.adjacency[ti] = Some(AdjacencyCache { members, adj, slot });
+        let origin = Point::new(
+            positions.iter().map(|p| p.x).fold(0.0, f64::min),
+            positions.iter().map(|p| p.y).fold(0.0, f64::min),
+        );
+        let mut cache = AdjacencyCache {
+            members,
+            adj,
+            slot,
+            buckets: HashMap::new(),
+            origin,
+            cell: if range > 0.0 { range } else { 1.0 },
+        };
+        for (s, p) in positions.iter().enumerate() {
+            let key = cache.cell_of(*p);
+            cache.buckets.entry(key).or_default().push(s);
+        }
+        self.adjacency[ti] = Some(cache);
+    }
+
+    /// Incrementally repair a tier's adjacency cache after one node moved:
+    /// only the moved node's row, the rows that referenced it, and its
+    /// grid bucket change — everything else is untouched. Rebuilding from
+    /// scratch costs O(members) allocations per move; gateway mobility
+    /// moves one node per round.
+    fn update_adjacency_for_move(&mut self, ti: usize, id: NodeId, old_pos: Point) {
+        let Some(cache) = self.adjacency[ti].as_mut() else {
+            return;
+        };
+        let Some(s) = cache.slot.get(id.index()).copied().flatten() else {
+            return;
+        };
+        let new_pos = self.nodes[id.index()].pos;
+        let old_cell = cache.cell_of(old_pos);
+        let new_cell = cache.cell_of(new_pos);
+        if old_cell != new_cell {
+            if let Some(b) = cache.buckets.get_mut(&old_cell) {
+                if let Some(i) = b.iter().position(|&x| x == s) {
+                    b.swap_remove(i);
+                }
+                if b.is_empty() {
+                    cache.buckets.remove(&old_cell);
+                }
+            }
+            cache.buckets.entry(new_cell).or_default().push(s);
+        }
+        // Drop the old edges from both endpoints (rows stay sorted).
+        let old_row = std::mem::take(&mut cache.adj[s]);
+        for &t in &old_row {
+            if let Ok(i) = cache.adj[t].binary_search(&s) {
+                cache.adj[t].remove(i);
+            }
+        }
+        // Recompute the moved node's row from its 3×3 cell block; the
+        // predicate matches `unit_disk_adjacency` exactly, so the cache is
+        // indistinguishable from a full rebuild.
+        let range = cache.cell;
+        let mut row = old_row;
+        row.clear();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(b) = cache.buckets.get(&(new_cell.0 + dx, new_cell.1 + dy)) {
+                    for &t in b {
+                        if t != s
+                            && self.nodes[cache.members[t].index()]
+                                .pos
+                                .within(new_pos, range)
+                        {
+                            row.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        row.sort_unstable();
+        for &t in &row {
+            if let Err(i) = cache.adj[t].binary_search(&s) {
+                cache.adj[t].insert(i, s);
+            }
+        }
+        cache.adj[s] = row;
     }
 
     pub(crate) fn neighbors_of(&mut self, node: NodeId, tier: Tier) -> Vec<NodeId> {
         self.ensure_adjacency(tier);
-        let cache = self.adjacency[tier_index(tier)].as_ref().expect("just built");
+        let cache = self.adjacency[tier_index(tier)]
+            .as_ref()
+            .expect("just built");
         let Some(slot) = cache.slot.get(node.index()).copied().flatten() else {
             return Vec::new();
         };
@@ -165,21 +331,19 @@ impl WorldCore {
         link_dst: Option<NodeId>,
         tier: Tier,
         kind: PacketKind,
-        payload: Vec<u8>,
+        payload: Rc<[u8]>,
     ) -> bool {
         self.transmit_attempt(src, link_dst, tier, kind, payload, 0)
     }
 
     /// Whether `src` can currently hear an ongoing transmission on `tier`
-    /// (the carrier-sense predicate). Prunes expired windows.
+    /// (the carrier-sense predicate). Prunes expired windows in the cells
+    /// it scans.
     fn channel_busy(&mut self, src: NodeId, tier: Tier) -> bool {
         let now = self.now;
-        self.active_tx.retain(|&(_, end, _)| end > now);
         let pos = self.nodes[src.index()].pos;
         let range = self.phy(tier).range_m;
-        self.active_tx
-            .iter()
-            .any(|&(p, _, t)| t == tier && p.within(pos, range))
+        self.active_tx[tier_index(tier)].busy_near(pos, range, now)
     }
 
     pub(crate) fn transmit_attempt(
@@ -188,7 +352,7 @@ impl WorldCore {
         link_dst: Option<NodeId>,
         tier: Tier,
         kind: PacketKind,
-        payload: Vec<u8>,
+        payload: Rc<[u8]>,
         attempt: u8,
     ) -> bool {
         {
@@ -212,8 +376,7 @@ impl WorldCore {
                 return false;
             }
             let slot = self.phy(tier).tx_time_us(32).max(100);
-            let backoff =
-                1 + self.node_rngs[src.index()].next_below(slot << attempt.min(4));
+            let backoff = 1 + self.node_rngs[src.index()].next_below(slot << attempt.min(4));
             self.metrics.csma_deferrals += 1;
             let at = self.now + backoff;
             self.queue.schedule(
@@ -252,27 +415,40 @@ impl WorldCore {
 
         let tx_end = self.now + phy.tx_time_us(size);
         let arrival = self.now + phy.hop_delay_us(size);
+        let ti = tier_index(tier);
         if self.cfg.medium.csma {
             let pos = self.nodes[src.index()].pos;
-            self.active_tx.push((pos, tx_end, tier));
+            self.active_tx[ti].push(pos, tx_end);
         }
-        let neighbors = self.neighbors_of(src, tier);
+        // Fan out over the cached adjacency row directly. The cache is
+        // taken out of its slot for the duration (a cheap move) so the
+        // queue/collision state can be borrowed mutably alongside it — no
+        // per-transmit neighbour Vec is ever allocated.
+        self.ensure_adjacency(tier);
         let packet = Rc::new(packet);
         let use_collisions = self.cfg.medium.collisions == CollisionModel::ReceiverOverlap;
-        for rx in neighbors {
-            if use_collisions {
-                // Register the airtime window at the receiver; collisions
-                // are resolved at delivery time.
-                self.collisions[tier_index(tier)].register(rx, self.now, tx_end);
+        let cache = self.adjacency[ti].take().expect("just built");
+        if let Some(slot) = cache.slot.get(src.index()).copied().flatten() {
+            for &s in &cache.adj[slot] {
+                let rx = cache.members[s];
+                if !self.nodes[rx.index()].alive {
+                    continue;
+                }
+                if use_collisions {
+                    // Register the airtime window at the receiver;
+                    // collisions are resolved at delivery time.
+                    self.collisions[ti].register(rx, self.now, tx_end);
+                }
+                self.queue.schedule(
+                    arrival,
+                    EventKind::Deliver {
+                        to: rx,
+                        packet: Rc::clone(&packet),
+                    },
+                );
             }
-            self.queue.schedule(
-                arrival,
-                EventKind::Deliver {
-                    to: rx,
-                    packet: Rc::clone(&packet),
-                },
-            );
         }
+        self.adjacency[ti] = Some(cache);
         true
     }
 
@@ -280,14 +456,16 @@ impl WorldCore {
     /// tier member within `range_m` (ignoring the PHY's nominal range) and
     /// charging transmit energy for that distance. Models LEACH-style
     /// cluster heads talking directly to a far base station by raising
-    /// their amplifier power. Bypasses the adjacency cache.
+    /// their amplifier power. Receivers come from the adjacency cache's
+    /// grid buckets — a `(2k+1)²`-cell block for `k = ⌈range/cell⌉` —
+    /// instead of a scan over every node in the world.
     pub(crate) fn transmit_ranged(
         &mut self,
         src: NodeId,
         link_dst: Option<NodeId>,
         tier: Tier,
         kind: PacketKind,
-        payload: Vec<u8>,
+        payload: Rc<[u8]>,
         range_m: f64,
     ) -> bool {
         {
@@ -320,31 +498,43 @@ impl WorldCore {
         let _ = self.charge(src, tx_cost);
         let src_pos = self.nodes[src.index()].pos;
         let arrival = self.now + phy.hop_delay_us(size);
-        let receivers: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter(|n| {
-                n.id != src
-                    && (match tier {
-                        Tier::Sensor => n.role.in_sensor_tier(),
-                        Tier::Mesh => n.role.in_mesh_tier(),
-                    })
-                    // Tolerant comparison: callers commonly pass the exact
-                    // geometric distance, and sqrt(x)² can round below x.
-                    && n.pos.dist_sq(src_pos) <= range_m * range_m * (1.0 + 1e-9)
-            })
-            .map(|n| n.id)
-            .collect();
+        // Tolerant comparison: callers commonly pass the exact geometric
+        // distance, and sqrt(x)² can round below x.
+        let tolerance = range_m * range_m * (1.0 + 1e-9);
+        let ti = tier_index(tier);
+        self.ensure_adjacency(tier);
+        let cache = self.adjacency[ti].take().expect("just built");
+        let mut slots = std::mem::take(&mut self.ranged_scratch);
+        slots.clear();
+        let (cx, cy) = cache.cell_of(src_pos);
+        let k = (range_m / cache.cell).floor() as i64 + 1;
+        for dx in -k..=k {
+            for dy in -k..=k {
+                if let Some(b) = cache.buckets.get(&(cx + dx, cy + dy)) {
+                    for &t in b {
+                        let id = cache.members[t];
+                        if id != src && self.nodes[id.index()].pos.dist_sq(src_pos) <= tolerance {
+                            slots.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        // Member slots ascend with node id, so sorting restores the
+        // deterministic id-order delivery schedule of a linear scan.
+        slots.sort_unstable();
         let packet = Rc::new(packet);
-        for rx in receivers {
+        for &t in &slots {
             self.queue.schedule(
                 arrival,
                 EventKind::Deliver {
-                    to: rx,
+                    to: cache.members[t],
                     packet: Rc::clone(&packet),
                 },
             );
         }
+        self.ranged_scratch = slots;
+        self.adjacency[ti] = Some(cache);
         true
     }
 
@@ -399,6 +589,10 @@ impl World {
     /// Create an empty world.
     pub fn new(cfg: WorldConfig) -> Self {
         let medium_rng = SplitMix64::new(cfg.seed).split(0x4D45_4449_554D); // "MEDIUM"
+        let active_tx = [
+            TxBuckets::new(cfg.sensor_phy.range_m),
+            TxBuckets::new(cfg.mesh_phy.range_m),
+        ];
         World {
             core: WorldCore {
                 cfg,
@@ -409,9 +603,10 @@ impl World {
                 node_rngs: Vec::new(),
                 medium_rng,
                 next_packet_seq: 0,
-                active_tx: Vec::new(),
+                active_tx,
                 adjacency: [None, None],
                 collisions: [CollisionTracker::new(), CollisionTracker::new()],
+                ranged_scratch: Vec::new(),
             },
             behaviors: Vec::new(),
             started: false,
@@ -501,6 +696,18 @@ impl World {
             }
         }
         self.core.now = self.core.now.max(deadline);
+        // A drained queue means every scheduled delivery has resolved, so
+        // expired medium state can never be read again — sweep it now to
+        // keep the dense tables from accumulating over long runs.
+        if self.core.queue.is_empty() {
+            let now = self.core.now;
+            for c in &mut self.core.collisions {
+                c.prune(now);
+            }
+            for tx in &mut self.core.active_tx {
+                tx.prune(now);
+            }
+        }
     }
 
     /// Run for `dt` more microseconds.
@@ -541,19 +748,28 @@ impl World {
 
     /// Ids of all nodes with `role`.
     pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
+        self.nodes_with_role_iter(role).collect()
+    }
+
+    /// Iterator over the ids of all nodes with `role` — the
+    /// allocation-free form of [`World::nodes_with_role`].
+    pub fn nodes_with_role_iter(&self, role: NodeRole) -> impl Iterator<Item = NodeId> + '_ {
         self.core
             .nodes
             .iter()
-            .filter(|n| n.role == role)
+            .filter(move |n| n.role == role)
             .map(|n| n.id)
-            .collect()
     }
 
-    /// Move a node (gateway mobility between rounds). Invalidates the
-    /// adjacency caches.
+    /// Move a node (gateway mobility between rounds). Updates the
+    /// adjacency caches incrementally: only the moved node's row, the
+    /// rows referencing it and its grid bucket are touched.
     pub fn set_position(&mut self, id: NodeId, pos: wmsn_util::Point) {
+        let old_pos = self.core.nodes[id.index()].pos;
         self.core.nodes[id.index()].pos = pos;
-        self.core.invalidate_adjacency();
+        for ti in 0..2 {
+            self.core.update_adjacency_for_move(ti, id, old_pos);
+        }
     }
 
     /// Put a node's radio in promiscuous mode (adversaries eavesdropping
@@ -644,6 +860,12 @@ impl World {
     pub fn sensor_ids(&self) -> Vec<NodeId> {
         self.nodes_with_role(NodeRole::Sensor)
     }
+
+    /// Iterator over sensor ids — the allocation-free form of
+    /// [`World::sensor_ids`].
+    pub fn sensor_ids_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes_with_role_iter(NodeRole::Sensor)
+    }
 }
 
 #[cfg(test)]
@@ -709,7 +931,10 @@ mod tests {
     fn out_of_range_node_hears_nothing() {
         let mut w = World::new(WorldConfig::ideal(1));
         let _a = w.add_node(NodeConfig::sensor(Point::new(0.0, 0.0), 1.0), probe(true));
-        let far = w.add_node(NodeConfig::sensor(Point::new(500.0, 0.0), 1.0), probe(false));
+        let far = w.add_node(
+            NodeConfig::sensor(Point::new(500.0, 0.0), 1.0),
+            probe(false),
+        );
         w.run_until(1_000_000);
         assert!(w.behavior_as::<Probe>(far).unwrap().received.is_empty());
     }
@@ -808,7 +1033,10 @@ mod tests {
         let mut w = World::new(WorldConfig::ideal(1));
         let g = w.add_node(NodeConfig::gateway(Point::new(0.0, 0.0)), probe(false));
         let s = w.add_node(NodeConfig::sensor(Point::new(5.0, 0.0), 1.0), probe(false));
-        let r = w.add_node(NodeConfig::mesh_router(Point::new(100.0, 0.0)), probe(false));
+        let r = w.add_node(
+            NodeConfig::mesh_router(Point::new(100.0, 0.0)),
+            probe(false),
+        );
         w.start();
         w.with_behavior::<Probe, _>(g, |_, ctx| {
             ctx.send(None, Tier::Sensor, PacketKind::Data, vec![1]);
@@ -836,7 +1064,10 @@ mod tests {
     fn moving_a_node_updates_reachability() {
         let mut w = World::new(WorldConfig::ideal(1));
         let a = w.add_node(NodeConfig::sensor(Point::new(0.0, 0.0), 1.0), probe(false));
-        let b = w.add_node(NodeConfig::sensor(Point::new(500.0, 0.0), 1.0), probe(false));
+        let b = w.add_node(
+            NodeConfig::sensor(Point::new(500.0, 0.0), 1.0),
+            probe(false),
+        );
         w.start();
         w.with_behavior::<Probe, _>(a, |_, ctx| {
             ctx.send(None, Tier::Sensor, PacketKind::Data, vec![]);

@@ -68,7 +68,8 @@ pub fn gaf_sleep_schedule(points: &[Point], energies: &[f64], range: f64) -> Vec
     }
     assert!(range > 0.0, "range must be positive");
     let cell = range / 5f64.sqrt();
-    let mut leaders: std::collections::HashMap<(i64, i64), usize> = std::collections::HashMap::new();
+    let mut leaders: std::collections::HashMap<(i64, i64), usize> =
+        std::collections::HashMap::new();
     for (i, p) in points.iter().enumerate() {
         let key = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
         match leaders.get_mut(&key) {

@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn grid_covers_field_roughly_evenly() {
         let mut rng = SplitMix64::new(2);
-        let pts = Deployment::JitteredGrid { n: 100, jitter: 0.0 }.generate(field(), &mut rng);
+        let pts = Deployment::JitteredGrid {
+            n: 100,
+            jitter: 0.0,
+        }
+        .generate(field(), &mut rng);
         assert_eq!(pts.len(), 100);
         // Zero jitter 10×10 grid: first point at cell centre (5,5).
         assert_eq!(pts[0], Point::new(5.0, 5.0));

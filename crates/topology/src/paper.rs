@@ -66,8 +66,8 @@ pub fn fig2_three_gateways() -> Topology {
     Topology::new(
         fig2_sensors(),
         vec![
-            Point::new(20.0, 10.0), // G1 — adjacent to S1
-            Point::new(5.0, 72.0),  // G2 — adjacent to S2 and the S4 relay
+            Point::new(20.0, 10.0),  // G1 — adjacent to S1
+            Point::new(5.0, 72.0),   // G2 — adjacent to S2 and the S4 relay
             Point::new(-60.0, 10.0), // G3 — adjacent to S3
         ],
         fig2_field(),

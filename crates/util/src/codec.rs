@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn scalar_roundtrip() {
         let mut w = Writer::new();
-        w.u8(0xAB).u16(0x1234).u32(0xDEAD_BEEF).u64(0x0102_0304_0506_0708);
+        w.u8(0xAB)
+            .u16(0x1234)
+            .u32(0xDEAD_BEEF)
+            .u64(0x0102_0304_0506_0708);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 0xAB);
@@ -239,7 +242,13 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u16().unwrap(), 0x0201);
         let err = r.u32().unwrap_err();
-        assert_eq!(err, DecodeError::Truncated { needed: 4, remaining: 0 });
+        assert_eq!(
+            err,
+            DecodeError::Truncated {
+                needed: 4,
+                remaining: 0
+            }
+        );
     }
 
     #[test]
@@ -280,7 +289,10 @@ mod tests {
         w.id_list(&ids);
         let buf = w.into_bytes();
         let mut r = Reader::new(&buf);
-        assert_eq!(r.id_list(10).unwrap_err(), DecodeError::LengthOutOfRange(20));
+        assert_eq!(
+            r.id_list(10).unwrap_err(),
+            DecodeError::LengthOutOfRange(20)
+        );
     }
 
     #[test]
@@ -297,7 +309,11 @@ mod tests {
     #[test]
     fn decode_error_displays() {
         let msgs = [
-            DecodeError::Truncated { needed: 4, remaining: 1 }.to_string(),
+            DecodeError::Truncated {
+                needed: 4,
+                remaining: 1,
+            }
+            .to_string(),
             DecodeError::BadTag(0x7F).to_string(),
             DecodeError::LengthOutOfRange(9).to_string(),
             DecodeError::TrailingBytes(2).to_string(),

@@ -68,7 +68,10 @@ pub struct Rect {
 impl Rect {
     /// A field spanning `[0,w] × [0,h]`.
     pub fn field(w: f64, h: f64) -> Self {
-        assert!(w >= 0.0 && h >= 0.0, "field dimensions must be non-negative");
+        assert!(
+            w >= 0.0 && h >= 0.0,
+            "field dimensions must be non-negative"
+        );
         Rect {
             min: Point::new(0.0, 0.0),
             max: Point::new(w, h),
@@ -223,7 +226,9 @@ mod tests {
         // Deterministic pseudo-random layout without pulling in `rand`.
         let mut s = 0x9E37_79B9_7F4A_7C15u64;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         let pts: Vec<Point> = (0..200)

@@ -6,7 +6,6 @@
 //! routers** (WMRs — backbone only, 802.11), and **base stations** bridging
 //! the mesh backbone to the Internet.
 
-use serde::Serialize;
 use std::fmt;
 
 /// A dense, copyable node identifier.
@@ -16,7 +15,7 @@ use std::fmt;
 /// on the wire). `NodeId` is deliberately *not* an address with structure;
 /// the paper's sensor nodes need no globally meaningful IDs beyond
 /// distinguishing neighbours and gateways.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -150,7 +149,11 @@ mod tests {
     #[test]
     fn only_gateways_are_sinks() {
         assert!(NodeRole::Gateway.is_sink());
-        for r in [NodeRole::Sensor, NodeRole::MeshRouter, NodeRole::BaseStation] {
+        for r in [
+            NodeRole::Sensor,
+            NodeRole::MeshRouter,
+            NodeRole::BaseStation,
+        ] {
             assert!(!r.is_sink());
         }
     }

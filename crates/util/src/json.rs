@@ -1,0 +1,225 @@
+//! Minimal JSON emission for reports and benchmark artifacts.
+//!
+//! The workspace builds without external crates, so report archiving and
+//! the perf baseline (`BENCH_hotpath.json`) use this hand-rolled writer
+//! instead of `serde_json`. It covers exactly what we emit: objects,
+//! arrays, strings, integers, floats and booleans, with RFC 8259 string
+//! escaping. Non-finite floats serialise as `null` (matching what
+//! `serde_json` does for them under default settings).
+
+use std::fmt::Write as _;
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (kept separate from floats so counters print without `.0`).
+    Int(i64),
+    /// Unsigned integer (u64 counters that may exceed i64).
+    UInt(u64),
+    /// Floating-point number; non-finite values serialise as `null`.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as an ordered key/value list (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialise with two-space indentation, like `to_string_pretty`.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{}` on f64 is shortest round-trip and never produces
+                    // exponent notation, so it is always valid JSON.
+                    let mut s = format!("{x}");
+                    if !s.contains('.') {
+                        // Keep floats visibly floats ("3.0", not "3").
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                write_escaped(out, &pairs[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                pairs[i].1.write(out, indent, depth + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Json {
+    /// Compact serialisation (no whitespace).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::UInt(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::UInt(x as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Int(x)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialise() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Int(-7).to_string(), "-7");
+        assert_eq!(
+            Json::UInt(18_446_744_073_709_551_615).to_string(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+        assert_eq!(Json::Num(3.0).to_string(), "3.0");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).to_string(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_compact_and_pretty() {
+        let v = Json::obj([
+            ("name", Json::from("e1")),
+            ("values", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"name":"e1","values":[1,2],"empty":[]}"#);
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n  \"name\": \"e1\""), "{pretty}");
+        assert!(pretty.contains("\n    1,\n    2\n  ]"), "{pretty}");
+    }
+}

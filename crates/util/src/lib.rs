@@ -21,6 +21,7 @@
 pub mod codec;
 pub mod geom;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
 

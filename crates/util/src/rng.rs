@@ -6,11 +6,6 @@
 //! loss, adversary behaviour) each get their own stream so that, e.g.,
 //! toggling the attack module does not perturb the deployment.
 //!
-//! We also implement `rand::RngCore` so the same streams can drive
-//! `rand`-based distributions where convenient.
-
-use rand::RngCore;
-
 /// SplitMix64 PRNG. Tiny state, passes BigCrush, and supports cheap
 /// independent substreams via [`SplitMix64::split`].
 #[derive(Clone, Debug)]
@@ -124,27 +119,14 @@ impl SplitMix64 {
         let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
         -u.ln() / lambda
     }
-}
 
-impl RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64_raw() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_raw()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill `dest` with pseudorandom bytes (little-endian words of the
+    /// stream, truncated at the tail).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.next_u64_raw().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -165,7 +147,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SplitMix64::new(1);
         let mut b = SplitMix64::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -7,8 +7,6 @@
 //! computes exactly that quantity (not the sample variance — the paper sums
 //! squared deviations without dividing by `n`).
 
-use serde::Serialize;
-
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
@@ -142,7 +140,7 @@ pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
 
 /// A labelled row of an experiment report table — the unit every benchmark
 /// prints and serialises, so paper tables can be regenerated line by line.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ReportRow {
     /// Experiment identifier, e.g. `"E3"`.
     pub experiment: String,

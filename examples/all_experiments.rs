@@ -11,11 +11,23 @@ use wmsn::core::report::print_rows;
 
 fn main() {
     print_rows("E1 — Fig. 2 hop counts (paper vs measured)", &e1_fig2());
-    print_rows("E1 — random fields, m = 1 vs 3", &e1_random_fields(&[150, 300], 7));
+    print_rows(
+        "E1 — random fields, m = 1 vs 3",
+        &e1_random_fields(&[150, 300], 7),
+    );
     print_rows("E2 — Table 1 walkthrough (simulated)", &e2_table1());
-    print_rows("E3 — lifetime: SPR/MLR vs optimal bound", &e3_lifetime(&[40, 80], 31));
-    print_rows("E4 — K_max sweep + placement ablation", &e4_kmax(&[1, 2, 3, 4, 6, 8, 12, 16], 11));
-    print_rows("E5 — incremental tables vs reset ablation", &e5_overhead(8, 5));
+    print_rows(
+        "E3 — lifetime: SPR/MLR vs optimal bound",
+        &e3_lifetime(&[40, 80], 31),
+    );
+    print_rows(
+        "E4 — K_max sweep + placement ablation",
+        &e4_kmax(&[1, 2, 3, 4, 6, 8, 12, 16], 11),
+    );
+    print_rows(
+        "E5 — incremental tables vs reset ablation",
+        &e5_overhead(8, 5),
+    );
     print_rows("E6 — attack-resistance matrix", &e6_attacks(1));
     print_rows("E7 — the price of SecMLR", &e7_secmlr_cost(19));
     print_rows("E8 — robustness: LEACH vs WMSN", &e8_robustness(13));
@@ -28,11 +40,26 @@ fn main() {
         &e9_scalability(&[50, 100], 17, true),
     );
     print_rows("E10 — hot-spot load balance", &e10_load_balance(3));
-    print_rows("E12 — three-tier architecture end-to-end", &e12_three_tier(23));
-    print_rows("E13 — GAF sleep scheduling (§4.4)", &e13_sleep_scheduling(7));
-    print_rows("E14 — loss sweep + collision/CSMA ablation", &e14_loss_and_collisions(7));
-    print_rows("E15 — baseline comparison (§2.2 quantified)", &e15_baselines(7));
-    print_rows("E16 — energy-aware selection ablation (D²)", &e16_energy_aware(31));
+    print_rows(
+        "E12 — three-tier architecture end-to-end",
+        &e12_three_tier(23),
+    );
+    print_rows(
+        "E13 — GAF sleep scheduling (§4.4)",
+        &e13_sleep_scheduling(7),
+    );
+    print_rows(
+        "E14 — loss sweep + collision/CSMA ablation",
+        &e14_loss_and_collisions(7),
+    );
+    print_rows(
+        "E15 — baseline comparison (§2.2 quantified)",
+        &e15_baselines(7),
+    );
+    print_rows(
+        "E16 — energy-aware selection ablation (D²)",
+        &e16_energy_aware(31),
+    );
     print_rows(
         "E17 — seed-robustness sweep (rayon-parallel)",
         &e17_seed_sweep(&(1..=8).collect::<Vec<u64>>()),

@@ -43,9 +43,7 @@ fn main() {
             );
         }
     }
-    println!(
-        "\nattacks that materially hurt delivery: MLR {mlr_hurt}, SecMLR {sec_hurt}"
-    );
+    println!("\nattacks that materially hurt delivery: MLR {mlr_hurt}, SecMLR {sec_hurt}");
     assert!(
         sec_hurt < mlr_hurt,
         "SecMLR must resist attacks that break plain MLR"

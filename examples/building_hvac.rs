@@ -41,9 +41,9 @@ fn main() {
         &field,
         &gateways,
         TrafficParams::default(),
-        (2, 2),                      // WMR grid
-        Point::new(100.0, 270.0),    // base station on the roof
-        160.0,                       // backbone radio range
+        (2, 2),                   // WMR grid
+        Point::new(100.0, 270.0), // base station on the roof
+        160.0,                    // backbone radio range
     );
     println!(
         "architecture: {} sensors, {} WMGs, {} WMRs, 1 base station",
@@ -85,7 +85,13 @@ fn main() {
     let world = &driver.scenario.world;
     let absorbed: u64 = wmgs
         .iter()
-        .map(|&g| world.behavior_as::<WmgBehavior>(g).unwrap().gateway.absorbed)
+        .map(|&g| {
+            world
+                .behavior_as::<WmgBehavior>(g)
+                .unwrap()
+                .gateway
+                .absorbed
+        })
         .sum();
     let uplinked: u64 = wmgs
         .iter()
@@ -96,8 +102,14 @@ fn main() {
     println!("\nWMGs absorbed  : {absorbed} readings");
     println!("uplinked       : {uplinked} onto the 802.11 backbone");
     println!("base station   : {at_base} readings received end-to-end");
-    assert_eq!(absorbed, uplinked, "every absorbed reading must be uplinked");
+    assert_eq!(
+        absorbed, uplinked,
+        "every absorbed reading must be uplinked"
+    );
     assert_eq!(uplinked, at_base, "the backbone must lose nothing");
-    assert!(absorbed as f64 >= 0.95 * 160.0, "coverage too low: {absorbed}");
+    assert!(
+        absorbed as f64 >= 0.95 * 160.0,
+        "coverage too low: {absorbed}"
+    );
     println!("ok: Fig. 1's three layers carried every reading to the Internet side.");
 }

@@ -71,7 +71,10 @@ fn main() {
         svg,
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"##
     );
-    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fbf7f0"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#fbf7f0"/>"##
+    );
     // Field border.
     let (fx, fy) = pt(field.field.min);
     let _ = writeln!(
@@ -100,9 +103,10 @@ fn main() {
         let Some(b) = driver.scenario.world.behavior_as::<MlrSensor>(sensor_node) else {
             continue;
         };
-        let Some(route) = b.table.best_among_places(
-            &occupied.iter().map(|&p| p as u16).collect::<Vec<_>>(),
-        ) else {
+        let Some(route) = b
+            .table
+            .best_among_places(&occupied.iter().map(|&p| p as u16).collect::<Vec<_>>())
+        else {
             continue;
         };
         // Polyline: sensor → relays → gateway (place position).

@@ -44,6 +44,9 @@ fn main() {
         assert_eq!(hops as u32, TABLE1_HOPS[place], "round {round} hops");
     }
     let entries = find_value(&table1, "round 3", "table_entries").unwrap();
-    assert_eq!(entries, 5.0, "after round 3 the table holds all |P| = 5 entries");
+    assert_eq!(
+        entries, 5.0,
+        "after round 3 the table holds all |P| = 5 entries"
+    );
     println!("\nTable 1 reproduced exactly, including the 3 → 4 → 5 entry growth.");
 }

@@ -46,8 +46,14 @@ fn main() {
     let sensors = driver.scenario.sensors.clone();
     println!("mean hops      : {:.2}", metrics.mean_hops());
     println!("mean latency   : {:.1} ms", metrics.mean_latency_us() / 1e3);
-    println!("sensor energy  : {:.4} J total", metrics.total_energy(&sensors));
-    println!("energy variance: {:.6} (the paper's D²)", metrics.energy_d2(&sensors));
+    println!(
+        "sensor energy  : {:.4} J total",
+        metrics.total_energy(&sensors)
+    );
+    println!(
+        "energy variance: {:.6} (the paper's D²)",
+        metrics.energy_d2(&sensors)
+    );
 
     assert!(
         metrics.delivery_ratio() > 0.95,

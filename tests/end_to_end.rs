@@ -85,7 +85,10 @@ fn identical_seeds_reproduce_identical_runs() {
                 .collect::<Vec<_>>(),
             m.total_bytes(),
             m.mean_latency_us().to_bits(),
-            m.energy_consumed.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            m.energy_consumed
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run(), run(), "runs must be bit-reproducible");

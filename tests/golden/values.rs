@@ -1,0 +1,147 @@
+// Golden metric bit patterns for tests/golden_determinism.rs.
+// Regenerate (only for intentional semantic changes) with:
+//   GOLDEN_REGEN=1 cargo test --release --test golden_determinism -- --nocapture
+const GOLDEN_SEED_11: &[u64] = &[
+    0x3ff0000000000000, // e1.delivery_ratio = 1
+    0x4000cccccccccccd, // e1.mean_hops = 2.1
+    0x40d9e3999999999a, // e1.mean_latency_us = 26510.4
+    0x4055000000000000, // e1.sent_data = 84
+    0x4070600000000000, // e1.sent_control = 262
+    0x4090340000000000, // e1.received = 1037
+    0x0000000000000000, // e1.collided = 0
+    0x0000000000000000, // e1.csma_deferrals = 0
+    0x3ff44189374bc6ac, // e1.total_energy = 1.266000000000001
+    0x3f78cf546689a1e2, // e1.energy_d2 = 0.006057100000000011
+    0x402e000000000000, // e3.n=20 spr m=1 lifetime_rounds = 15
+    0x403bc71e7797fa37, // e3.n=20 spr m=1 optimal_bound_rounds = 27.7778086420096
+    0x403c000000000000, // e3.n=20 spr m=3 lifetime_rounds = 28
+    0x4049000d1b7854ce, // e3.n=20 spr m=3 optimal_bound_rounds = 50.000400003200056
+    0x4041000000000000, // e3.n=20 mlr m=3 lifetime_rounds = 34
+    0x4049000d1b7854ce, // e3.n=20 mlr m=3 optimal_bound_rounds = 50.000400003200056
+    0x3ff0000000000000, // e6.mlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.mlr vs blackhole delivery_ratio = 0.5
+    0x0000000000000000, // e6.mlr vs sinkhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.mlr vs replay delivery_ratio = 1
+    0x4079000000000000, // e6.mlr vs replay duplicate_deliveries = 400
+    0x0000000000000000, // e6.mlr vs false_announce delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs hello_flood delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole_guarded delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.secmlr vs blackhole delivery_ratio = 0.5
+    0x3ff0000000000000, // e6.secmlr vs sinkhole delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs replay delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs replay duplicate_deliveries = 0
+    0x3ff0000000000000, // e6.secmlr vs false_announce delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs hello_flood delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs wormhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs wormhole_guarded delivery_ratio = 1
+];
+const GOLDEN_SEED_23: &[u64] = &[
+    0x3ff0000000000000, // e1.delivery_ratio = 1
+    0x3ffccccccccccccd, // e1.mean_hops = 1.8
+    0x40d91ecccccccccd, // e1.mean_latency_us = 25723.2
+    0x4052000000000000, // e1.sent_data = 72
+    0x4074f00000000000, // e1.sent_control = 335
+    0x4099e80000000000, // e1.received = 1658
+    0x0000000000000000, // e1.collided = 0
+    0x0000000000000000, // e1.csma_deferrals = 0
+    0x3ffeb851eb851ec2, // e1.total_energy = 1.9200000000000021
+    0x3f8a3a08398a6557, // e1.energy_d2 = 0.012806000000000024
+    0x402a000000000000, // e3.n=20 spr m=1 lifetime_rounds = 13
+    0x40356db8764cb502, // e3.n=20 spr m=1 optimal_bound_rounds = 21.428595918395338
+    0x4030000000000000, // e3.n=20 spr m=3 lifetime_rounds = 16
+    0x404900068dba728e, // e3.n=20 spr m=3 optimal_bound_rounds = 50.00020000079995
+    0x4041000000000000, // e3.n=20 mlr m=3 lifetime_rounds = 34
+    0x404900068dba728e, // e3.n=20 mlr m=3 optimal_bound_rounds = 50.00020000079995
+    0x3ff0000000000000, // e6.mlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.mlr vs blackhole delivery_ratio = 0.5
+    0x0000000000000000, // e6.mlr vs sinkhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.mlr vs replay delivery_ratio = 1
+    0x4079000000000000, // e6.mlr vs replay duplicate_deliveries = 400
+    0x0000000000000000, // e6.mlr vs false_announce delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs hello_flood delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole_guarded delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.secmlr vs blackhole delivery_ratio = 0.5
+    0x3ff0000000000000, // e6.secmlr vs sinkhole delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs replay delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs replay duplicate_deliveries = 0
+    0x3ff0000000000000, // e6.secmlr vs false_announce delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs hello_flood delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs wormhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs wormhole_guarded delivery_ratio = 1
+];
+const GOLDEN_SEED_37: &[u64] = &[
+    0x3ff0000000000000, // e1.delivery_ratio = 1
+    0x3ffe000000000000, // e1.mean_hops = 1.875
+    0x40e0518000000000, // e1.mean_latency_us = 33420
+    0x4052c00000000000, // e1.sent_data = 75
+    0x406fe00000000000, // e1.sent_control = 255
+    0x408ee00000000000, // e1.received = 988
+    0x0000000000000000, // e1.collided = 0
+    0x0000000000000000, // e1.csma_deferrals = 0
+    0x3ff3126e978d4fe4, // e1.total_energy = 1.192000000000001
+    0x3f78e9dbd14c8e5b, // e1.energy_d2 = 0.006082400000000011
+    0x402a000000000000, // e3.n=20 spr m=1 lifetime_rounds = 13
+    0x4041db7466d3e6e7, // e3.n=20 spr m=1 optimal_bound_rounds = 35.714489797084575
+    0x402e000000000000, // e3.n=20 spr m=3 lifetime_rounds = 15
+    0x4049000d1b7854cd, // e3.n=20 spr m=3 optimal_bound_rounds = 50.00040000320005
+    0x4039000000000000, // e3.n=20 mlr m=3 lifetime_rounds = 25
+    0x4049000d1b7854cd, // e3.n=20 mlr m=3 optimal_bound_rounds = 50.00040000320005
+    0x3ff0000000000000, // e6.mlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.mlr vs blackhole delivery_ratio = 0.5
+    0x0000000000000000, // e6.mlr vs sinkhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.mlr vs replay delivery_ratio = 1
+    0x4079000000000000, // e6.mlr vs replay duplicate_deliveries = 400
+    0x0000000000000000, // e6.mlr vs false_announce delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs hello_flood delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole_guarded delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.secmlr vs blackhole delivery_ratio = 0.5
+    0x3ff0000000000000, // e6.secmlr vs sinkhole delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs replay delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs replay duplicate_deliveries = 0
+    0x3ff0000000000000, // e6.secmlr vs false_announce delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs hello_flood delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs wormhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs wormhole_guarded delivery_ratio = 1
+];
+const GOLDEN_SEED_53: &[u64] = &[
+    0x3ff0000000000000, // e1.delivery_ratio = 1
+    0x3ffe666666666666, // e1.mean_hops = 1.9
+    0x40d9606666666666, // e1.mean_latency_us = 25985.6
+    0x4053000000000000, // e1.sent_data = 76
+    0x4071500000000000, // e1.sent_control = 277
+    0x4092900000000000, // e1.received = 1188
+    0x0000000000000000, // e1.collided = 0
+    0x0000000000000000, // e1.csma_deferrals = 0
+    0x3ff63d70a3d70a42, // e1.total_energy = 1.390000000000001
+    0x3f6e1c15097c8095, // e1.energy_d2 = 0.0036755000000000073
+    0x4026000000000000, // e3.n=20 spr m=1 lifetime_rounds = 11
+    0x402d696df277ae90, // e3.n=20 spr m=1 optimal_bound_rounds = 14.70591695509873
+    0x4031000000000000, // e3.n=20 spr m=3 lifetime_rounds = 17
+    0x4041db7466d3e6e7, // e3.n=20 spr m=3 optimal_bound_rounds = 35.714489797084575
+    0x403a000000000000, // e3.n=20 mlr m=3 lifetime_rounds = 26
+    0x4041db7466d3e6e7, // e3.n=20 mlr m=3 optimal_bound_rounds = 35.714489797084575
+    0x3ff0000000000000, // e6.mlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.mlr vs blackhole delivery_ratio = 0.5
+    0x0000000000000000, // e6.mlr vs sinkhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.mlr vs replay delivery_ratio = 1
+    0x4079000000000000, // e6.mlr vs replay duplicate_deliveries = 400
+    0x0000000000000000, // e6.mlr vs false_announce delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs hello_flood delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole delivery_ratio = 0
+    0x0000000000000000, // e6.mlr vs wormhole_guarded delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs none delivery_ratio = 1
+    0x3fe0000000000000, // e6.secmlr vs blackhole delivery_ratio = 0.5
+    0x3ff0000000000000, // e6.secmlr vs sinkhole delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs replay delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs replay duplicate_deliveries = 0
+    0x3ff0000000000000, // e6.secmlr vs false_announce delivery_ratio = 1
+    0x3ff0000000000000, // e6.secmlr vs hello_flood delivery_ratio = 1
+    0x0000000000000000, // e6.secmlr vs wormhole delivery_ratio = 0
+    0x3ff0000000000000, // e6.secmlr vs wormhole_guarded delivery_ratio = 1
+];

@@ -1,0 +1,150 @@
+//! Golden determinism: simulation metrics are bit-identical run to run
+//! and release to release.
+//!
+//! Determinism is a hard invariant of the simulator (same seed → same
+//! metrics, bit for bit), and the hot-path work (allocation-free
+//! fan-out, incremental adjacency, dense medium state) must not shift a
+//! single reception. This test runs the E1, E3 and E6 kernels for four
+//! fixed seeds and compares every reported metric against committed
+//! golden values **as raw `f64` bit patterns** — an epsilon-free
+//! comparison, so even a last-ulp drift fails.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --release --test golden_determinism -- --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN` below. Never regenerate to
+//! paper over an unexplained diff.
+
+use wmsn::core::builder::build_spr;
+use wmsn::core::drivers::SprDriver;
+use wmsn::core::experiments::{e3_lifetime, e6_attacks};
+use wmsn::core::params::{FieldParams, GatewayParams, TrafficParams};
+
+const SEEDS: [u64; 4] = [11, 23, 37, 53];
+
+/// E1 kernel: one SPR round over a 40-sensor / 3-gateway field; the
+/// densest coverage of the transmit/deliver/CSMA/energy paths.
+fn e1_kernel(seed: u64) -> Vec<(&'static str, f64)> {
+    let field = FieldParams::default_uniform(40, seed);
+    let scen = build_spr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+    );
+    let mut d = SprDriver::new(scen);
+    let report = d.run_round();
+    let sensors = d.scenario.sensors.clone();
+    let m = d.scenario.world.metrics();
+    vec![
+        ("e1.delivery_ratio", report.delivery_ratio()),
+        ("e1.mean_hops", m.mean_hops()),
+        ("e1.mean_latency_us", m.mean_latency_us()),
+        ("e1.sent_data", m.sent_data as f64),
+        ("e1.sent_control", m.sent_control as f64),
+        ("e1.received", m.received as f64),
+        ("e1.collided", m.collided as f64),
+        ("e1.csma_deferrals", m.csma_deferrals as f64),
+        ("e1.total_energy", m.total_energy(&sensors)),
+        ("e1.energy_d2", m.energy_d2(&sensors)),
+    ]
+}
+
+/// E3 kernel: lifetime-to-first-death for SPR (m=1, m=3) and MLR on a
+/// 20-sensor field — covers node death, battery accounting and the
+/// analytic optimum.
+fn e3_kernel(seed: u64) -> Vec<(&'static str, f64)> {
+    e3_lifetime(&[20], seed)
+        .into_iter()
+        .map(|r| {
+            let name: &'static str =
+                Box::leak(format!("e3.{} {}", r.config, r.metric).into_boxed_str());
+            (name, r.value)
+        })
+        .collect()
+}
+
+/// E6 kernel: the attack suite (sinkhole/replay/wormhole vs MLR and
+/// SecMLR) — covers the security paths and adversarial forwarding.
+fn e6_kernel(seed: u64) -> Vec<(&'static str, f64)> {
+    e6_attacks(seed)
+        .into_iter()
+        .map(|r| {
+            let name: &'static str =
+                Box::leak(format!("e6.{} {}", r.config, r.metric).into_boxed_str());
+            (name, r.value)
+        })
+        .collect()
+}
+
+fn fingerprint(seed: u64) -> Vec<(&'static str, f64)> {
+    let mut fp = e1_kernel(seed);
+    fp.extend(e3_kernel(seed));
+    fp.extend(e6_kernel(seed));
+    fp
+}
+
+/// Committed golden values: `GOLDEN[i]` is the bit pattern of every
+/// metric for `SEEDS[i]`, in fingerprint order.
+const GOLDEN: [&[u64]; 4] = [
+    GOLDEN_SEED_11,
+    GOLDEN_SEED_23,
+    GOLDEN_SEED_37,
+    GOLDEN_SEED_53,
+];
+
+include!("golden/values.rs");
+
+#[test]
+fn metrics_are_bit_identical_for_fixed_seeds() {
+    let regen = std::env::var("GOLDEN_REGEN").is_ok();
+    for (i, &seed) in SEEDS.iter().enumerate() {
+        let fp = fingerprint(seed);
+        if regen {
+            println!("const GOLDEN_SEED_{seed}: &[u64] = &[");
+            for (name, v) in &fp {
+                println!("    {:#018x}, // {} = {}", v.to_bits(), name, v);
+            }
+            println!("];");
+            continue;
+        }
+        assert_eq!(
+            fp.len(),
+            GOLDEN[i].len(),
+            "seed {seed}: fingerprint has {} metrics, golden has {}",
+            fp.len(),
+            GOLDEN[i].len()
+        );
+        for ((name, v), &gold) in fp.iter().zip(GOLDEN[i]) {
+            assert_eq!(
+                v.to_bits(),
+                gold,
+                "seed {seed} metric {name}: got {v} ({:#018x}), golden {} ({gold:#018x})",
+                v.to_bits(),
+                f64::from_bits(gold),
+            );
+        }
+    }
+    assert!(
+        !regen,
+        "GOLDEN_REGEN run: paste the printed tables into tests/golden/values.rs"
+    );
+}
+
+#[test]
+fn fingerprint_is_stable_within_a_process() {
+    // Two in-process runs of the cheapest kernel must agree exactly —
+    // catches accidental global state before it can confuse the golden
+    // comparison above.
+    let a = e1_kernel(SEEDS[0]);
+    let b = e1_kernel(SEEDS[0]);
+    for ((name, x), (_, y)) in a.iter().zip(&b) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "metric {name} drifted within a process"
+        );
+    }
+}

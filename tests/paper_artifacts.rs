@@ -50,9 +50,7 @@ fn table1_walkthrough_matches_the_paper_exactly() {
 #[test]
 fn e4_gateway_gains_saturate_like_kmax() {
     let rows = e4_kmax(&[1, 2, 8, 12], 11);
-    let bound = |m: usize| {
-        find_value(&rows, &format!("m={m}"), "optimal_lifetime_rounds").unwrap()
-    };
+    let bound = |m: usize| find_value(&rows, &format!("m={m}"), "optimal_lifetime_rounds").unwrap();
     // More gateways never hurt…
     assert!(bound(2) >= bound(1));
     assert!(bound(8) >= bound(2));
@@ -76,22 +74,29 @@ fn e8_wmsn_recovers_from_gateway_loss_where_leach_clusters_die() {
     let rows = e8_robustness(13);
     let v = |cfg: &str| find_value(&rows, cfg, "delivery_ratio").unwrap();
     // Both healthy baselines deliver.
-    assert!(v("leach healthy") > 0.9, "leach healthy {}", v("leach healthy"));
+    assert!(
+        v("leach healthy") > 0.9,
+        "leach healthy {}",
+        v("leach healthy")
+    );
     assert!(v("mlr healthy") > 0.9, "mlr healthy {}", v("mlr healthy"));
     // The failure rounds hurt both.
     assert!(v("leach heads_killed") < v("leach healthy") - 0.1);
     assert!(v("mlr gateway_killed") < v("mlr healthy"));
     // The WMSN redirect restores service (§4.2); LEACH recovers only by
     // re-electing in the next round.
-    assert!(v("mlr after_redirect") > 0.9, "redirect {}", v("mlr after_redirect"));
+    assert!(
+        v("mlr after_redirect") > 0.9,
+        "redirect {}",
+        v("mlr after_redirect")
+    );
 }
 
 #[test]
 fn e9_single_sink_hops_grow_with_field_size_but_scaled_gateways_flatten() {
     let rows = e9_scalability(&[100, 400], 17, false);
-    let hops = |n: usize, m: usize| {
-        find_value(&rows, &format!("n={n} m={m}"), "mean_hops").unwrap()
-    };
+    let hops =
+        |n: usize, m: usize| find_value(&rows, &format!("n={n} m={m}"), "mean_hops").unwrap();
     // Flat architecture: mean hops grow markedly with the field.
     assert!(
         hops(400, 1) > hops(100, 1) * 1.5,
@@ -177,7 +182,10 @@ fn e14_loss_degrades_gracefully_and_csma_rescues_collisions() {
     // discovery; CSMA recovers an order of magnitude.
     let bare = v("mlr collisions=true csma=false");
     let csma = v("mlr collisions=true csma=true");
-    assert!(bare < 0.2, "no-CSMA collisions must be catastrophic: {bare}");
+    assert!(
+        bare < 0.2,
+        "no-CSMA collisions must be catastrophic: {bare}"
+    );
     assert!(
         csma > bare * 3.0,
         "carrier sensing must rescue delivery: {bare} -> {csma}"
@@ -213,7 +221,11 @@ fn e6_topology_guard_defeats_the_wormhole() {
     use wmsn::attacks::sinkhole::TargetProtocol;
     let bare = run_attack_cell(TargetProtocol::SecMlr, Attack::Wormhole, 1);
     let guarded = run_attack_cell(TargetProtocol::SecMlr, Attack::WormholeGuarded, 1);
-    assert!(bare.delivery_ratio < 0.2, "unguarded wormhole wins: {}", bare.delivery_ratio);
+    assert!(
+        bare.delivery_ratio < 0.2,
+        "unguarded wormhole wins: {}",
+        bare.delivery_ratio
+    );
     assert!(
         guarded.delivery_ratio > 0.95,
         "the topology guard must reject tunnelled paths: {}",
