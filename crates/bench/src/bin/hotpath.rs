@@ -2,7 +2,9 @@
 //!
 //! Times the E9-scalability kernel (n = 800, analytic and fully
 //! simulated) and the E17 seed sweep, and writes the tracked perf
-//! baseline `BENCH_hotpath.json` at the repo root.
+//! baseline `BENCH_hotpath.json` at the repo root. For the simulated
+//! kernel it also records event-loop throughput (`events_per_sec`) and
+//! the peak event-queue depth alongside wall time.
 //!
 //! Workflow:
 //!
@@ -19,14 +21,17 @@
 //! `HOTPATH_REPS`).
 
 use std::time::Instant;
-use wmsn_bench::harness::fmt_secs;
-use wmsn_core::experiments::{e17_seed_sweep, e9_scalability};
+use wmsn_core::experiments::{e17_seed_sweep, e9_event_stats, e9_scalability};
+use wmsn_trace::{log_error, log_record};
 use wmsn_util::json::Json;
 
 struct Kernel {
     name: &'static str,
     desc: &'static str,
     run: fn() -> usize,
+    /// Optional event-loop statistics: `(events processed, peak queue
+    /// depth)` for one un-timed run of the same kernel.
+    event_stats: Option<fn() -> (u64, usize)>,
 }
 
 const KERNELS: &[Kernel] = &[
@@ -34,11 +39,13 @@ const KERNELS: &[Kernel] = &[
         name: "e9_n800_analytic",
         desc: "E9 scalability n=800: build + placement + hop fields (no event loop)",
         run: || e9_scalability(&[800], 17, false).len(),
+        event_stats: None,
     },
     Kernel {
         name: "e9_n800_sim",
         desc: "E9 scalability n=800: full SPR round simulation (transmit/deliver hot path)",
         run: || e9_scalability(&[800], 17, true).len(),
+        event_stats: Some(|| e9_event_stats(800, 17)),
     },
     Kernel {
         name: "e17_sweep_8seeds",
@@ -47,6 +54,7 @@ const KERNELS: &[Kernel] = &[
             let seeds: Vec<u64> = (1..=8).collect();
             e17_seed_sweep(&seeds).len()
         },
+        event_stats: None,
     },
 ];
 
@@ -57,13 +65,15 @@ fn time_kernel(k: &Kernel, reps: usize) -> f64 {
         let rows = (k.run)();
         let dt = t.elapsed().as_secs_f64();
         best = best.min(dt);
-        println!(
-            "  {} rep {}/{}: {} ({} rows)",
-            k.name,
-            rep + 1,
-            reps,
-            fmt_secs(dt),
-            rows
+        log_record(
+            "hotpath_rep",
+            vec![
+                ("kernel", Json::from(k.name)),
+                ("rep", Json::from(rep + 1)),
+                ("reps", Json::from(reps)),
+                ("seconds", Json::Num(dt)),
+                ("rows", Json::from(rows)),
+            ],
         );
     }
     best
@@ -95,7 +105,10 @@ fn main() {
                 return;
             }
             other => {
-                eprintln!("unknown argument: {other}");
+                log_error(
+                    "hotpath_error",
+                    vec![("unknown_argument", Json::from(other.to_string()))],
+                );
                 std::process::exit(2);
             }
         }
@@ -106,14 +119,23 @@ fn main() {
         .unwrap_or(3)
         .max(1);
 
-    println!(
-        "hotpath: timing {} kernels, {} reps each (label: {label})",
-        KERNELS.len(),
-        reps
+    log_record(
+        "hotpath_start",
+        vec![
+            ("kernels", Json::from(KERNELS.len())),
+            ("reps", Json::from(reps)),
+            ("label", Json::from(label.clone())),
+        ],
     );
     let mut timings = Vec::new();
     for k in KERNELS {
-        println!("{}: {}", k.name, k.desc);
+        log_record(
+            "hotpath_kernel",
+            vec![
+                ("kernel", Json::from(k.name)),
+                ("description", Json::from(k.desc)),
+            ],
+        );
         timings.push((k, time_kernel(k, reps)));
     }
 
@@ -126,7 +148,10 @@ fn main() {
         );
         std::fs::write("BENCH_hotpath.before.json", snap.to_string_pretty())
             .expect("write before snapshot");
-        println!("wrote BENCH_hotpath.before.json");
+        log_record(
+            "hotpath_wrote",
+            vec![("path", Json::from("BENCH_hotpath.before.json"))],
+        );
         return;
     }
 
@@ -141,6 +166,12 @@ fn main() {
                     ("reps", Json::from(reps)),
                     ("after_s", Json::Num(*after_s)),
                 ];
+                if let Some(stats) = k.event_stats {
+                    let (events, peak) = stats();
+                    pairs.push(("events", Json::from(events)));
+                    pairs.push(("events_per_sec", Json::Num(events as f64 / after_s)));
+                    pairs.push(("peak_queue_depth", Json::from(peak)));
+                }
                 if let Some(before_s) = before_doc
                     .as_deref()
                     .and_then(|doc| extract_f64(doc, &format!("{}_before_s", k.name)))
@@ -162,25 +193,22 @@ fn main() {
         ("kernels", kernels),
     ]);
     std::fs::write("BENCH_hotpath.json", doc.to_string_pretty()).expect("write BENCH_hotpath.json");
-    println!("wrote BENCH_hotpath.json");
+    log_record(
+        "hotpath_wrote",
+        vec![("path", Json::from("BENCH_hotpath.json"))],
+    );
     for (k, after_s) in &timings {
+        let mut fields = vec![
+            ("kernel", Json::from(k.name)),
+            ("after_s", Json::Num(*after_s)),
+        ];
         if let Some(before_s) = before_doc
             .as_deref()
             .and_then(|doc| extract_f64(doc, &format!("{}_before_s", k.name)))
         {
-            println!(
-                "{:<20} before {:>12}  after {:>12}  speedup {:.2}x",
-                k.name,
-                fmt_secs(before_s),
-                fmt_secs(*after_s),
-                before_s / after_s
-            );
-        } else {
-            println!(
-                "{:<20} after {:>12} (no before snapshot)",
-                k.name,
-                fmt_secs(*after_s)
-            );
+            fields.push(("before_s", Json::Num(before_s)));
+            fields.push(("speedup", Json::Num(before_s / after_s)));
         }
+        log_record("hotpath_result", fields);
     }
 }

@@ -1,0 +1,261 @@
+//! `wmsn-trace` — record and interrogate simulator trace files.
+//!
+//! Trace-driven debugging for the WMSN simulator: record a small
+//! experiment with the JSONL sink installed, then replay the file to
+//! answer "show the path of msg N", "why was packet X dropped", and
+//! "what is node K's energy timeline".
+//!
+//! ```text
+//! wmsn-trace record  <out.jsonl> [seed] [rounds]   # run E1 (SPR, 40 sensors) traced
+//! wmsn-trace summary <trace.jsonl>                 # event counts; exits 1 on parse errors
+//! wmsn-trace path    <trace.jsonl> <origin> <msg_id>
+//! wmsn-trace drop    <trace.jsonl> <seq>
+//! wmsn-trace energy  <trace.jsonl> <node>
+//! ```
+//!
+//! All output is structured records (one flat JSON object per line);
+//! malformed traces and missing messages exit non-zero, which is what
+//! the CI step relies on.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use wmsn_core::builder::build_spr;
+use wmsn_core::drivers::SprDriver;
+use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
+use wmsn_trace::{log_error, log_record, JsonlSink, Replay};
+use wmsn_util::json::Json;
+
+fn usage() -> ! {
+    println!(
+        "usage: wmsn-trace record  <out.jsonl> [seed] [rounds]\n\
+         \x20      wmsn-trace summary <trace.jsonl>\n\
+         \x20      wmsn-trace path    <trace.jsonl> <origin> <msg_id>\n\
+         \x20      wmsn-trace drop    <trace.jsonl> <seq>\n\
+         \x20      wmsn-trace energy  <trace.jsonl> <node>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str, what: &'static str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        log_error(
+            "trace_error",
+            vec![
+                ("expected", Json::from(what)),
+                ("got", Json::from(s.to_string())),
+            ],
+        );
+        std::process::exit(2);
+    })
+}
+
+fn load(path: &str) -> Replay {
+    let file = File::open(path).unwrap_or_else(|e| {
+        log_error(
+            "trace_error",
+            vec![
+                ("path", Json::from(path.to_string())),
+                ("error", Json::from(e.to_string())),
+            ],
+        );
+        std::process::exit(1);
+    });
+    Replay::from_reader(BufReader::new(file)).unwrap_or_else(|e| {
+        log_error(
+            "trace_parse_error",
+            vec![
+                ("path", Json::from(path.to_string())),
+                ("error", Json::from(e)),
+            ],
+        );
+        std::process::exit(1);
+    })
+}
+
+/// Run the E1 kernel (SPR over 40 uniformly deployed sensors, three
+/// gateways) with a JSONL file sink installed, for `rounds` rounds.
+fn record(out: &str, seed: u64, rounds: u32) {
+    let file = File::create(out).unwrap_or_else(|e| {
+        log_error(
+            "trace_error",
+            vec![
+                ("path", Json::from(out.to_string())),
+                ("error", Json::from(e.to_string())),
+            ],
+        );
+        std::process::exit(1);
+    });
+    let field = FieldParams::default_uniform(40, seed);
+    let scen = build_spr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+    );
+    let mut driver = SprDriver::new(scen);
+    driver
+        .scenario
+        .world
+        .set_trace_sink(Box::new(JsonlSink::new(BufWriter::new(file))));
+    for _ in 0..rounds {
+        driver.run_round();
+    }
+    let sink = driver
+        .scenario
+        .world
+        .take_trace_sink()
+        .expect("sink was installed");
+    let lines = sink
+        .as_any()
+        .downcast_ref::<JsonlSink<BufWriter<File>>>()
+        .map(JsonlSink::lines_written)
+        .unwrap_or(0);
+    let m = driver.scenario.world.metrics();
+    log_record(
+        "trace_written",
+        vec![
+            ("path", Json::from(out.to_string())),
+            ("seed", Json::from(seed)),
+            ("rounds", Json::from(u64::from(rounds))),
+            ("lines", Json::from(lines)),
+            ("originated", Json::from(m.originated)),
+            ("delivered", Json::from(m.unique_deliveries())),
+        ],
+    );
+}
+
+fn summary(path: &str) {
+    let r = load(path);
+    log_record(
+        "trace_summary",
+        vec![
+            ("path", Json::from(path.to_string())),
+            ("events", Json::from(r.len())),
+        ],
+    );
+    for (ev, n) in r.counts() {
+        log_record(
+            "trace_count",
+            vec![("ev", Json::from(ev)), ("count", Json::from(n))],
+        );
+    }
+}
+
+fn path_query(path: &str, origin: u64, msg_id: u64) {
+    let r = load(path);
+    let Some(p) = r.path_of(origin, msg_id) else {
+        log_error(
+            "trace_error",
+            vec![
+                ("message", Json::from("message not found in trace")),
+                ("origin", Json::from(origin)),
+                ("msg_id", Json::from(msg_id)),
+            ],
+        );
+        std::process::exit(1);
+    };
+    for hop in &p.hops {
+        log_record(
+            "path_hop",
+            vec![
+                ("t", Json::from(hop.t)),
+                ("node", Json::from(hop.node)),
+                ("next", hop.next.map(Json::from).unwrap_or(Json::Null)),
+                ("hops", Json::from(hop.hops)),
+            ],
+        );
+    }
+    match p.delivered {
+        Some((t, dst, hops, latency_us)) => log_record(
+            "path_delivered",
+            vec![
+                ("t", Json::from(t)),
+                ("node", Json::from(dst)),
+                ("hops", Json::from(hops)),
+                ("latency_us", Json::from(latency_us)),
+            ],
+        ),
+        None => log_record(
+            "path_undelivered",
+            vec![
+                ("origin", Json::from(origin)),
+                ("msg_id", Json::from(msg_id)),
+            ],
+        ),
+    }
+}
+
+fn drop_query(path: &str, seq: u64) {
+    let r = load(path);
+    let drops = r.drops_of_seq(seq);
+    log_record(
+        "drop_summary",
+        vec![("seq", Json::from(seq)), ("drops", Json::from(drops.len()))],
+    );
+    for (t, node, cause) in drops {
+        log_record(
+            "drop_event",
+            vec![
+                ("t", Json::from(t)),
+                ("node", Json::from(node)),
+                ("cause", Json::from(cause)),
+            ],
+        );
+    }
+}
+
+fn energy_query(path: &str, node: u64) {
+    let r = load(path);
+    let timeline = r.energy_of(node);
+    log_record(
+        "energy_summary",
+        vec![
+            ("node", Json::from(node)),
+            ("points", Json::from(timeline.len())),
+        ],
+    );
+    for (t, j) in timeline {
+        log_record(
+            "energy_point",
+            vec![
+                ("t", Json::from(t)),
+                ("node", Json::from(node)),
+                ("consumed_j", Json::Num(j)),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let Some(out) = args.get(1) else { usage() };
+            let seed = args.get(2).map_or(11, |s| parse_u64(s, "seed"));
+            let rounds = args.get(3).map_or(1, |s| parse_u64(s, "rounds")) as u32;
+            record(out, seed, rounds);
+        }
+        Some("summary") => {
+            let Some(path) = args.get(1) else { usage() };
+            summary(path);
+        }
+        Some("path") => {
+            let (Some(path), Some(o), Some(m)) = (args.get(1), args.get(2), args.get(3)) else {
+                usage()
+            };
+            path_query(path, parse_u64(o, "origin"), parse_u64(m, "msg_id"));
+        }
+        Some("drop") => {
+            let (Some(path), Some(s)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            drop_query(path, parse_u64(s, "seq"));
+        }
+        Some("energy") => {
+            let (Some(path), Some(n)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            energy_query(path, parse_u64(n, "node"));
+        }
+        _ => usage(),
+    }
+}

@@ -147,24 +147,34 @@ impl Bencher {
 }
 
 fn report(name: &str, per_iter: &mut [f64], throughput: Option<Throughput>) {
+    use wmsn_trace::log_record;
+    use wmsn_util::json::Json;
     if per_iter.is_empty() {
-        println!("bench {name:<40} (no samples)");
+        log_record(
+            "bench",
+            vec![
+                ("name", Json::from(name.to_string())),
+                ("samples", Json::from(0u64)),
+            ],
+        );
         return;
     }
     per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let median = per_iter[per_iter.len() / 2];
     let min = per_iter[0];
-    let extra = match throughput {
-        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
-            format!("  {:>9.1} MiB/s", bytes as f64 / median / (1024.0 * 1024.0))
+    let mut fields = vec![
+        ("name", Json::from(name.to_string())),
+        ("samples", Json::from(per_iter.len() as u64)),
+        ("median_s", Json::Num(median)),
+        ("min_s", Json::Num(min)),
+    ];
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        if median > 0.0 {
+            let mib = bytes as f64 / median / (1024.0 * 1024.0);
+            fields.push(("mib_per_s", Json::Num(mib)));
         }
-        _ => String::new(),
-    };
-    println!(
-        "bench {name:<40} median {:>12}  min {:>12}{extra}",
-        fmt_secs(median),
-        fmt_secs(min)
-    );
+    }
+    log_record("bench", fields);
 }
 
 /// Render a duration in seconds with an adaptive unit.

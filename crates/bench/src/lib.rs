@@ -27,7 +27,13 @@ pub fn emit(name: &str, rows: &[ReportRow]) {
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
         if std::fs::write(&path, rows_to_json(rows)).is_ok() {
-            println!("[archived {}]", path.display());
+            wmsn_trace::log_record(
+                "archive",
+                vec![(
+                    "path",
+                    wmsn_util::json::Json::from(path.display().to_string()),
+                )],
+            );
         }
     }
 }

@@ -197,6 +197,8 @@ impl MlrDriver {
         );
         s.world.run_for(gap);
         self.round += 1;
+        let at = s.world.now();
+        s.world.metrics_mut().snapshot_round(round, at);
         delta_report(round, before, s.world.metrics(), placement.moved.len())
     }
 
@@ -280,6 +282,8 @@ impl SprDriver {
         s.world.run_for(gap);
         let round = self.round;
         self.round += 1;
+        let at = s.world.now();
+        s.world.metrics_mut().snapshot_round(round, at);
         delta_report(round, before, s.world.metrics(), 0)
     }
 
@@ -367,6 +371,8 @@ impl SecMlrDriver {
         );
         s.world.run_for(gap);
         self.round += 1;
+        let at = s.world.now();
+        s.world.metrics_mut().snapshot_round(round, at);
         delta_report(round, before, s.world.metrics(), placement.moved.len())
     }
 
@@ -429,6 +435,8 @@ impl LeachDriver {
         }
         s.world.run_for(200_000);
         self.round += 1;
+        let at = s.world.now();
+        s.world.metrics_mut().snapshot_round(round, at);
         delta_report(round, before, s.world.metrics(), 0)
     }
 

@@ -853,6 +853,35 @@ pub fn e9_scalability(ns: &[usize], seed: u64, simulate: bool) -> Vec<ReportRow>
     rows
 }
 
+/// Event-loop statistics for the simulated E9 kernel at size `n`:
+/// `(events processed, peak event-queue depth)` summed/maxed over the
+/// same two gateway configurations [`e9_scalability`] times. Feeds the
+/// `events_per_sec` and `peak_queue_depth` columns in
+/// `BENCH_hotpath.json`.
+pub fn e9_event_stats(n: usize, seed: u64) -> (u64, usize) {
+    let density = 0.02;
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    for scaled in [false, true] {
+        let m = if scaled { (n / 50).max(2) } else { 1 };
+        let field = FieldParams {
+            battery_j: 10.0,
+            ..FieldParams::constant_density(n, density, seed)
+        };
+        let grid = ((m as f64).sqrt().ceil() as usize).max(2);
+        let gw = GatewayParams {
+            m,
+            place_grid: (grid, grid),
+            ..GatewayParams::default_three()
+        };
+        let mut d = SprDriver::new(build_spr(&field, &gw, TrafficParams::default()));
+        d.run_round();
+        events += d.scenario.world.events_processed();
+        peak = peak.max(d.scenario.world.peak_queue_depth());
+    }
+    (events, peak)
+}
+
 // --------------------------------------------------------------- E10 --
 
 /// E10: load balance under a hot spot. Sensors near gateway 0 produce 5×

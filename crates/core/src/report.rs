@@ -1,22 +1,53 @@
 //! Rendering experiment results.
 //!
-//! Every experiment returns `Vec<ReportRow>`; these helpers print them as
-//! an aligned terminal table (what the examples and benches show) and as
-//! JSON (what gets archived next to bench output).
+//! Every experiment returns `Vec<ReportRow>`; these helpers emit them as
+//! machine-parseable structured records (one compact JSON object per
+//! line, the same flat shape the trace layer uses — see
+//! [`wmsn_trace::record_line`]) and as pretty JSON (what gets archived
+//! next to bench output).
 
+use wmsn_trace::{log_record, record_line};
 use wmsn_util::json::Json;
 use wmsn_util::stats::ReportRow;
 
-/// Print rows as an aligned table with a header.
+/// Build the structured record line for a report header.
+pub fn title_record(title: &str, rows: usize) -> String {
+    record_line(
+        "report",
+        vec![
+            ("title", Json::from(title.to_string())),
+            ("rows", Json::from(rows as u64)),
+        ],
+    )
+}
+
+/// Build the structured record line for one result row:
+/// `{"record":"row","experiment":...,"config":...,"metric":...,"value":...}`.
+pub fn row_record(row: &ReportRow) -> String {
+    record_line(
+        "row",
+        vec![
+            ("experiment", Json::from(row.experiment.clone())),
+            ("config", Json::from(row.config.clone())),
+            ("metric", Json::from(row.metric.clone())),
+            ("value", Json::Num(row.value)),
+        ],
+    )
+}
+
+/// Print rows as structured records: a `report` header line followed by
+/// one `row` line per result. Every line parses with
+/// [`wmsn_trace::parse_line`].
 pub fn print_rows(title: &str, rows: &[ReportRow]) {
-    println!("\n== {title} ==");
-    println!(
-        "{:<5} {:<32} {:<28} {:>12}",
-        "exp", "config", "metric", "value"
+    log_record(
+        "report",
+        vec![
+            ("title", Json::from(title.to_string())),
+            ("rows", Json::from(rows.len() as u64)),
+        ],
     );
-    println!("{}", "-".repeat(80));
     for row in rows {
-        println!("{row}");
+        println!("{}", row_record(row));
     }
 }
 
@@ -48,6 +79,7 @@ pub fn find_value(rows: &[ReportRow], config: &str, metric: &str) -> Option<f64>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wmsn_trace::{parse_line, Value};
 
     fn rows() -> Vec<ReportRow> {
         vec![
@@ -73,5 +105,26 @@ mod tests {
         let r = rows();
         assert_eq!(find_value(&r, "m=3", "hops"), Some(2.5));
         assert_eq!(find_value(&r, "m=9", "hops"), None);
+    }
+
+    #[test]
+    fn row_records_are_machine_parseable() {
+        let r = rows();
+        let line = row_record(&r[0]);
+        assert_eq!(
+            line,
+            "{\"record\":\"row\",\"experiment\":\"E1\",\"config\":\"n=100 m=1\",\
+             \"metric\":\"mean_hops\",\"value\":7.5}"
+        );
+        let rec = parse_line(&line).expect("row record must re-parse");
+        assert!(matches!(
+            wmsn_trace::parse::get(&rec, "value"),
+            Some(Value::Num(v)) if *v == 7.5
+        ));
+        let hdr = parse_line(&title_record("E1 hop count", r.len())).unwrap();
+        assert!(matches!(
+            wmsn_trace::parse::get(&hdr, "rows"),
+            Some(Value::Num(v)) if *v == 2.0
+        ));
     }
 }

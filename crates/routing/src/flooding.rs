@@ -11,6 +11,7 @@
 use std::any::Any;
 use std::collections::HashSet;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
+use wmsn_trace::TraceEvent;
 use wmsn_util::codec::{DecodeError, Reader, Writer};
 use wmsn_util::NodeId;
 
@@ -126,6 +127,16 @@ impl FloodSensor {
     fn emit(&mut self, ctx: &mut Ctx<'_>, msg: &FloodMsg) {
         match self.mode {
             FloodMode::Flood => {
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceEvent::Forward {
+                        t: ctx.now(),
+                        node: ctx.id(),
+                        origin: msg.origin,
+                        msg_id: msg.msg_id,
+                        next: None,
+                        hops: msg.hops,
+                    });
+                }
                 ctx.send(None, Tier::Sensor, PacketKind::Data, msg.encode());
             }
             FloodMode::Gossip => {
@@ -134,6 +145,16 @@ impl FloodSensor {
                     return;
                 }
                 let pick = neighbors[ctx.rng().next_index(neighbors.len())];
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceEvent::Forward {
+                        t: ctx.now(),
+                        node: ctx.id(),
+                        origin: msg.origin,
+                        msg_id: msg.msg_id,
+                        next: Some(pick),
+                        hops: msg.hops,
+                    });
+                }
                 ctx.send(Some(pick), Tier::Sensor, PacketKind::Data, msg.encode());
             }
         }
@@ -178,6 +199,16 @@ impl Behavior for FloodSensor {
                     return;
                 }
                 let pick = all[ctx.rng().next_index(all.len())];
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceEvent::Forward {
+                        t: ctx.now(),
+                        node: ctx.id(),
+                        origin: fwd.origin,
+                        msg_id: fwd.msg_id,
+                        next: Some(pick),
+                        hops: fwd.hops,
+                    });
+                }
                 ctx.send(Some(pick), Tier::Sensor, PacketKind::Data, fwd.encode());
             }
         }

@@ -31,6 +31,7 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
+use wmsn_trace::TraceEvent;
 use wmsn_util::NodeId;
 
 const TIMER_COLLECT: u64 = 1;
@@ -259,6 +260,15 @@ impl MlrSensor {
             wanted,
         };
         self.stats.rreq_originated += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::RreqFlood {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin: ctx.id(),
+                req_id,
+                forwarded: false,
+            });
+        }
         ctx.send(None, Tier::Sensor, PacketKind::Control, rreq.encode());
         ctx.set_timer(self.cfg.reply_wait_us, TIMER_COLLECT);
     }
@@ -285,6 +295,24 @@ impl MlrSensor {
         } else {
             route.next_hop()
         };
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::RouteSelect {
+                t: ctx.now(),
+                node: ctx.id(),
+                gateway,
+                place: route.place,
+                hops: route.hops(),
+                energy_pm: route.energy_pm,
+            });
+            ctx.trace(TraceEvent::Forward {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin: ctx.id(),
+                msg_id: msg.msg_id,
+                next: Some(next),
+                hops: 1,
+            });
+        }
         ctx.send(Some(next), Tier::Sensor, PacketKind::Data, data.encode());
     }
 
@@ -341,6 +369,16 @@ impl MlrSensor {
                         path: full,
                     };
                     self.stats.cache_replies += 1;
+                    if ctx.trace_enabled() {
+                        ctx.trace(TraceEvent::CacheReply {
+                            t: ctx.now(),
+                            node: ctx.id(),
+                            origin,
+                            req_id,
+                            gateway,
+                            place: route.place,
+                        });
+                    }
                     ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
                     return;
                 }
@@ -372,6 +410,16 @@ impl MlrSensor {
                             path: full,
                         };
                         self.stats.cache_replies += 1;
+                        if ctx.trace_enabled() {
+                            ctx.trace(TraceEvent::CacheReply {
+                                t: ctx.now(),
+                                node: ctx.id(),
+                                origin,
+                                req_id,
+                                gateway,
+                                place: p,
+                            });
+                        }
                         ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
                     }
                     None => remaining.push(p),
@@ -389,6 +437,15 @@ impl MlrSensor {
                 wanted: remaining,
             };
             self.stats.rreq_forwarded += 1;
+            if ctx.trace_enabled() {
+                ctx.trace(TraceEvent::RreqFlood {
+                    t: ctx.now(),
+                    node: ctx.id(),
+                    origin,
+                    req_id,
+                    forwarded: true,
+                });
+            }
             self.queue_flood(ctx, rreq.encode(), PacketKind::Control);
             return;
         }
@@ -401,6 +458,15 @@ impl MlrSensor {
             wanted,
         };
         self.stats.rreq_forwarded += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::RreqFlood {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin,
+                req_id,
+                forwarded: true,
+            });
+        }
         self.queue_flood(ctx, rreq.encode(), PacketKind::Control);
     }
 
@@ -419,15 +485,24 @@ impl MlrSensor {
         let Some(idx) = path.iter().position(|&n| n == me) else {
             return;
         };
-        self.table.upsert(
-            Route {
+        let route = Route {
+            gateway,
+            place,
+            relays: path[idx + 1..].to_vec(),
+            energy_pm,
+        };
+        let route_hops = route.hops();
+        self.table.upsert(route, false);
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::RouteInstall {
+                t: ctx.now(),
+                node: me,
                 gateway,
                 place,
-                relays: path[idx + 1..].to_vec(),
+                hops: route_hops,
                 energy_pm,
-            },
-            false,
-        );
+            });
+        }
         if idx > 0 {
             // Relay only the first/best reply per (origin, req, place).
             let remaining = path.len() - idx;
@@ -487,6 +562,16 @@ impl MlrSensor {
             payload_len,
         };
         self.stats.data_forwarded += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::Forward {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin,
+                msg_id,
+                next: Some(next),
+                hops: hops + 1,
+            });
+        }
         ctx.send(Some(next), Tier::Sensor, PacketKind::Data, fwd.encode());
     }
 
@@ -630,6 +715,13 @@ impl MlrGateway {
     /// 0, which the paper treats as the initial notification.
     pub fn set_place(&mut self, ctx: &mut Ctx<'_>, place: u16, round: u32) {
         self.place = place;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::GatewayMove {
+                t: ctx.now(),
+                gateway: ctx.id(),
+                place,
+            });
+        }
         let msg = RoutingMsg::Announce {
             gateway: ctx.id(),
             place,

@@ -26,6 +26,7 @@ use std::any::Any;
 use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
+use wmsn_trace::TraceEvent;
 use wmsn_util::NodeId;
 
 /// Timer tag: RREP collection window expired.
@@ -169,6 +170,15 @@ impl SprSensor {
             wanted: Vec::new(), // SPR: any gateway's route is welcome
         };
         self.stats.rreq_originated += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::RreqFlood {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin: ctx.id(),
+                req_id,
+                forwarded: false,
+            });
+        }
         ctx.send(None, Tier::Sensor, PacketKind::Control, rreq.encode());
         ctx.set_timer(self.cfg.reply_wait_us, TIMER_COLLECT);
     }
@@ -187,6 +197,16 @@ impl SprSensor {
             hops: 1,
             payload_len: self.cfg.data_payload,
         };
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::Forward {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin: ctx.id(),
+                msg_id: msg.msg_id,
+                next: Some(route.next_hop()),
+                hops: 1,
+            });
+        }
         ctx.send(
             Some(route.next_hop()),
             Tier::Sensor,
@@ -235,6 +255,16 @@ impl SprSensor {
                     path: full,
                 };
                 self.stats.cache_replies += 1;
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceEvent::CacheReply {
+                        t: ctx.now(),
+                        node: ctx.id(),
+                        origin,
+                        req_id,
+                        gateway: route.gateway,
+                        place: route.place,
+                    });
+                }
                 ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
                 return;
             }
@@ -249,6 +279,15 @@ impl SprSensor {
             wanted: Vec::new(),
         };
         self.stats.rreq_forwarded += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::RreqFlood {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin,
+                req_id,
+                forwarded: true,
+            });
+        }
         self.queue_flood(ctx, rreq.encode());
     }
 
@@ -275,7 +314,18 @@ impl SprSensor {
             relays: path[idx + 1..].to_vec(),
             energy_pm,
         };
+        let route_hops = route.hops();
         self.table.upsert(route, false);
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::RouteInstall {
+                t: ctx.now(),
+                node: me,
+                gateway,
+                place,
+                hops: route_hops,
+                energy_pm,
+            });
+        }
         if idx == 0 {
             // We are the origin; the collection timer decides.
             let _ = (origin, req_id);
@@ -344,6 +394,16 @@ impl SprSensor {
             payload_len,
         };
         self.stats.data_forwarded += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::Forward {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin,
+                msg_id,
+                next: Some(next),
+                hops: hops + 1,
+            });
+        }
         ctx.send(Some(next), Tier::Sensor, PacketKind::Data, fwd.encode());
     }
 

@@ -138,6 +138,10 @@ pub struct EventQueue {
     /// Total pending events (wheel + overflow).
     count: usize,
     next_seq: u64,
+    /// High-water mark of `count` over the queue's lifetime.
+    peak: usize,
+    /// Total events ever popped (the event-loop throughput numerator).
+    popped: u64,
 }
 
 impl Default for EventQueue {
@@ -161,6 +165,8 @@ impl EventQueue {
             overflow: BinaryHeap::new(),
             count: 0,
             next_seq: 0,
+            peak: 0,
+            popped: 0,
         }
     }
 
@@ -186,6 +192,9 @@ impl EventQueue {
             self.overflow.push(HeapEntry { at, seq, slot: idx });
         }
         self.count += 1;
+        if self.count > self.peak {
+            self.peak = self.count;
+        }
     }
 
     /// Pop the earliest event.
@@ -209,6 +218,7 @@ impl EventQueue {
         }
         self.wheel_len -= 1;
         self.count -= 1;
+        self.popped += 1;
         let kind = self.slab[idx].kind.take().expect("scheduled slot");
         self.free.push(idx as u32);
         Some(Event { at, seq, kind })
@@ -232,6 +242,16 @@ impl EventQueue {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.count
+    }
+
+    /// High-water mark of pending events over the queue's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
     }
 
     /// Whether no events are pending.

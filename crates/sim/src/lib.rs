@@ -24,6 +24,12 @@
 //! Determinism: a run is a pure function of its seed. Events with equal
 //! timestamps fire in schedule order; per-node RNG streams are split from
 //! the world seed so adding a node never perturbs another node's stream.
+//!
+//! Observability: the world can carry a [`wmsn_trace::TraceSink`]
+//! (installed via [`world::World::set_trace_sink`]) that receives a
+//! structured event for every packet-lifecycle step; with no sink
+//! installed every hook is a single branch on an `Option` — tracing is
+//! zero-cost when disabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,7 +46,7 @@ pub mod world;
 
 pub use energy::EnergyModel;
 pub use medium::{CollisionModel, MediumConfig};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, RoundSnapshot};
 pub use node::{Behavior, Ctx, NodeConfig, NodeState};
 pub use packet::{Packet, PacketKind};
 pub use phy::{PhyProfile, Tier};

@@ -7,6 +7,7 @@
 
 use crate::packet::PacketKind;
 use crate::time::SimTime;
+use wmsn_trace::Histogram;
 use wmsn_util::stats::energy_variance;
 use wmsn_util::NodeId;
 
@@ -74,6 +75,42 @@ pub struct Metrics {
     /// Per-node energy consumed (indexed by node id; gateways report 0
     /// under unlimited batteries).
     pub energy_consumed: Vec<f64>,
+    /// End-to-end latency distribution (µs) over deliveries.
+    pub latency_hist: Histogram,
+    /// Hop-count distribution over deliveries.
+    pub hops_hist: Histogram,
+    /// Frames transmitted per node (indexed by node id).
+    pub node_tx: Vec<u64>,
+    /// Per-round snapshots appended by the experiment drivers, so E3/E8
+    /// can plot trajectories instead of endpoints.
+    pub snapshots: Vec<RoundSnapshot>,
+}
+
+/// Cumulative counters captured at one round boundary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundSnapshot {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Simulation time of the snapshot.
+    pub at: SimTime,
+    /// Messages originated so far.
+    pub originated: u64,
+    /// Unique messages delivered so far.
+    pub delivered: u64,
+    /// Control frames sent so far.
+    pub sent_control: u64,
+    /// Data frames sent so far.
+    pub sent_data: u64,
+    /// Security frames sent so far.
+    pub sent_security: u64,
+    /// Frames received so far.
+    pub received: u64,
+    /// Receptions dropped so far (loss + collision + dead receiver).
+    pub dropped: u64,
+    /// Total joules consumed across all nodes so far.
+    pub total_energy_j: f64,
+    /// Whether the first sensor death has happened yet.
+    pub any_death: bool,
 }
 
 impl Metrics {
@@ -165,6 +202,49 @@ impl Metrics {
             .sum()
     }
 
+    /// Record a completed delivery, feeding the latency and hop-count
+    /// histograms alongside the delivery ledger.
+    pub fn record_delivery(&mut self, d: Delivery) {
+        self.latency_hist.record(d.latency());
+        self.hops_hist.record(d.hops as u64);
+        self.deliveries.push(d);
+    }
+
+    /// Receptions that were scheduled but never reached a behaviour:
+    /// `lost + collided + dead_receiver`. Trace `drop` events with
+    /// causes `loss`/`collision`/`dead` sum to exactly this.
+    pub fn dropped_total(&self) -> u64 {
+        self.lost + self.collided + self.dead_receiver
+    }
+
+    /// Per-node transmit counts as a histogram (one sample per node).
+    pub fn node_tx_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for &n in &self.node_tx {
+            h.record(n);
+        }
+        h
+    }
+
+    /// Append a cumulative per-round snapshot (called by the experiment
+    /// drivers at each round boundary).
+    pub fn snapshot_round(&mut self, round: u32, at: SimTime) {
+        let snap = RoundSnapshot {
+            round,
+            at,
+            originated: self.originated,
+            delivered: self.unique_deliveries(),
+            sent_control: self.sent_control,
+            sent_data: self.sent_data,
+            sent_security: self.sent_security,
+            received: self.received,
+            dropped: self.dropped_total(),
+            total_energy_j: self.energy_consumed.iter().sum(),
+            any_death: self.first_death.is_some(),
+        };
+        self.snapshots.push(snap);
+    }
+
     /// Control overhead ratio: control frames / total frames (0 if idle).
     pub fn control_overhead(&self) -> f64 {
         let total = self.total_sent();
@@ -253,5 +333,63 @@ mod tests {
     fn missing_energy_entries_read_as_zero() {
         let m = Metrics::default();
         assert_eq!(m.total_energy(&[NodeId(7)]), 0.0);
+    }
+
+    #[test]
+    fn record_delivery_feeds_the_histograms() {
+        let mut m = Metrics::default();
+        m.record_delivery(delivery(1, 1, 2, 100, 300));
+        m.record_delivery(delivery(2, 1, 4, 100, 500));
+        assert_eq!(m.deliveries.len(), 2);
+        assert_eq!(m.hops_hist.count(), 2);
+        assert_eq!(m.hops_hist.percentile(1.0), 4);
+        assert_eq!(m.latency_hist.min(), 200);
+        assert_eq!(m.latency_hist.max(), 400);
+    }
+
+    #[test]
+    fn dropped_total_sums_the_three_causes() {
+        let m = Metrics {
+            lost: 3,
+            collided: 5,
+            dead_receiver: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.dropped_total(), 10);
+    }
+
+    #[test]
+    fn snapshots_capture_cumulative_counters() {
+        let mut m = Metrics {
+            originated: 4,
+            sent_data: 7,
+            lost: 1,
+            energy_consumed: vec![0.5, 0.25],
+            ..Default::default()
+        };
+        m.record_delivery(delivery(1, 1, 2, 0, 10));
+        m.snapshot_round(0, 1_000);
+        m.originated += 2;
+        m.snapshot_round(1, 2_000);
+        assert_eq!(m.snapshots.len(), 2);
+        assert_eq!(m.snapshots[0].round, 0);
+        assert_eq!(m.snapshots[0].originated, 4);
+        assert_eq!(m.snapshots[0].delivered, 1);
+        assert_eq!(m.snapshots[0].dropped, 1);
+        assert!((m.snapshots[0].total_energy_j - 0.75).abs() < 1e-12);
+        assert_eq!(m.snapshots[1].originated, 6);
+        assert_eq!(m.snapshots[1].at, 2_000);
+    }
+
+    #[test]
+    fn node_tx_histogram_samples_every_node() {
+        let m = Metrics {
+            node_tx: vec![0, 3, 3, 10],
+            ..Default::default()
+        };
+        let h = m.node_tx_histogram();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.percentile(0.5), 3);
     }
 }

@@ -215,7 +215,9 @@ impl Ctx<'_> {
         self.core.metrics.originated += 1;
     }
 
-    /// Record a completed end-to-end delivery at this node.
+    /// Record a completed end-to-end delivery at this node. Feeds the
+    /// delivery ledger, the latency/hop histograms and (when tracing is
+    /// on) a `deliver` trace event.
     pub fn record_delivery(&mut self, source: NodeId, msg_id: u64, sent_at: SimTime, hops: u32) {
         let d = crate::metrics::Delivery {
             source,
@@ -225,7 +227,34 @@ impl Ctx<'_> {
             delivered_at: self.core.now,
             hops,
         };
-        self.core.metrics.deliveries.push(d);
+        let latency_us = d.latency();
+        self.core.metrics.record_delivery(d);
+        if self.trace_enabled() {
+            self.trace(wmsn_trace::TraceEvent::Deliver {
+                t: self.core.now,
+                node: self.node,
+                origin: source,
+                msg_id,
+                hops,
+                latency_us,
+            });
+        }
+    }
+
+    /// Whether a trace sink is installed. Guard event construction with
+    /// this so disabled tracing costs exactly one branch.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace.is_some()
+    }
+
+    /// Record a protocol-level trace event (route decisions, cache
+    /// answers, forwards). No-op when tracing is disabled — but prefer
+    /// checking [`Ctx::trace_enabled`] first so the event is never
+    /// built on the disabled path.
+    #[inline]
+    pub fn trace(&mut self, ev: wmsn_trace::TraceEvent) {
+        self.core.emit(ev);
     }
 
     /// Modelling shortcut: the ids of currently-alive neighbours on

@@ -15,8 +15,26 @@ use crate::phy::{PhyProfile, Tier};
 use crate::time::SimTime;
 use std::collections::HashMap;
 use std::rc::Rc;
+use wmsn_trace::{DropCause, TraceEvent, TraceKind, TraceSink, TraceTier};
 use wmsn_util::geom::unit_disk_adjacency;
 use wmsn_util::{NodeId, NodeRole, Point, SplitMix64};
+
+/// Trace-model tier for a PHY tier.
+pub(crate) fn trace_tier(t: Tier) -> TraceTier {
+    match t {
+        Tier::Sensor => TraceTier::Sensor,
+        Tier::Mesh => TraceTier::Mesh,
+    }
+}
+
+/// Trace-model kind for a packet kind.
+pub(crate) fn trace_kind(k: PacketKind) -> TraceKind {
+    match k {
+        PacketKind::Control => TraceKind::Control,
+        PacketKind::Data => TraceKind::Data,
+        PacketKind::Security => TraceKind::Security,
+    }
+}
 
 /// World construction parameters.
 #[derive(Clone, Debug)]
@@ -68,6 +86,10 @@ pub struct WorldCore {
     collisions: [CollisionTracker; 2],
     /// Reusable slot buffer for `transmit_ranged` receiver collection.
     ranged_scratch: Vec<usize>,
+    /// Structured-trace sink; `None` (the default) disables tracing, and
+    /// every hook below is a branch on this `Option` — the zero-cost-
+    /// disabled contract the hot-path numbers depend on.
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
 }
 
 struct AdjacencyCache {
@@ -164,6 +186,16 @@ fn tier_index(t: Tier) -> usize {
 }
 
 impl WorldCore {
+    /// Hand one event to the installed sink, if any. Callers on hot
+    /// paths guard with `self.trace.is_some()` first so the event is
+    /// never even constructed when tracing is off.
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.record(&ev);
+        }
+    }
+
     fn phy(&self, tier: Tier) -> &PhyProfile {
         match tier {
             Tier::Sensor => &self.cfg.sensor_phy,
@@ -306,14 +338,26 @@ impl WorldCore {
         }
         let survived = state.battery.spend(joules);
         // Track consumption (finite batteries only; unlimited report 0).
+        let consumed = state.battery.consumed_j();
         if let Some(slot) = self.metrics.energy_consumed.get_mut(idx) {
-            *slot = state.battery.consumed_j();
+            *slot = consumed;
         }
         if !survived {
             state.alive = false;
             if state.role == NodeRole::Sensor && self.metrics.first_death.is_none() {
                 self.metrics.first_death = Some(self.now);
                 self.metrics.first_death_node = Some(node);
+            }
+        }
+        if self.trace.is_some() {
+            let t = self.now;
+            self.emit(TraceEvent::Energy {
+                t,
+                node,
+                consumed_j: consumed,
+            });
+            if !survived {
+                self.emit(TraceEvent::NodeKill { t, node });
             }
         }
         survived
@@ -373,11 +417,26 @@ impl WorldCore {
         if self.cfg.medium.csma && self.channel_busy(src, tier) {
             if attempt >= 6 {
                 self.metrics.csma_drops += 1;
+                if self.trace.is_some() {
+                    self.emit(TraceEvent::TxGiveUp {
+                        t: self.now,
+                        src,
+                        tier: trace_tier(tier),
+                    });
+                }
                 return false;
             }
             let slot = self.phy(tier).tx_time_us(32).max(100);
             let backoff = 1 + self.node_rngs[src.index()].next_below(slot << attempt.min(4));
             self.metrics.csma_deferrals += 1;
+            if self.trace.is_some() {
+                self.emit(TraceEvent::TxDefer {
+                    t: self.now,
+                    src,
+                    tier: trace_tier(tier),
+                    attempt,
+                });
+            }
             let at = self.now + backoff;
             self.queue.schedule(
                 at,
@@ -408,9 +467,23 @@ impl WorldCore {
         // energy charge uses the range as the distance term.
         let tx_cost = self.cfg.energy.tx_cost(size, phy.range_m);
         self.metrics.count_sent(kind, size);
+        if let Some(n) = self.metrics.node_tx.get_mut(src.index()) {
+            *n += 1;
+        }
         if !self.charge(src, tx_cost) {
             // Battery died on this transmission; the frame still leaves
             // the antenna (the energy was spent).
+        }
+        if self.trace.is_some() {
+            self.emit(TraceEvent::TxStart {
+                t: self.now,
+                seq,
+                src,
+                dst: link_dst,
+                tier: trace_tier(tier),
+                kind: trace_kind(kind),
+                bytes: size as u32,
+            });
         }
 
         let tx_end = self.now + phy.tx_time_us(size);
@@ -446,6 +519,28 @@ impl WorldCore {
                         packet: Rc::clone(&packet),
                     },
                 );
+            }
+        }
+        // Trace-only diagnosis: a unicast whose link destination is not
+        // in the sender's adjacency row will never arrive — record the
+        // out-of-range drop so `wmsn-trace` can explain it. The cache
+        // is still local here, so the membership test is O(log n).
+        if self.trace.is_some() {
+            if let Some(dst) = link_dst {
+                let src_slot = cache.slot.get(src.index()).copied().flatten();
+                let dst_slot = cache.slot.get(dst.index()).copied().flatten();
+                let reachable = match (src_slot, dst_slot) {
+                    (Some(s), Some(d)) => cache.adj[s].binary_search(&d).is_ok(),
+                    _ => false,
+                };
+                if !reachable {
+                    self.emit(TraceEvent::Drop {
+                        t: self.now,
+                        seq,
+                        node: dst,
+                        cause: DropCause::OutOfRange,
+                    });
+                }
             }
         }
         self.adjacency[ti] = Some(cache);
@@ -495,7 +590,21 @@ impl WorldCore {
         let phy = *self.phy(tier);
         let tx_cost = self.cfg.energy.tx_cost(size, range_m);
         self.metrics.count_sent(kind, size);
+        if let Some(n) = self.metrics.node_tx.get_mut(src.index()) {
+            *n += 1;
+        }
         let _ = self.charge(src, tx_cost);
+        if self.trace.is_some() {
+            self.emit(TraceEvent::TxStart {
+                t: self.now,
+                seq,
+                src,
+                dst: link_dst,
+                tier: trace_tier(tier),
+                kind: trace_kind(kind),
+                bytes: size as u32,
+            });
+        }
         let src_pos = self.nodes[src.index()].pos;
         let arrival = self.now + phy.hop_delay_us(size);
         // Tolerant comparison: callers commonly pass the exact geometric
@@ -544,6 +653,14 @@ impl WorldCore {
     fn resolve_delivery(&mut self, to: NodeId, packet: &Packet) -> bool {
         if !self.nodes[to.index()].alive {
             self.metrics.dead_receiver += 1;
+            if self.trace.is_some() {
+                self.emit(TraceEvent::Drop {
+                    t: self.now,
+                    seq: packet.seq,
+                    node: to,
+                    cause: DropCause::Dead,
+                });
+            }
             return false;
         }
         if self.cfg.medium.collisions == CollisionModel::ReceiverOverlap {
@@ -554,6 +671,14 @@ impl WorldCore {
                 .saturating_sub(phy.hop_delay_us(packet.size_bytes()));
             if self.collisions[tier].corrupted(to, start) {
                 self.metrics.collided += 1;
+                if self.trace.is_some() {
+                    self.emit(TraceEvent::Drop {
+                        t: self.now,
+                        seq: packet.seq,
+                        node: to,
+                        cause: DropCause::Collision,
+                    });
+                }
                 return false;
             }
         }
@@ -561,19 +686,44 @@ impl WorldCore {
             let p = self.cfg.medium.loss_prob;
             if self.medium_rng.chance(p) {
                 self.metrics.lost += 1;
+                if self.trace.is_some() {
+                    self.emit(TraceEvent::Drop {
+                        t: self.now,
+                        seq: packet.seq,
+                        node: to,
+                        cause: DropCause::Loss,
+                    });
+                }
                 return false;
             }
         }
         if !packet.addressed_to(to) && !self.nodes[to.index()].promiscuous {
             // Not ours; radios filter by address without waking the CPU.
+            // Deliberately not a trace `drop`: address filtering is how
+            // broadcast radios work, not a lost reception.
             return false;
         }
         let rx_cost = self.cfg.energy.rx_cost(packet.size_bytes());
         if !self.charge(to, rx_cost) {
             // Died receiving: the frame is not processed.
+            if self.trace.is_some() {
+                self.emit(TraceEvent::Drop {
+                    t: self.now,
+                    seq: packet.seq,
+                    node: to,
+                    cause: DropCause::Energy,
+                });
+            }
             return false;
         }
         self.metrics.received += 1;
+        if self.trace.is_some() {
+            self.emit(TraceEvent::Rx {
+                t: self.now,
+                seq: packet.seq,
+                node: to,
+            });
+        }
         true
     }
 }
@@ -607,6 +757,7 @@ impl World {
                 adjacency: [None, None],
                 collisions: [CollisionTracker::new(), CollisionTracker::new()],
                 ranged_scratch: Vec::new(),
+                trace: None,
             },
             behaviors: Vec::new(),
             started: false,
@@ -627,6 +778,7 @@ impl World {
         let rng = SplitMix64::new(self.core.cfg.seed).split(0x4E0D_E000 + id.0 as u64);
         self.core.node_rngs.push(rng);
         self.core.metrics.energy_consumed.push(0.0);
+        self.core.metrics.node_tx.push(0);
         self.behaviors.push(Some(behavior));
         self.core.invalidate_adjacency();
         id
@@ -770,6 +922,14 @@ impl World {
         for ti in 0..2 {
             self.core.update_adjacency_for_move(ti, id, old_pos);
         }
+        if self.core.trace.is_some() {
+            self.core.emit(TraceEvent::NodeMove {
+                t: self.core.now,
+                node: id,
+                x: pos.x,
+                y: pos.y,
+            });
+        }
     }
 
     /// Put a node's radio in promiscuous mode (adversaries eavesdropping
@@ -784,6 +944,12 @@ impl World {
     /// [`World::wake`].
     pub fn sleep(&mut self, id: NodeId) {
         self.core.nodes[id.index()].alive = false;
+        if self.core.trace.is_some() {
+            self.core.emit(TraceEvent::NodeSleep {
+                t: self.core.now,
+                node: id,
+            });
+        }
     }
 
     /// Wake a sleeping node (no-op if its battery is spent).
@@ -791,6 +957,12 @@ impl World {
         let state = &mut self.core.nodes[id.index()];
         if state.battery.alive() {
             state.alive = true;
+            if self.core.trace.is_some() {
+                self.core.emit(TraceEvent::NodeWake {
+                    t: self.core.now,
+                    node: id,
+                });
+            }
         }
     }
 
@@ -803,6 +975,12 @@ impl World {
                 self.core.metrics.first_death = Some(self.core.now);
                 self.core.metrics.first_death_node = Some(id);
             }
+            if self.core.trace.is_some() {
+                self.core.emit(TraceEvent::NodeKill {
+                    t: self.core.now,
+                    node: id,
+                });
+            }
         }
     }
 
@@ -811,7 +989,43 @@ impl World {
         let state = &mut self.core.nodes[id.index()];
         if state.battery.alive() {
             state.alive = true;
+            if self.core.trace.is_some() {
+                self.core.emit(TraceEvent::NodeWake {
+                    t: self.core.now,
+                    node: id,
+                });
+            }
         }
+    }
+
+    /// Install a structured-trace sink. Every subsequent packet-
+    /// lifecycle and protocol-decision event is recorded into it; pass
+    /// the result of [`World::take_trace_sink`] back in to resume.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.core.trace = Some(sink);
+    }
+
+    /// Remove and return the trace sink (flushed), disabling tracing.
+    /// Downcast it via [`TraceSink::as_any`] to read captured state.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.core.trace.take()?;
+        sink.flush();
+        Some(sink)
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace.is_some()
+    }
+
+    /// Total events the event loop has processed (popped) so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.queue.total_popped()
+    }
+
+    /// High-water mark of the event queue over the run.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.core.queue.peak_len()
     }
 
     /// Read the metrics ledger.
@@ -925,6 +1139,53 @@ mod tests {
         assert_eq!(p.received.len(), 1);
         assert_eq!(w.metrics().received, 1);
         assert_eq!(w.metrics().sent_data, 1);
+    }
+
+    #[test]
+    fn trace_sink_records_the_packet_lifecycle() {
+        use wmsn_trace::CountingSink;
+        let (mut w, _a, _b) = two_node_world();
+        w.set_trace_sink(Box::new(CountingSink::new()));
+        assert!(w.trace_enabled());
+        w.run_until(1_000_000);
+        let sink = w.take_trace_sink().expect("installed");
+        assert!(!w.trace_enabled());
+        let c = sink.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert_eq!(c.count_of("tx_start"), 1);
+        assert_eq!(c.count_of("rx"), 1);
+        // One energy event per charge: the tx and the rx.
+        assert_eq!(c.count_of("energy"), 2);
+    }
+
+    #[test]
+    fn unreachable_unicast_traces_an_out_of_range_drop() {
+        use wmsn_trace::CountingSink;
+        let mut w = World::new(WorldConfig::ideal(1));
+        let a = w.add_node(NodeConfig::sensor(Point::new(0.0, 0.0), 1.0), probe(false));
+        let far = w.add_node(
+            NodeConfig::sensor(Point::new(500.0, 0.0), 1.0),
+            probe(false),
+        );
+        w.set_trace_sink(Box::new(CountingSink::new()));
+        w.start();
+        w.with_behavior::<Probe, _>(a, |_, ctx| {
+            ctx.send(Some(far), Tier::Sensor, PacketKind::Data, vec![7]);
+        });
+        w.run_until(1_000_000);
+        let sink = w.take_trace_sink().unwrap();
+        let c = sink.as_any().downcast_ref::<CountingSink>().unwrap();
+        assert_eq!(c.drops_of("out_of_range"), 1);
+        assert_eq!(c.count_of("rx"), 0);
+    }
+
+    #[test]
+    fn event_queue_counters_track_throughput_and_depth() {
+        let (mut w, _a, _b) = two_node_world();
+        assert_eq!(w.events_processed(), 0);
+        w.run_until(1_000_000);
+        // One broadcast delivery event scheduled and popped.
+        assert_eq!(w.events_processed(), 1);
+        assert!(w.peak_queue_depth() >= 1);
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! The structured event model.
+//!
+//! One [`TraceEvent`] per observable simulator fact. Events are small
+//! `Copy` values — no heap allocation happens on the emitting side —
+//! and every variant carries the simulation time `t` (microseconds) as
+//! its first field. Serialisation to a single JSON object per event
+//! (fixed key order, so output is byte-deterministic) lives here too.
+
+use wmsn_util::json::Json;
+use wmsn_util::NodeId;
+
+/// Radio tier of a traced frame. Mirrors the simulator's `Tier` without
+/// depending on it (the sim crate depends on this crate, not the other
+/// way round).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceTier {
+    /// Low-power sensor tier (ZigBee-class).
+    Sensor,
+    /// Mesh backbone tier (WiFi-class).
+    Mesh,
+}
+
+impl TraceTier {
+    /// Stable string form used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceTier::Sensor => "sensor",
+            TraceTier::Mesh => "mesh",
+        }
+    }
+}
+
+/// Frame kind of a traced transmission. Mirrors the simulator's
+/// `PacketKind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Routing-control frame.
+    Control,
+    /// Application data frame.
+    Data,
+    /// Security-protocol frame.
+    Security,
+}
+
+impl TraceKind {
+    /// Stable string form used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Control => "control",
+            TraceKind::Data => "data",
+            TraceKind::Security => "security",
+        }
+    }
+}
+
+/// Why a scheduled reception never reached the behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// Overlapping airtime at the receiver (collision model).
+    Collision,
+    /// Random medium loss.
+    Loss,
+    /// Receiver was dead (or asleep) at arrival time.
+    Dead,
+    /// Unicast link destination was outside the sender's radio range.
+    OutOfRange,
+    /// Receiver's battery died paying the receive cost.
+    Energy,
+}
+
+impl DropCause {
+    /// Stable string form used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropCause::Collision => "collision",
+            DropCause::Loss => "loss",
+            DropCause::Dead => "dead",
+            DropCause::OutOfRange => "out_of_range",
+            DropCause::Energy => "energy",
+        }
+    }
+}
+
+/// One structured simulator event. All variants are `Copy`; times are
+/// simulation microseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A frame left the antenna.
+    TxStart {
+        /// Simulation time.
+        t: u64,
+        /// World-unique frame sequence number.
+        seq: u64,
+        /// Transmitting node.
+        src: NodeId,
+        /// Link-layer destination (`None` = broadcast).
+        dst: Option<NodeId>,
+        /// Radio tier.
+        tier: TraceTier,
+        /// Frame kind.
+        kind: TraceKind,
+        /// On-air size in bytes.
+        bytes: u32,
+    },
+    /// CSMA found the channel busy; the frame was re-enqueued with
+    /// backoff (the lifecycle "enqueue" event).
+    TxDefer {
+        /// Simulation time.
+        t: u64,
+        /// Deferring node.
+        src: NodeId,
+        /// Radio tier.
+        tier: TraceTier,
+        /// Backoff attempt number (0-based).
+        attempt: u8,
+    },
+    /// CSMA exhausted its backoff attempts; the frame was abandoned
+    /// before ever getting a sequence number.
+    TxGiveUp {
+        /// Simulation time.
+        t: u64,
+        /// Abandoning node.
+        src: NodeId,
+        /// Radio tier.
+        tier: TraceTier,
+    },
+    /// A frame was received intact and passed to the behaviour.
+    Rx {
+        /// Simulation time.
+        t: u64,
+        /// Frame sequence number.
+        seq: u64,
+        /// Receiving node.
+        node: NodeId,
+    },
+    /// A scheduled reception was dropped.
+    Drop {
+        /// Simulation time.
+        t: u64,
+        /// Frame sequence number.
+        seq: u64,
+        /// Would-be receiver.
+        node: NodeId,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A protocol forwarded (or originated, `hops == 1`) an application
+    /// message.
+    Forward {
+        /// Simulation time.
+        t: u64,
+        /// Forwarding node.
+        node: NodeId,
+        /// Message originator.
+        origin: NodeId,
+        /// Application message id.
+        msg_id: u64,
+        /// Next hop (`None` = broadcast / unknown).
+        next: Option<NodeId>,
+        /// Hop count after this transmission.
+        hops: u32,
+    },
+    /// An application message reached its final destination.
+    Deliver {
+        /// Simulation time.
+        t: u64,
+        /// Destination node.
+        node: NodeId,
+        /// Message originator.
+        origin: NodeId,
+        /// Application message id.
+        msg_id: u64,
+        /// Radio hops traversed.
+        hops: u32,
+        /// End-to-end latency in microseconds.
+        latency_us: u64,
+    },
+    /// SPR/MLR route discovery: an RREQ was originated
+    /// (`forwarded == false`) or re-flooded (`forwarded == true`).
+    RreqFlood {
+        /// Simulation time.
+        t: u64,
+        /// Flooding node.
+        node: NodeId,
+        /// Discovery originator.
+        origin: NodeId,
+        /// Request id (per-originator).
+        req_id: u64,
+        /// Whether this is a relay of someone else's RREQ.
+        forwarded: bool,
+    },
+    /// A cached route answered an RREQ without reaching a gateway —
+    /// the paper's §5.2 optimisation.
+    CacheReply {
+        /// Simulation time.
+        t: u64,
+        /// Answering node.
+        node: NodeId,
+        /// Discovery originator.
+        origin: NodeId,
+        /// Request id.
+        req_id: u64,
+        /// Gateway the cached route leads to.
+        gateway: NodeId,
+        /// Gateway place index.
+        place: u16,
+    },
+    /// A route was installed (RREP accepted into the routing table).
+    RouteInstall {
+        /// Simulation time.
+        t: u64,
+        /// Installing node.
+        node: NodeId,
+        /// Route's gateway.
+        gateway: NodeId,
+        /// Gateway place index.
+        place: u16,
+        /// Route length in hops.
+        hops: u32,
+        /// Bottleneck residual energy (per-mille) along the route —
+        /// the MLR term that justifies the choice.
+        energy_pm: u16,
+    },
+    /// MLR picked a route for a data message; the recorded terms are
+    /// the ones the selection policy weighed.
+    RouteSelect {
+        /// Simulation time.
+        t: u64,
+        /// Selecting node.
+        node: NodeId,
+        /// Chosen gateway.
+        gateway: NodeId,
+        /// Chosen place index.
+        place: u16,
+        /// Route length in hops.
+        hops: u32,
+        /// Bottleneck residual energy (per-mille).
+        energy_pm: u16,
+    },
+    /// A gateway occupied a (new) place at a round boundary.
+    GatewayMove {
+        /// Simulation time.
+        t: u64,
+        /// Moving gateway.
+        gateway: NodeId,
+        /// New place index.
+        place: u16,
+    },
+    /// A node's position changed.
+    NodeMove {
+        /// Simulation time.
+        t: u64,
+        /// Moved node.
+        node: NodeId,
+        /// New x coordinate (metres).
+        x: f64,
+        /// New y coordinate (metres).
+        y: f64,
+    },
+    /// A node's radio was put to sleep.
+    NodeSleep {
+        /// Simulation time.
+        t: u64,
+        /// Sleeping node.
+        node: NodeId,
+    },
+    /// A node was woken (or revived).
+    NodeWake {
+        /// Simulation time.
+        t: u64,
+        /// Woken node.
+        node: NodeId,
+    },
+    /// A node was killed (battery drain or fault injection).
+    NodeKill {
+        /// Simulation time.
+        t: u64,
+        /// Killed node.
+        node: NodeId,
+    },
+    /// A node's cumulative energy consumption changed.
+    Energy {
+        /// Simulation time.
+        t: u64,
+        /// Charged node.
+        node: NodeId,
+        /// Total joules consumed so far (0 for unlimited batteries).
+        consumed_j: f64,
+    },
+}
+
+fn id(n: NodeId) -> Json {
+    Json::from(n.0 as u64)
+}
+
+fn opt_id(n: Option<NodeId>) -> Json {
+    match n {
+        Some(n) => id(n),
+        None => Json::Null,
+    }
+}
+
+impl TraceEvent {
+    /// Stable name of this event's variant — the `"ev"` field of the
+    /// JSONL form and the key of [`crate::CountingSink`] tallies.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::TxStart { .. } => "tx_start",
+            TraceEvent::TxDefer { .. } => "tx_defer",
+            TraceEvent::TxGiveUp { .. } => "tx_giveup",
+            TraceEvent::Rx { .. } => "rx",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Forward { .. } => "forward",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::RreqFlood { .. } => "rreq_flood",
+            TraceEvent::CacheReply { .. } => "cache_reply",
+            TraceEvent::RouteInstall { .. } => "route_install",
+            TraceEvent::RouteSelect { .. } => "route_select",
+            TraceEvent::GatewayMove { .. } => "gateway_move",
+            TraceEvent::NodeMove { .. } => "node_move",
+            TraceEvent::NodeSleep { .. } => "node_sleep",
+            TraceEvent::NodeWake { .. } => "node_wake",
+            TraceEvent::NodeKill { .. } => "node_kill",
+            TraceEvent::Energy { .. } => "energy",
+        }
+    }
+
+    /// Serialise to one flat JSON object with fixed key order
+    /// (`ev`, `t`, then variant fields) — the JSONL wire form.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&'static str, Json)> =
+            vec![("ev", Json::from(self.name())), ("t", Json::from(self.t()))];
+        match *self {
+            TraceEvent::TxStart {
+                seq,
+                src,
+                dst,
+                tier,
+                kind,
+                bytes,
+                ..
+            } => {
+                fields.push(("seq", Json::from(seq)));
+                fields.push(("src", id(src)));
+                fields.push(("dst", opt_id(dst)));
+                fields.push(("tier", Json::from(tier.as_str())));
+                fields.push(("kind", Json::from(kind.as_str())));
+                fields.push(("bytes", Json::from(bytes as u64)));
+            }
+            TraceEvent::TxDefer {
+                src, tier, attempt, ..
+            } => {
+                fields.push(("src", id(src)));
+                fields.push(("tier", Json::from(tier.as_str())));
+                fields.push(("attempt", Json::from(attempt as u64)));
+            }
+            TraceEvent::TxGiveUp { src, tier, .. } => {
+                fields.push(("src", id(src)));
+                fields.push(("tier", Json::from(tier.as_str())));
+            }
+            TraceEvent::Rx { seq, node, .. } => {
+                fields.push(("seq", Json::from(seq)));
+                fields.push(("node", id(node)));
+            }
+            TraceEvent::Drop {
+                seq, node, cause, ..
+            } => {
+                fields.push(("seq", Json::from(seq)));
+                fields.push(("node", id(node)));
+                fields.push(("cause", Json::from(cause.as_str())));
+            }
+            TraceEvent::Forward {
+                node,
+                origin,
+                msg_id,
+                next,
+                hops,
+                ..
+            } => {
+                fields.push(("node", id(node)));
+                fields.push(("origin", id(origin)));
+                fields.push(("msg_id", Json::from(msg_id)));
+                fields.push(("next", opt_id(next)));
+                fields.push(("hops", Json::from(hops as u64)));
+            }
+            TraceEvent::Deliver {
+                node,
+                origin,
+                msg_id,
+                hops,
+                latency_us,
+                ..
+            } => {
+                fields.push(("node", id(node)));
+                fields.push(("origin", id(origin)));
+                fields.push(("msg_id", Json::from(msg_id)));
+                fields.push(("hops", Json::from(hops as u64)));
+                fields.push(("latency_us", Json::from(latency_us)));
+            }
+            TraceEvent::RreqFlood {
+                node,
+                origin,
+                req_id,
+                forwarded,
+                ..
+            } => {
+                fields.push(("node", id(node)));
+                fields.push(("origin", id(origin)));
+                fields.push(("req_id", Json::from(req_id)));
+                fields.push(("forwarded", Json::from(forwarded)));
+            }
+            TraceEvent::CacheReply {
+                node,
+                origin,
+                req_id,
+                gateway,
+                place,
+                ..
+            } => {
+                fields.push(("node", id(node)));
+                fields.push(("origin", id(origin)));
+                fields.push(("req_id", Json::from(req_id)));
+                fields.push(("gateway", id(gateway)));
+                fields.push(("place", Json::from(place as u64)));
+            }
+            TraceEvent::RouteInstall {
+                node,
+                gateway,
+                place,
+                hops,
+                energy_pm,
+                ..
+            } => {
+                fields.push(("node", id(node)));
+                fields.push(("gateway", id(gateway)));
+                fields.push(("place", Json::from(place as u64)));
+                fields.push(("hops", Json::from(hops as u64)));
+                fields.push(("energy_pm", Json::from(energy_pm as u64)));
+            }
+            TraceEvent::RouteSelect {
+                node,
+                gateway,
+                place,
+                hops,
+                energy_pm,
+                ..
+            } => {
+                fields.push(("node", id(node)));
+                fields.push(("gateway", id(gateway)));
+                fields.push(("place", Json::from(place as u64)));
+                fields.push(("hops", Json::from(hops as u64)));
+                fields.push(("energy_pm", Json::from(energy_pm as u64)));
+            }
+            TraceEvent::GatewayMove { gateway, place, .. } => {
+                fields.push(("gateway", id(gateway)));
+                fields.push(("place", Json::from(place as u64)));
+            }
+            TraceEvent::NodeMove { node, x, y, .. } => {
+                fields.push(("node", id(node)));
+                fields.push(("x", Json::from(x)));
+                fields.push(("y", Json::from(y)));
+            }
+            TraceEvent::NodeSleep { node, .. }
+            | TraceEvent::NodeWake { node, .. }
+            | TraceEvent::NodeKill { node, .. } => {
+                fields.push(("node", id(node)));
+            }
+            TraceEvent::Energy {
+                node, consumed_j, ..
+            } => {
+                fields.push(("node", id(node)));
+                fields.push(("consumed_j", Json::from(consumed_j)));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// Simulation time of the event, microseconds.
+    pub fn t(&self) -> u64 {
+        match *self {
+            TraceEvent::TxStart { t, .. }
+            | TraceEvent::TxDefer { t, .. }
+            | TraceEvent::TxGiveUp { t, .. }
+            | TraceEvent::Rx { t, .. }
+            | TraceEvent::Drop { t, .. }
+            | TraceEvent::Forward { t, .. }
+            | TraceEvent::Deliver { t, .. }
+            | TraceEvent::RreqFlood { t, .. }
+            | TraceEvent::CacheReply { t, .. }
+            | TraceEvent::RouteInstall { t, .. }
+            | TraceEvent::RouteSelect { t, .. }
+            | TraceEvent::GatewayMove { t, .. }
+            | TraceEvent::NodeMove { t, .. }
+            | TraceEvent::NodeSleep { t, .. }
+            | TraceEvent::NodeWake { t, .. }
+            | TraceEvent::NodeKill { t, .. }
+            | TraceEvent::Energy { t, .. } => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_form_is_compact_and_key_ordered() {
+        let ev = TraceEvent::TxStart {
+            t: 42,
+            seq: 7,
+            src: NodeId(3),
+            dst: None,
+            tier: TraceTier::Sensor,
+            kind: TraceKind::Data,
+            bytes: 32,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"tx_start","t":42,"seq":7,"src":3,"dst":null,"tier":"sensor","kind":"data","bytes":32}"#
+        );
+    }
+
+    #[test]
+    fn drop_carries_cause_string() {
+        let ev = TraceEvent::Drop {
+            t: 1,
+            seq: 2,
+            node: NodeId(9),
+            cause: DropCause::OutOfRange,
+        };
+        let s = ev.to_json().to_string();
+        assert!(s.contains(r#""cause":"out_of_range""#), "{s}");
+        assert_eq!(ev.name(), "drop");
+        assert_eq!(ev.t(), 1);
+    }
+}

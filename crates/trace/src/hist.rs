@@ -1,0 +1,234 @@
+//! Fixed-bucket, allocation-free histogram.
+//!
+//! Layout: values below [`LINEAR_MAX`] get one exact bucket each (hop
+//! counts, small latencies); larger values share one bucket per power
+//! of two (log₂ tail), saturating in the top bucket. Everything is a
+//! fixed array — recording never allocates, so histograms can live on
+//! the simulator's metrics hot path.
+
+/// Values `< LINEAR_MAX` are counted exactly, one bucket per value.
+pub const LINEAR_MAX: u64 = 64;
+
+/// Total bucket count: 64 linear + one per power of two from 2⁶ up to
+/// the saturating 2⁶³ bucket.
+pub const BUCKETS: usize = 122;
+
+/// A fixed-bucket histogram over `u64` samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: exact below [`LINEAR_MAX`], log₂ above.
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        // v >= 64 ⇒ ilog2(v) in 6..=63 ⇒ index in 64..=121.
+        58 + v.ilog2() as usize
+    }
+}
+
+/// Largest value a bucket can hold (the value `percentile` reports).
+fn upper_bound(b: usize) -> u64 {
+    if b < LINEAR_MAX as usize {
+        b as u64
+    } else {
+        let exp = (b - 57) as u32;
+        if exp >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << exp) - 1
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-quantile (`p` in `0.0..=1.0`), reported as the upper
+    /// bound of the containing bucket — exact for values below
+    /// [`LINEAR_MAX`], quantised to the next power-of-two boundary
+    /// above it. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs — the compact
+    /// report form.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| (upper_bound(b), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_are_exact() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(63), 63);
+        assert_eq!(upper_bound(63), 63);
+    }
+
+    #[test]
+    fn log_bucket_boundaries() {
+        // 64..=127 share the first log bucket; 128 starts the next.
+        assert_eq!(bucket_of(64), 64);
+        assert_eq!(bucket_of(127), 64);
+        assert_eq!(bucket_of(128), 65);
+        assert_eq!(upper_bound(64), 127);
+        assert_eq!(upper_bound(65), 255);
+        // Powers of two land in the bucket they open.
+        assert_eq!(bucket_of(1 << 20), 58 + 20);
+        assert_eq!(upper_bound(58 + 20), (1 << 21) - 1);
+    }
+
+    #[test]
+    fn percentiles_are_exact_in_the_linear_range() {
+        let mut h = Histogram::new();
+        for v in 1..=60 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 60);
+        assert_eq!(h.percentile(0.5), 30);
+        assert_eq!(h.percentile(0.95), 57);
+        assert_eq!(h.percentile(0.99), 60);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(1.0), 60);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 60);
+        assert!((h.mean() - 30.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_quantise_to_bucket_upper_bounds_in_the_log_tail() {
+        let mut h = Histogram::new();
+        h.record(1000); // bucket [512, 1023]
+        assert_eq!(h.percentile(0.5), 1000); // capped at observed max
+        h.record(2000); // bucket [1024, 2047]
+        assert_eq!(h.percentile(0.25), 1023); // bucket upper bound
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(1u64 << 63), BUCKETS - 1);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(7);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.nonzero_buckets().len(), 3);
+    }
+}

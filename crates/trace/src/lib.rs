@@ -1,0 +1,41 @@
+//! Structured tracing and observability for the WMSN simulator.
+//!
+//! The simulator's end-of-run [`Metrics`] counters say *what* happened;
+//! this crate records *why*: a compact structured event model covering
+//! the full packet lifecycle (enqueue, tx-start, rx, drop-with-cause,
+//! forward, deliver) plus protocol decision events (SPR RREQ floods and
+//! cached-route answers, MLR route selection with the energy terms that
+//! justified it, gateway moves, node sleep/kill).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** The world holds an
+//!    `Option<Box<dyn TraceSink>>`; every hook is a branch on that
+//!    `Option`, and events are only *constructed* when a sink is
+//!    installed. The PR-1 hot-path numbers must not move.
+//! 2. **Deterministic output.** Event emission happens at points that
+//!    are themselves deterministic (same seed → same schedule), and the
+//!    JSONL serialisation uses the workspace's insertion-ordered
+//!    [`wmsn_util::json::Json`] with fixed key order — so a trace file
+//!    is byte-identical run to run for a fixed seed.
+//! 3. **No external dependencies.** Serialisation, parsing and replay
+//!    are all in-tree.
+//!
+//! [`Metrics`]: https://docs.rs/wmsn-sim
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod parse;
+pub mod replay;
+pub mod sink;
+pub mod structured;
+
+pub use event::{DropCause, TraceEvent, TraceKind, TraceTier};
+pub use hist::Histogram;
+pub use parse::{parse_line, Value};
+pub use replay::Replay;
+pub use sink::{BufferSink, CountingSink, JsonlSink, NullSink, TraceSink};
+pub use structured::{log_error, log_record, record_line};

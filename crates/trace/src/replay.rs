@@ -1,0 +1,220 @@
+//! Trace replay: load a JSONL trace and answer debugging questions.
+//!
+//! This is the engine behind the `wmsn-trace` CLI — "show the path of
+//! msg N", "why was packet X dropped", "per-node energy timeline" —
+//! kept in the library so the queries are unit-testable and usable
+//! from experiments directly.
+
+use crate::parse::{get, parse_line, Record, Value};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// One hop of a reconstructed message path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathHop {
+    /// Time the hop transmitted.
+    pub t: u64,
+    /// Transmitting node.
+    pub node: u64,
+    /// Link-layer next hop, if the frame was unicast.
+    pub next: Option<u64>,
+    /// Hop count after this transmission.
+    pub hops: u64,
+}
+
+/// The reconstructed journey of one application message.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MessagePath {
+    /// Forwarding hops in time order (the first entry is the origination).
+    pub hops: Vec<PathHop>,
+    /// Final delivery `(t, destination, hops, latency_us)`, if it arrived.
+    pub delivered: Option<(u64, u64, u64, u64)>,
+}
+
+/// A reception that was dropped: `(t, receiver, cause)`.
+pub type DropRecord = (u64, u64, String);
+
+/// A loaded trace file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    records: Vec<Record>,
+}
+
+impl Replay {
+    /// Parse every line of a reader. Fails on the first malformed line
+    /// with its 1-based line number.
+    pub fn from_reader(r: impl BufRead) -> Result<Replay, String> {
+        let mut records = Vec::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line.map_err(|e| format!("line {}: read error: {e}", i + 1))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec = parse_line(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            if get(&rec, "ev").and_then(Value::as_str).is_none() {
+                return Err(format!("line {}: missing \"ev\" field", i + 1));
+            }
+            records.push(rec);
+        }
+        Ok(Replay { records })
+    }
+
+    /// Parse an in-memory JSONL string.
+    pub fn from_jsonl(s: &str) -> Result<Replay, String> {
+        Self::from_reader(s.as_bytes())
+    }
+
+    /// Number of events loaded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.records
+            .iter()
+            .filter(move |r| get(r, "ev").and_then(Value::as_str) == Some(name))
+    }
+
+    /// Event counts by variant name, deterministically ordered.
+    pub fn counts(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            if let Some(ev) = get(r, "ev").and_then(Value::as_str) {
+                *out.entry(ev.to_string()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Reconstruct the hop-by-hop path of message `(origin, msg_id)`
+    /// from its `forward` and `deliver` events. Returns `None` if the
+    /// message never appears in the trace.
+    pub fn path_of(&self, origin: u64, msg_id: u64) -> Option<MessagePath> {
+        let matches = |r: &Record| {
+            get(r, "origin").and_then(Value::as_u64) == Some(origin)
+                && get(r, "msg_id").and_then(Value::as_u64) == Some(msg_id)
+        };
+        let mut path = MessagePath::default();
+        for r in self.events_named("forward").filter(|r| matches(r)) {
+            path.hops.push(PathHop {
+                t: get(r, "t").and_then(Value::as_u64).unwrap_or(0),
+                node: get(r, "node").and_then(Value::as_u64).unwrap_or(0),
+                next: get(r, "next").and_then(Value::as_u64),
+                hops: get(r, "hops").and_then(Value::as_u64).unwrap_or(0),
+            });
+        }
+        if let Some(r) = self.events_named("deliver").find(|r| matches(r)) {
+            path.delivered = Some((
+                get(r, "t").and_then(Value::as_u64).unwrap_or(0),
+                get(r, "node").and_then(Value::as_u64).unwrap_or(0),
+                get(r, "hops").and_then(Value::as_u64).unwrap_or(0),
+                get(r, "latency_us").and_then(Value::as_u64).unwrap_or(0),
+            ));
+        }
+        if path.hops.is_empty() && path.delivered.is_none() {
+            None
+        } else {
+            Some(path)
+        }
+    }
+
+    /// Every drop of frame `seq`: why a packet never arrived. A
+    /// broadcast frame can be dropped independently at several
+    /// receivers, so this is a list.
+    pub fn drops_of_seq(&self, seq: u64) -> Vec<DropRecord> {
+        self.events_named("drop")
+            .filter(|r| get(r, "seq").and_then(Value::as_u64) == Some(seq))
+            .map(|r| {
+                (
+                    get(r, "t").and_then(Value::as_u64).unwrap_or(0),
+                    get(r, "node").and_then(Value::as_u64).unwrap_or(0),
+                    get(r, "cause")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                )
+            })
+            .collect()
+    }
+
+    /// Cumulative energy timeline `(t, joules)` for one node, in trace
+    /// order.
+    pub fn energy_of(&self, node: u64) -> Vec<(u64, f64)> {
+        self.events_named("energy")
+            .filter(|r| get(r, "node").and_then(Value::as_u64) == Some(node))
+            .map(|r| {
+                (
+                    get(r, "t").and_then(Value::as_u64).unwrap_or(0),
+                    get(r, "consumed_j").and_then(Value::as_f64).unwrap_or(0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// All `(origin, msg_id)` pairs that were delivered, in trace order
+    /// without duplicates.
+    pub fn delivered_messages(&self) -> Vec<(u64, u64)> {
+        let mut seen = Vec::new();
+        for r in self.events_named("deliver") {
+            let key = (
+                get(r, "origin").and_then(Value::as_u64).unwrap_or(0),
+                get(r, "msg_id").and_then(Value::as_u64).unwrap_or(0),
+            );
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = "\
+{\"ev\":\"forward\",\"t\":10,\"node\":5,\"origin\":5,\"msg_id\":1,\"next\":3,\"hops\":1}\n\
+{\"ev\":\"forward\",\"t\":20,\"node\":3,\"origin\":5,\"msg_id\":1,\"next\":9,\"hops\":2}\n\
+{\"ev\":\"deliver\",\"t\":30,\"node\":9,\"origin\":5,\"msg_id\":1,\"hops\":2,\"latency_us\":20}\n\
+{\"ev\":\"drop\",\"t\":15,\"seq\":4,\"node\":7,\"cause\":\"collision\"}\n\
+{\"ev\":\"energy\",\"t\":10,\"node\":5,\"consumed_j\":0.001}\n\
+{\"ev\":\"energy\",\"t\":30,\"node\":5,\"consumed_j\":0.002}\n";
+
+    #[test]
+    fn reconstructs_a_message_path() {
+        let r = Replay::from_jsonl(TRACE).unwrap();
+        assert_eq!(r.len(), 6);
+        let p = r.path_of(5, 1).unwrap();
+        assert_eq!(p.hops.len(), 2);
+        assert_eq!(p.hops[0].node, 5);
+        assert_eq!(p.hops[1].next, Some(9));
+        assert_eq!(p.delivered, Some((30, 9, 2, 20)));
+        assert!(r.path_of(5, 99).is_none());
+        assert_eq!(r.delivered_messages(), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn answers_drop_and_energy_queries() {
+        let r = Replay::from_jsonl(TRACE).unwrap();
+        assert_eq!(r.drops_of_seq(4), vec![(15, 7, "collision".to_string())]);
+        assert!(r.drops_of_seq(5).is_empty());
+        let e = r.energy_of(5);
+        assert_eq!(e.len(), 2);
+        assert!((e[1].1 - 0.002).abs() < 1e-12);
+        assert_eq!(r.counts()["forward"], 2);
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_line_numbers() {
+        let err = Replay::from_jsonl("{\"ev\":\"rx\",\"t\":1}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = Replay::from_jsonl("{\"t\":1}\n").unwrap_err();
+        assert!(err.contains("missing \"ev\""), "{err}");
+        assert!(Replay::from_jsonl("\n\n").unwrap().is_empty());
+    }
+}

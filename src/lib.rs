@@ -20,6 +20,7 @@ pub use wmsn_routing as routing;
 pub use wmsn_secure as secure;
 pub use wmsn_sim as sim;
 pub use wmsn_topology as topology;
+pub use wmsn_trace as trace;
 pub use wmsn_util as util;
 
 /// Common imports for examples and quick experiments.
