@@ -15,8 +15,8 @@
 use std::any::Any;
 use wmsn_crypto::mac::Tag;
 use wmsn_crypto::SealedMessage;
-use wmsn_routing::wire::RoutingMsg;
-use wmsn_secure::wire::SecMsg;
+use wmsn_routing::wire::{RoutingMsg, RoutingMsgView};
+use wmsn_secure::wire::{sdata_peek, SecMsg, SrreqView};
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 use wmsn_util::NodeId;
 
@@ -112,22 +112,31 @@ impl Sinkhole {
 
 impl Behavior for Sinkhole {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        // Classify via borrowed views: swallowed data is counted without
+        // ever materialising a frame, and only answerable queries pay
+        // for an owned path (the forged reply needs one).
         match self.target {
-            TargetProtocol::Mlr => match RoutingMsg::decode(&pkt.payload) {
-                Ok(RoutingMsg::Rreq {
+            TargetProtocol::Mlr => match RoutingMsgView::decode(&pkt.payload) {
+                Ok(RoutingMsgView::Rreq {
                     origin,
                     req_id,
                     path,
                     ..
-                }) => self.forge_mlr_reply(ctx, origin, req_id, path),
-                Ok(RoutingMsg::Data { .. }) => self.swallowed += 1,
+                }) => {
+                    let path = path.iter().map(NodeId).collect();
+                    self.forge_mlr_reply(ctx, origin, req_id, path);
+                }
+                Ok(RoutingMsgView::Data { .. }) => self.swallowed += 1,
                 _ => {}
             },
-            TargetProtocol::SecMlr => match SecMsg::decode(&pkt.payload) {
-                Ok(SecMsg::Rreq { origin, path, .. }) => self.forge_secmlr_reply(ctx, origin, path),
-                Ok(SecMsg::Data { .. }) => self.swallowed += 1,
-                _ => {}
-            },
+            TargetProtocol::SecMlr => {
+                if let Ok(view) = SrreqView::decode(&pkt.payload) {
+                    let path = view.path.iter().map(NodeId).collect();
+                    self.forge_secmlr_reply(ctx, view.origin, path);
+                } else if sdata_peek(&pkt.payload).is_some() {
+                    self.swallowed += 1;
+                }
+            }
         }
     }
 
@@ -183,25 +192,28 @@ impl Behavior for Sybil {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
         // Rotate the fabricated identity used in the forged path: replies
         // appear to originate from ever-new nodes.
-        if let Ok(RoutingMsg::Rreq {
-            origin,
-            req_id,
-            mut path,
-            ..
-        }) = RoutingMsg::decode(&pkt.payload)
-        {
-            if self.inner.target == TargetProtocol::Mlr {
+        if self.inner.target == TargetProtocol::Mlr {
+            if let Ok(RoutingMsgView::Rreq {
+                origin,
+                req_id,
+                path,
+                ..
+            }) = RoutingMsgView::decode(&pkt.payload)
+            {
                 let fake_id = self.identities[self.next % self.identities.len()];
                 self.next += 1;
-                let Some(&prev) = path.last() else { return };
-                path.push(fake_id);
+                let Some(prev) = path.last().map(NodeId) else {
+                    return;
+                };
+                let mut forged_path: Vec<NodeId> = path.iter().map(NodeId).collect();
+                forged_path.push(fake_id);
                 let rrep = RoutingMsg::Rrep {
                     origin,
                     req_id,
                     gateway: self.inner.claimed_gateway,
                     place: self.inner.claimed_place,
                     energy_pm: 1000,
-                    path,
+                    path: forged_path,
                 };
                 self.inner.forged_replies += 1;
                 ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());

@@ -19,11 +19,40 @@
 //! exists, and writes `BENCH_hotpath.json` with before/after/speedup per
 //! kernel. Repetitions default to 3 (min is reported; override with
 //! `HOTPATH_REPS`).
+//!
+//! `--check` is the CI smoke gate: it re-times only the simulated E9
+//! kernel and exits non-zero if the wall time regressed more than 25%
+//! against the committed `BENCH_hotpath.json` baseline.
 
+use std::hint::black_box;
 use std::time::Instant;
 use wmsn_core::experiments::{e17_seed_sweep, e9_event_stats, e9_scalability};
+use wmsn_routing::wire::{rreq_append_forward, RoutingMsg};
 use wmsn_trace::{log_error, log_record};
 use wmsn_util::json::Json;
+use wmsn_util::NodeId;
+
+/// In-place flood-forward microbench: the per-hop RREQ rebroadcast
+/// operation (validate header, memcpy the frame, patch the path count,
+/// append our id) that the zero-copy control plane put on the hot path.
+fn flood_forward_kernel() -> usize {
+    const ITERS: usize = 1_000_000;
+    let frame = RoutingMsg::Rreq {
+        origin: NodeId(1),
+        req_id: 42,
+        path: (1..=12).map(NodeId).collect(),
+        wanted: Vec::new(),
+    }
+    .encode();
+    let mut out = Vec::with_capacity(frame.len() + 4);
+    let mut acc = 0usize;
+    for i in 0..ITERS {
+        rreq_append_forward(black_box(&frame), NodeId(1000 + i as u32), &mut out)
+            .expect("valid frame");
+        acc = acc.wrapping_add(black_box(&out).len());
+    }
+    acc
+}
 
 struct Kernel {
     name: &'static str,
@@ -54,6 +83,12 @@ const KERNELS: &[Kernel] = &[
             let seeds: Vec<u64> = (1..=8).collect();
             e17_seed_sweep(&seeds).len()
         },
+        event_stats: None,
+    },
+    Kernel {
+        name: "flood_forward",
+        desc: "RREQ append-forward microbench: 1M in-place forwards of a 12-hop query",
+        run: flood_forward_kernel,
         event_stats: None,
     },
 ];
@@ -90,9 +125,73 @@ fn extract_f64(doc: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Pull `"key": <float>` scoped to one entry of the tracked baseline's
+/// `kernels` array: scan to the entry's `"kernel": "<name>"` first.
+fn extract_kernel_f64(doc: &str, kernel: &str, key: &str) -> Option<f64> {
+    let anchor = format!("\"kernel\": \"{kernel}\"");
+    let start = doc.find(&anchor)? + anchor.len();
+    extract_f64(&doc[start..], key)
+}
+
+/// `--check`: re-time the simulated E9 kernel and fail (exit 1) if it
+/// regressed more than 25% against the committed `BENCH_hotpath.json`
+/// baseline — the CI smoke gate for the simulator hot path.
+fn run_check(reps: usize) -> ! {
+    const CHECK_KERNEL: &str = "e9_n800_sim";
+    const MAX_RATIO: f64 = 1.25;
+    let doc = match std::fs::read_to_string("BENCH_hotpath.json") {
+        Ok(doc) => doc,
+        Err(e) => {
+            log_error(
+                "hotpath_check_error",
+                vec![
+                    ("missing_baseline", Json::from("BENCH_hotpath.json")),
+                    ("error", Json::from(e.to_string())),
+                ],
+            );
+            std::process::exit(2);
+        }
+    };
+    let Some(baseline_s) = extract_kernel_f64(&doc, CHECK_KERNEL, "after_s") else {
+        log_error(
+            "hotpath_check_error",
+            vec![("kernel_not_in_baseline", Json::from(CHECK_KERNEL))],
+        );
+        std::process::exit(2);
+    };
+    let k = KERNELS
+        .iter()
+        .find(|k| k.name == CHECK_KERNEL)
+        .expect("check kernel is registered");
+    let now_s = time_kernel(k, reps);
+    let ratio = now_s / baseline_s;
+    log_record(
+        "hotpath_check",
+        vec![
+            ("kernel", Json::from(CHECK_KERNEL)),
+            ("baseline_s", Json::Num(baseline_s)),
+            ("now_s", Json::Num(now_s)),
+            ("ratio", Json::Num(ratio)),
+            ("max_ratio", Json::Num(MAX_RATIO)),
+        ],
+    );
+    if ratio > MAX_RATIO {
+        log_error(
+            "hotpath_check_failed",
+            vec![
+                ("kernel", Json::from(CHECK_KERNEL)),
+                ("regression_pct", Json::Num((ratio - 1.0) * 100.0)),
+            ],
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = "after".to_string();
+    let mut check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,8 +199,12 @@ fn main() {
                 label = args.get(i + 1).cloned().unwrap_or_default();
                 i += 2;
             }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
             "--help" | "-h" => {
-                println!("usage: hotpath [--label before|after]");
+                println!("usage: hotpath [--label before|after] [--check]");
                 return;
             }
             other => {
@@ -118,6 +221,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3)
         .max(1);
+
+    if check {
+        run_check(reps);
+    }
 
     log_record(
         "hotpath_start",

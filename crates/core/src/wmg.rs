@@ -10,7 +10,7 @@
 use std::any::Any;
 use wmsn_routing::mesh::MeshRouter;
 use wmsn_routing::mlr::MlrGateway;
-use wmsn_routing::wire::RoutingMsg;
+use wmsn_routing::wire::{peek, PeekHeader};
 use wmsn_sim::{Behavior, Ctx, Packet, Tier};
 use wmsn_util::NodeId;
 
@@ -56,10 +56,11 @@ impl Behavior for WmgBehavior {
                 let _ = self.mesh.on_packet(ctx, pkt);
             }
             Tier::Sensor => {
-                // Detect accepted data before handing to the sink logic.
+                // Detect accepted data before handing to the sink logic —
+                // a fixed-offset header peek, no frame materialisation.
                 let is_my_data = matches!(
-                    RoutingMsg::decode(&pkt.payload),
-                    Ok(RoutingMsg::Data { gateway, .. }) if gateway == ctx.id()
+                    peek(&pkt.payload),
+                    Ok(PeekHeader::Data { gateway, .. }) if gateway == ctx.id()
                 );
                 self.gateway.on_packet(ctx, pkt);
                 if is_my_data {

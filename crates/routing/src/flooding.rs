@@ -9,11 +9,26 @@
 //! propagation takes longer time" (and may miss the sink entirely).
 
 use std::any::Any;
-use std::collections::HashSet;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 use wmsn_trace::TraceEvent;
 use wmsn_util::codec::{DecodeError, Reader, Writer};
+use wmsn_util::seen::SeenTable;
 use wmsn_util::NodeId;
+
+/// Byte offsets of the mutable header fields (see [`FloodMsg::encode`]).
+const OFF_HOPS: usize = 21;
+const OFF_TTL: usize = 25;
+
+/// Rebuild a received flood frame for forwarding without re-encoding:
+/// copy the frame into `out` and patch the hops/ttl words in place. The
+/// padding bytes are carried verbatim, so the result is byte-identical
+/// to decode → bump → re-encode.
+fn patch_forward(frame: &[u8], hops: u32, ttl: u32, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(frame);
+    out[OFF_HOPS..OFF_HOPS + 4].copy_from_slice(&hops.to_le_bytes());
+    out[OFF_TTL..OFF_TTL + 4].copy_from_slice(&ttl.to_le_bytes());
+}
 
 /// Forwarding discipline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,7 +99,7 @@ pub struct FloodSensor {
     mode: FloodMode,
     initial_ttl: u32,
     payload_len: u16,
-    seen: HashSet<(NodeId, u64)>,
+    seen: SeenTable,
     next_msg_id: u64,
     /// Frames this node forwarded (implosion measurement).
     pub forwarded: u64,
@@ -97,7 +112,7 @@ impl FloodSensor {
             mode,
             initial_ttl,
             payload_len,
-            seen: HashSet::new(),
+            seen: SeenTable::new(),
             next_msg_id: 0,
             forwarded: 0,
         }
@@ -119,7 +134,7 @@ impl FloodSensor {
             payload_len: self.payload_len,
         };
         self.next_msg_id += 1;
-        self.seen.insert((msg.origin, msg.msg_id));
+        self.seen.insert(msg.origin.0, msg.msg_id);
         ctx.record_origination();
         self.emit(ctx, &msg);
     }
@@ -169,20 +184,31 @@ impl Behavior for FloodSensor {
         // Flooding drops duplicates; gossiping is a random walk, so a
         // revisited node keeps the walk alive (otherwise walks die on the
         // first loop and nothing ever propagates far).
-        if self.mode == FloodMode::Flood && !self.seen.insert((msg.origin, msg.msg_id)) {
+        if self.mode == FloodMode::Flood && !self.seen.insert(msg.origin.0, msg.msg_id) {
             return;
         }
         if msg.ttl == 0 {
             return;
         }
-        let fwd = FloodMsg {
-            hops: msg.hops + 1,
-            ttl: msg.ttl - 1,
-            ..msg
-        };
+        let (fwd_hops, fwd_ttl) = (msg.hops + 1, msg.ttl - 1);
         self.forwarded += 1;
         match self.mode {
-            FloodMode::Flood => self.emit(ctx, &fwd),
+            FloodMode::Flood => {
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceEvent::Forward {
+                        t: ctx.now(),
+                        node: ctx.id(),
+                        origin: msg.origin,
+                        msg_id: msg.msg_id,
+                        next: None,
+                        hops: fwd_hops,
+                    });
+                }
+                let mut buf = ctx.take_scratch();
+                patch_forward(&pkt.payload, fwd_hops, fwd_ttl, &mut buf);
+                ctx.send(None, Tier::Sensor, PacketKind::Data, &buf[..]);
+                ctx.put_scratch(buf);
+            }
             FloodMode::Gossip => {
                 // Non-backtracking step where possible.
                 let neighbors: Vec<_> = ctx
@@ -203,13 +229,16 @@ impl Behavior for FloodSensor {
                     ctx.trace(TraceEvent::Forward {
                         t: ctx.now(),
                         node: ctx.id(),
-                        origin: fwd.origin,
-                        msg_id: fwd.msg_id,
+                        origin: msg.origin,
+                        msg_id: msg.msg_id,
                         next: Some(pick),
-                        hops: fwd.hops,
+                        hops: fwd_hops,
                     });
                 }
-                ctx.send(Some(pick), Tier::Sensor, PacketKind::Data, fwd.encode());
+                let mut buf = ctx.take_scratch();
+                patch_forward(&pkt.payload, fwd_hops, fwd_ttl, &mut buf);
+                ctx.send(Some(pick), Tier::Sensor, PacketKind::Data, &buf[..]);
+                ctx.put_scratch(buf);
             }
         }
     }
@@ -224,7 +253,7 @@ impl Behavior for FloodSensor {
 
 /// Sink behaviour: records deliveries, drops duplicates.
 pub struct FloodSink {
-    seen: HashSet<(NodeId, u64)>,
+    seen: SeenTable,
     /// Messages absorbed.
     pub absorbed: u64,
 }
@@ -233,7 +262,7 @@ impl FloodSink {
     /// New sink.
     pub fn new() -> Self {
         FloodSink {
-            seen: HashSet::new(),
+            seen: SeenTable::new(),
             absorbed: 0,
         }
     }
@@ -255,7 +284,7 @@ impl Behavior for FloodSink {
         let Ok(msg) = FloodMsg::decode(&pkt.payload) else {
             return;
         };
-        if !self.seen.insert((msg.origin, msg.msg_id)) {
+        if !self.seen.insert(msg.origin.0, msg.msg_id) {
             return;
         }
         self.absorbed += 1;

@@ -31,6 +31,33 @@ const TAG_HELLO: u8 = 0x40;
 const TAG_LSA: u8 = 0x41;
 const TAG_MESH_DATA: u8 = 0x42;
 
+/// Fixed byte offsets of the data-frame header (see [`MeshMsg::encode`]):
+/// `| 1 tag | 4 dst | 4 src | 4 hops | 2 inner_len | inner… |`.
+const DATA_HOPS: usize = 9;
+const DATA_INNER_LEN: usize = 13;
+const DATA_HEADER: usize = 15;
+
+/// Validate a backbone data frame from its fixed-offset header alone and
+/// return `(dst, src, hops)`. Accepts exactly the frames
+/// [`MeshMsg::decode`] accepts as `Data` — the inner payload is opaque,
+/// so checking the declared length against the frame length is total
+/// validation. Transit nodes use this to forward by patching the hops
+/// word without ever materialising the inner payload.
+fn peek_data(b: &[u8]) -> Option<(NodeId, NodeId, u32)> {
+    if b.len() < DATA_HEADER || b[0] != TAG_MESH_DATA {
+        return None;
+    }
+    let inner_len =
+        u16::from_le_bytes(b[DATA_INNER_LEN..DATA_INNER_LEN + 2].try_into().unwrap()) as usize;
+    if b.len() != DATA_HEADER + inner_len {
+        return None;
+    }
+    let dst = NodeId(u32::from_le_bytes(b[1..5].try_into().unwrap()));
+    let src = NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap()));
+    let hops = u32::from_le_bytes(b[DATA_HOPS..DATA_HOPS + 4].try_into().unwrap());
+    Some((dst, src, hops))
+}
+
 /// Timer tag namespace for the mesh component (distinct from any
 /// sensor-tier protocol tags a co-located behaviour might use).
 pub const MESH_TIMER_LSA: u64 = 0x4D45_5348_0001;
@@ -187,6 +214,27 @@ impl MeshRouter {
         if pkt.tier != Tier::Mesh {
             return None;
         }
+        // Fast path: data frames are the backbone's bulk traffic. Transit
+        // nodes forward them as memcpy + hops patch; only the final
+        // destination copies the inner payload out.
+        if let Some((dst, src, hops)) = peek_data(&pkt.payload) {
+            if dst == ctx.id() {
+                return Some((src, pkt.payload[DATA_HEADER..].to_vec()));
+            }
+            match self.next_hop(ctx.id(), dst) {
+                Some(next) => {
+                    self.forwarded += 1;
+                    let mut buf = ctx.take_scratch();
+                    buf.clear();
+                    buf.extend_from_slice(&pkt.payload);
+                    buf[DATA_HOPS..DATA_HOPS + 4].copy_from_slice(&(hops + 1).to_le_bytes());
+                    ctx.send(Some(next), Tier::Mesh, PacketKind::Data, &buf[..]);
+                    ctx.put_scratch(buf);
+                }
+                None => self.dropped += 1,
+            }
+            return None;
+        }
         let msg = MeshMsg::decode(&pkt.payload).ok()?;
         match msg {
             MeshMsg::Hello { from } => {
@@ -200,41 +248,17 @@ impl MeshRouter {
             } => {
                 let fresher = self.lsdb.get(&origin).is_none_or(|(have, _)| seq > *have);
                 if fresher {
-                    self.lsdb.insert(origin, (seq, neighbors.clone()));
-                    // Re-flood.
-                    let lsa = MeshMsg::Lsa {
-                        origin,
-                        seq,
-                        neighbors,
-                    };
-                    ctx.send(None, Tier::Mesh, PacketKind::Control, lsa.encode());
+                    self.lsdb.insert(origin, (seq, neighbors));
+                    // Re-flood the received frame verbatim: re-encoding
+                    // the same LSA would produce the same bytes, so an
+                    // `Rc` clone of the payload is free and identical.
+                    ctx.send(None, Tier::Mesh, PacketKind::Control, pkt.payload.clone());
                 }
                 None
             }
-            MeshMsg::Data {
-                dst,
-                src,
-                hops,
-                inner,
-            } => {
-                if dst == ctx.id() {
-                    return Some((src, inner));
-                }
-                match self.next_hop(ctx.id(), dst) {
-                    Some(next) => {
-                        let fwd = MeshMsg::Data {
-                            dst,
-                            src,
-                            hops: hops + 1,
-                            inner,
-                        };
-                        self.forwarded += 1;
-                        ctx.send(Some(next), Tier::Mesh, PacketKind::Data, fwd.encode());
-                    }
-                    None => self.dropped += 1,
-                }
-                None
-            }
+            // Valid data frames were consumed by the peek above; decode
+            // accepts exactly the same set, so this arm is unreachable.
+            MeshMsg::Data { .. } => None,
         }
     }
 
@@ -341,13 +365,13 @@ impl Behavior for MeshNode {
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
         if let Some((src, inner)) = self.router.on_packet(ctx, pkt) {
-            if let Ok(crate::wire::RoutingMsg::Data {
+            if let Ok(crate::wire::RoutingMsgView::Data {
                 origin,
                 msg_id,
                 sent_at,
                 hops,
                 ..
-            }) = crate::wire::RoutingMsg::decode(&inner)
+            }) = crate::wire::RoutingMsgView::decode(&inner)
             {
                 ctx.record_delivery(origin, msg_id, sent_at, hops);
             }

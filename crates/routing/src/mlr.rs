@@ -26,12 +26,14 @@
 //!   ([`crate::table::RoutingTable::purge_via`]).
 
 use crate::table::{Route, RoutingTable};
-use crate::wire::RoutingMsg;
+use crate::wire::{self, PeekHeader, RoutingMsg, RoutingMsgView};
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 use wmsn_trace::TraceEvent;
+use wmsn_util::codec::IdListView;
+use wmsn_util::seen::SeenTable;
 use wmsn_util::NodeId;
 
 const TIMER_COLLECT: u64 = 1;
@@ -106,13 +108,15 @@ pub struct MlrSensor {
     occupied: HashMap<NodeId, (u16, u32)>,
     /// Gateway load advertisements (for the §4.3 extension).
     loads: HashMap<NodeId, u32>,
-    seen_rreq: HashSet<(NodeId, u64)>,
+    /// Flood duplicate suppression, keyed on the peeked `(origin, req_id)`
+    /// header so duplicates drop before any path materialisation.
+    seen_rreq: SeenTable,
     /// Best (fewest-hops-to-go) RREP relayed per (origin, req, place):
     /// later, no-better copies are installed locally but not re-relayed,
     /// damping the reply storm when many caches answer one flood.
     seen_rrep: HashMap<(NodeId, u64, u16), usize>,
-    seen_announce: HashSet<(NodeId, u32)>,
-    seen_load: HashSet<(NodeId, u32)>,
+    seen_announce: SeenTable,
+    seen_load: SeenTable,
     next_req_id: u64,
     next_msg_id: u64,
     pending: Vec<PendingMsg>,
@@ -130,10 +134,10 @@ impl MlrSensor {
             table: RoutingTable::new(),
             occupied: HashMap::new(),
             loads: HashMap::new(),
-            seen_rreq: HashSet::new(),
+            seen_rreq: SeenTable::new(),
             seen_rrep: HashMap::new(),
-            seen_announce: HashSet::new(),
-            seen_load: HashSet::new(),
+            seen_announce: SeenTable::new(),
+            seen_load: SeenTable::new(),
             next_req_id: 0,
             next_msg_id: 0,
             pending: Vec::new(),
@@ -244,7 +248,7 @@ impl MlrSensor {
         let req_id = self.next_req_id;
         self.next_req_id += 1;
         self.discovering = Some((req_id, retries_used));
-        self.seen_rreq.insert((ctx.id(), req_id));
+        self.seen_rreq.insert(ctx.id().0, req_id);
         // Ask specifically for the occupied places we have no entry for;
         // cached replies for other places must not satisfy (or suppress)
         // this query.
@@ -330,56 +334,83 @@ impl MlrSensor {
         }
     }
 
-    fn handle_rreq(
-        &mut self,
+    /// Send one cached-answer RREP assembled straight from the RREQ's
+    /// borrowed path bytes plus our cached relays — no intermediate
+    /// `Vec<NodeId>` clone.
+    #[allow(clippy::too_many_arguments)]
+    fn send_cache_reply(
         ctx: &mut Ctx<'_>,
+        stats: &mut MlrStats,
         origin: NodeId,
         req_id: u64,
-        path: Vec<NodeId>,
-        wanted: Vec<u16>,
+        gateway: NodeId,
+        place: u16,
+        energy_pm: u16,
+        path: IdListView<'_>,
+        relays: &[NodeId],
+        prev: NodeId,
     ) {
-        if origin == ctx.id() || !self.seen_rreq.insert((origin, req_id)) {
+        let mut buf = ctx.take_scratch();
+        wire::encode_rrep_into(
+            &mut buf,
+            origin,
+            req_id,
+            gateway,
+            place,
+            energy_pm,
+            path,
+            Some(ctx.id()),
+            relays,
+        );
+        stats.cache_replies += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::CacheReply {
+                t: ctx.now(),
+                node: ctx.id(),
+                origin,
+                req_id,
+                gateway,
+                place,
+            });
+        }
+        ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, &buf[..]);
+        ctx.put_scratch(buf);
+    }
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, frame: &[u8], origin: NodeId, req_id: u64) {
+        let me = ctx.id();
+        if origin == me || !self.seen_rreq.insert(origin.0, req_id) {
             return;
         }
-        if path.contains(&ctx.id()) {
+        let Ok(RoutingMsgView::Rreq { path, wanted, .. }) = RoutingMsgView::decode(frame) else {
             return;
-        }
-        let Some(&prev) = path.last() else { return };
-        let occupied = self.occupied_places();
-        // Build the combined path the cached replies would advertise.
-        let reply_with = |me: NodeId, route: &Route, path: &[NodeId]| -> Option<Vec<NodeId>> {
-            let mut full: Vec<NodeId> = path.to_vec();
-            full.push(me);
-            full.extend(route.relays.iter().copied());
-            let unique: HashSet<_> = full.iter().collect();
-            (unique.len() == full.len()).then_some(full)
         };
+        if path.contains(me.0) {
+            return;
+        }
+        let Some(prev) = path.last() else { return };
+        let prev = NodeId(prev);
+        let occupied = self.occupied_places();
         if wanted.is_empty() {
             // SPR-style query: any occupied route satisfies it entirely.
-            if let Some(route) = self.table.best_among_places(&occupied).cloned() {
-                if let Some(full) = reply_with(ctx.id(), &route, &path) {
+            // A cached path that loops back through the query path cannot
+            // be offered (the combined walk would repeat a node).
+            if let Some(route) = self.table.best_among_places(&occupied) {
+                if wire::path_with_suffix_is_unique(path, me, &route.relays) {
                     let gateway = self.occupant_of(route.place).unwrap_or(route.gateway);
                     let own_pm = (ctx.battery_fraction() * 1000.0) as u16;
-                    let rrep = RoutingMsg::Rrep {
+                    Self::send_cache_reply(
+                        ctx,
+                        &mut self.stats,
                         origin,
                         req_id,
                         gateway,
-                        place: route.place,
-                        energy_pm: route.energy_pm.min(own_pm),
-                        path: full,
-                    };
-                    self.stats.cache_replies += 1;
-                    if ctx.trace_enabled() {
-                        ctx.trace(TraceEvent::CacheReply {
-                            t: ctx.now(),
-                            node: ctx.id(),
-                            origin,
-                            req_id,
-                            gateway,
-                            place: route.place,
-                        });
-                    }
-                    ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
+                        route.place,
+                        route.energy_pm.min(own_pm),
+                        path,
+                        &route.relays,
+                        prev,
+                    );
                     return;
                 }
             }
@@ -388,39 +419,30 @@ impl MlrSensor {
             // and keep the flood alive for the rest — a partial cache
             // answer must not suppress discovery of the other places.
             let mut remaining: Vec<u16> = Vec::new();
-            for &p in &wanted {
+            for p in wanted.iter() {
                 if !occupied.contains(&p) {
                     continue; // stale want: place no longer occupied
                 }
                 let answered = self
                     .table
                     .by_place(p)
-                    .cloned()
-                    .and_then(|route| reply_with(ctx.id(), &route, &path).map(|f| (route, f)));
+                    .filter(|route| wire::path_with_suffix_is_unique(path, me, &route.relays));
                 match answered {
-                    Some((route, full)) => {
+                    Some(route) => {
                         let gateway = self.occupant_of(p).unwrap_or(route.gateway);
                         let own_pm = (ctx.battery_fraction() * 1000.0) as u16;
-                        let rrep = RoutingMsg::Rrep {
+                        Self::send_cache_reply(
+                            ctx,
+                            &mut self.stats,
                             origin,
                             req_id,
                             gateway,
-                            place: p,
-                            energy_pm: route.energy_pm.min(own_pm),
-                            path: full,
-                        };
-                        self.stats.cache_replies += 1;
-                        if ctx.trace_enabled() {
-                            ctx.trace(TraceEvent::CacheReply {
-                                t: ctx.now(),
-                                node: ctx.id(),
-                                origin,
-                                req_id,
-                                gateway,
-                                place: p,
-                            });
-                        }
-                        ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
+                            p,
+                            route.energy_pm.min(own_pm),
+                            path,
+                            &route.relays,
+                            prev,
+                        );
                     }
                     None => remaining.push(p),
                 }
@@ -428,67 +450,76 @@ impl MlrSensor {
             if remaining.is_empty() {
                 return; // fully answered: the flood stops here
             }
-            let mut path = path;
-            path.push(ctx.id());
-            let rreq = RoutingMsg::Rreq {
-                origin,
-                req_id,
-                path,
-                wanted: remaining,
-            };
             self.stats.rreq_forwarded += 1;
             if ctx.trace_enabled() {
                 ctx.trace(TraceEvent::RreqFlood {
                     t: ctx.now(),
-                    node: ctx.id(),
+                    node: me,
                     origin,
                     req_id,
                     forwarded: true,
                 });
             }
-            self.queue_flood(ctx, rreq.encode(), PacketKind::Control);
+            if remaining.len() == wanted.len() {
+                // Nothing answered or stripped: the wanted list is
+                // unchanged, so forward in place (memcpy + append).
+                let mut buf = ctx.take_scratch();
+                if wire::rreq_append_forward(frame, me, &mut buf).is_ok() {
+                    self.queue_flood(ctx, &buf[..], PacketKind::Control);
+                }
+                ctx.put_scratch(buf);
+            } else {
+                // The wanted list shrank: re-encode (cold path).
+                let mut new_path: Vec<NodeId> = path.iter().map(NodeId).collect();
+                new_path.push(me);
+                let rreq = RoutingMsg::Rreq {
+                    origin,
+                    req_id,
+                    path: new_path,
+                    wanted: remaining,
+                };
+                self.queue_flood(ctx, rreq.encode(), PacketKind::Control);
+            }
             return;
         }
-        let mut path = path;
-        path.push(ctx.id());
-        let rreq = RoutingMsg::Rreq {
-            origin,
-            req_id,
-            path,
-            wanted,
-        };
+        // Append ourselves in place and keep flooding.
         self.stats.rreq_forwarded += 1;
         if ctx.trace_enabled() {
             ctx.trace(TraceEvent::RreqFlood {
                 t: ctx.now(),
-                node: ctx.id(),
+                node: me,
                 origin,
                 req_id,
                 forwarded: true,
             });
         }
-        self.queue_flood(ctx, rreq.encode(), PacketKind::Control);
+        let mut buf = ctx.take_scratch();
+        if wire::rreq_append_forward(frame, me, &mut buf).is_ok() {
+            self.queue_flood(ctx, &buf[..], PacketKind::Control);
+        }
+        ctx.put_scratch(buf);
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn handle_rrep(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        origin: NodeId,
-        req_id: u64,
-        gateway: NodeId,
-        place: u16,
-        energy_pm: u16,
-        path: Vec<NodeId>,
-    ) {
+    fn handle_rrep(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
+        let Ok(RoutingMsgView::Rrep {
+            origin,
+            req_id,
+            gateway,
+            place,
+            energy_pm,
+            path,
+        }) = RoutingMsgView::decode(frame)
+        else {
+            return;
+        };
         let me = ctx.id();
-        let Some(idx) = path.iter().position(|&n| n == me) else {
+        let Some(idx) = path.position(me.0) else {
             return;
         };
         let route = Route {
             gateway,
             place,
-            relays: path[idx + 1..].to_vec(),
+            relays: path.iter().skip(idx + 1).map(NodeId).collect(),
             energy_pm,
         };
         let route_hops = route.hops();
@@ -515,31 +546,30 @@ impl MlrSensor {
                 return;
             }
             self.seen_rrep.insert(key, remaining);
-            let prev = path[idx - 1];
+            let prev = NodeId(path.get(idx - 1).expect("idx > 0"));
+            // Fold our own residual level into the bottleneck; the path
+            // is relayed untouched, so patch the frame in place.
             let own_pm = (ctx.battery_fraction() * 1000.0) as u16;
-            let rrep = RoutingMsg::Rrep {
-                origin,
-                req_id,
-                gateway,
-                place,
-                energy_pm: energy_pm.min(own_pm),
-                path,
-            };
+            let mut buf = ctx.take_scratch();
+            if wire::rrep_energy_patch(frame, energy_pm.min(own_pm), &mut buf).is_err() {
+                ctx.put_scratch(buf);
+                return;
+            }
             self.stats.rrep_relayed += 1;
-            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
+            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, &buf[..]);
+            ctx.put_scratch(buf);
         }
     }
 
-    fn handle_data(&mut self, ctx: &mut Ctx<'_>, msg: RoutingMsg) {
-        let RoutingMsg::Data {
+    fn handle_data(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
+        let Ok(RoutingMsgView::Data {
             origin,
             msg_id,
-            sent_at,
             gateway,
             place,
             hops,
-            payload_len,
-        } = msg
+            ..
+        }) = RoutingMsgView::decode(frame)
         else {
             return;
         };
@@ -552,15 +582,11 @@ impl MlrSensor {
         } else {
             route.next_hop()
         };
-        let fwd = RoutingMsg::Data {
-            origin,
-            msg_id,
-            sent_at,
-            gateway,
-            place,
-            hops: hops + 1,
-            payload_len,
-        };
+        let mut buf = ctx.take_scratch();
+        if wire::data_hops_patch(frame, hops + 1, &mut buf).is_err() {
+            ctx.put_scratch(buf);
+            return;
+        }
         self.stats.data_forwarded += 1;
         if ctx.trace_enabled() {
             ctx.trace(TraceEvent::Forward {
@@ -572,11 +598,19 @@ impl MlrSensor {
                 hops: hops + 1,
             });
         }
-        ctx.send(Some(next), Tier::Sensor, PacketKind::Data, fwd.encode());
+        ctx.send(Some(next), Tier::Sensor, PacketKind::Data, &buf[..]);
+        ctx.put_scratch(buf);
     }
 
-    fn handle_announce(&mut self, ctx: &mut Ctx<'_>, gateway: NodeId, place: u16, round: u32) {
-        if !self.seen_announce.insert((gateway, round)) {
+    fn handle_announce(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        bytes: Rc<[u8]>,
+        gateway: NodeId,
+        place: u16,
+        round: u32,
+    ) {
+        if !self.seen_announce.insert(gateway.0, u64::from(round)) {
             return;
         }
         // Never regress a gateway to an older claim (late or replayed
@@ -588,22 +622,24 @@ impl MlrSensor {
         if !stale {
             self.occupied.insert(gateway, (place, round));
         }
-        // Keep the flood moving.
-        let msg = RoutingMsg::Announce {
-            gateway,
-            place,
-            round,
-        };
-        self.queue_flood(ctx, msg.encode(), PacketKind::Control);
+        // Keep the flood moving — the forwarded frame is byte-identical,
+        // so re-flood the shared buffer instead of re-encoding.
+        self.queue_flood(ctx, bytes, PacketKind::Control);
     }
 
-    fn handle_load(&mut self, ctx: &mut Ctx<'_>, gateway: NodeId, load: u32, seq: u32) {
-        if !self.seen_load.insert((gateway, seq)) {
+    fn handle_load(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        bytes: Rc<[u8]>,
+        gateway: NodeId,
+        load: u32,
+        seq: u32,
+    ) {
+        if !self.seen_load.insert(gateway.0, u64::from(seq)) {
             return;
         }
         self.loads.insert(gateway, load);
-        let msg = RoutingMsg::Load { gateway, load, seq };
-        self.queue_flood(ctx, msg.encode(), PacketKind::Control);
+        self.queue_flood(ctx, bytes, PacketKind::Control);
     }
 
     fn on_collect_timer(&mut self, ctx: &mut Ctx<'_>) {
@@ -633,31 +669,25 @@ impl MlrSensor {
 
 impl Behavior for MlrSensor {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        let Ok(msg) = RoutingMsg::decode(&pkt.payload) else {
+        // Header peek: classify + validate from fixed offsets so
+        // duplicate floods drop before any path materialises.
+        let Ok(hdr) = wire::peek(&pkt.payload) else {
             return;
         };
-        match msg {
-            RoutingMsg::Rreq {
-                origin,
-                req_id,
-                path,
-                wanted,
-            } => self.handle_rreq(ctx, origin, req_id, path, wanted),
-            RoutingMsg::Rrep {
-                origin,
-                req_id,
-                gateway,
-                place,
-                energy_pm,
-                path,
-            } => self.handle_rrep(ctx, origin, req_id, gateway, place, energy_pm, path),
-            data @ RoutingMsg::Data { .. } => self.handle_data(ctx, data),
-            RoutingMsg::Announce {
+        match hdr {
+            PeekHeader::Rreq { origin, req_id } => {
+                self.handle_rreq(ctx, &pkt.payload, origin, req_id)
+            }
+            PeekHeader::Rrep { .. } => self.handle_rrep(ctx, &pkt.payload),
+            PeekHeader::Data { .. } => self.handle_data(ctx, &pkt.payload),
+            PeekHeader::Announce {
                 gateway,
                 place,
                 round,
-            } => self.handle_announce(ctx, gateway, place, round),
-            RoutingMsg::Load { gateway, load, seq } => self.handle_load(ctx, gateway, load, seq),
+            } => self.handle_announce(ctx, pkt.payload.clone(), gateway, place, round),
+            PeekHeader::Load { gateway, load, seq } => {
+                self.handle_load(ctx, pkt.payload.clone(), gateway, load, seq)
+            }
         }
     }
 
@@ -685,7 +715,7 @@ impl Behavior for MlrSensor {
 pub struct MlrGateway {
     /// Current feasible place.
     pub place: u16,
-    seen_rreq: HashSet<(NodeId, u64)>,
+    seen_rreq: SeenTable,
     /// Data packets absorbed in total.
     pub absorbed: u64,
     /// Data packets absorbed since the last load advertisement.
@@ -698,7 +728,7 @@ impl MlrGateway {
     pub fn new(place: u16) -> Self {
         MlrGateway {
             place,
-            seen_rreq: HashSet::new(),
+            seen_rreq: SeenTable::new(),
             absorbed: 0,
             window_load: 0,
             next_load_seq: 0,
@@ -746,38 +776,53 @@ impl MlrGateway {
 
 impl Behavior for MlrGateway {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        let Ok(msg) = RoutingMsg::decode(&pkt.payload) else {
+        let Ok(hdr) = wire::peek(&pkt.payload) else {
             return;
         };
-        match msg {
-            RoutingMsg::Rreq {
-                origin,
-                req_id,
-                path,
-                ..
-            } => {
-                if !self.seen_rreq.insert((origin, req_id)) {
+        match hdr {
+            PeekHeader::Rreq { origin, req_id } => {
+                if !self.seen_rreq.insert(origin.0, req_id) {
                     return;
                 }
-                let Some(&prev) = path.last() else { return };
-                let rrep = RoutingMsg::Rrep {
+                let Ok(RoutingMsgView::Rreq { path, .. }) = RoutingMsgView::decode(&pkt.payload)
+                else {
+                    return;
+                };
+                let Some(prev) = path.last() else { return };
+                // Answer with the walked path verbatim, assembled from
+                // the RREQ's path bytes — no intermediate clone.
+                let mut buf = ctx.take_scratch();
+                wire::encode_rrep_into(
+                    &mut buf,
                     origin,
                     req_id,
-                    gateway: ctx.id(),
-                    place: self.place,
-                    energy_pm: 1000, // gateways are unconstrained (§5.3)
+                    ctx.id(),
+                    self.place,
+                    1000, // gateways are unconstrained (§5.3)
                     path,
-                };
-                ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
+                    None,
+                    &[],
+                );
+                ctx.send(
+                    Some(NodeId(prev)),
+                    Tier::Sensor,
+                    PacketKind::Control,
+                    &buf[..],
+                );
+                ctx.put_scratch(buf);
             }
-            RoutingMsg::Data {
-                origin,
-                msg_id,
-                sent_at,
-                gateway,
-                hops,
-                ..
-            } => {
+            PeekHeader::Data { .. } => {
+                let Ok(RoutingMsgView::Data {
+                    origin,
+                    msg_id,
+                    sent_at,
+                    gateway,
+                    hops,
+                    ..
+                }) = RoutingMsgView::decode(&pkt.payload)
+                else {
+                    return;
+                };
                 if gateway != ctx.id() {
                     return;
                 }

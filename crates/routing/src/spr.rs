@@ -21,12 +21,13 @@
 //! The flat single-sink baseline of Fig. 2(a) is SPR with `m = 1`.
 
 use crate::table::{Route, RoutingTable};
-use crate::wire::{RoutingMsg, NO_PLACE};
+use crate::wire::{self, PeekHeader, RoutingMsg, RoutingMsgView, NO_PLACE};
 use std::any::Any;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 use wmsn_trace::TraceEvent;
+use wmsn_util::seen::SeenTable;
 use wmsn_util::NodeId;
 
 /// Timer tag: RREP collection window expired.
@@ -88,11 +89,12 @@ pub struct SprSensor {
     cfg: SprConfig,
     /// Cached routes (cleared each round).
     pub table: RoutingTable,
-    /// Flood duplicate suppression.
-    seen_rreq: HashSet<(NodeId, u64)>,
+    /// Flood duplicate suppression (header-peek fast path: keyed on the
+    /// fixed-offset `(origin, req_id)` before any path materialisation).
+    seen_rreq: SeenTable,
     /// Best RREP relayed per (origin, req, gateway) — reply-storm damping.
     seen_rrep: std::collections::HashMap<(NodeId, u64, NodeId), usize>,
-    seen_announce: HashSet<(NodeId, u32)>,
+    seen_announce: SeenTable,
     next_req_id: u64,
     next_msg_id: u64,
     pending: Vec<PendingMsg>,
@@ -109,9 +111,9 @@ impl SprSensor {
         SprSensor {
             cfg,
             table: RoutingTable::new(),
-            seen_rreq: HashSet::new(),
+            seen_rreq: SeenTable::new(),
             seen_rrep: std::collections::HashMap::new(),
-            seen_announce: HashSet::new(),
+            seen_announce: SeenTable::new(),
             next_req_id: 0,
             next_msg_id: 0,
             pending: Vec::new(),
@@ -162,7 +164,7 @@ impl SprSensor {
         let req_id = self.next_req_id;
         self.next_req_id += 1;
         self.discovering = Some((req_id, retries_used));
-        self.seen_rreq.insert((ctx.id(), req_id));
+        self.seen_rreq.insert(ctx.id().0, req_id);
         let rreq = RoutingMsg::Rreq {
             origin: ctx.id(),
             req_id,
@@ -226,84 +228,95 @@ impl SprSensor {
         }
     }
 
-    /// Shared RREQ handling (also used verbatim by MLR sensors): returns
-    /// `true` if the message was consumed.
-    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, origin: NodeId, req_id: u64, path: Vec<NodeId>) {
-        if origin == ctx.id() || !self.seen_rreq.insert((origin, req_id)) {
+    /// Shared RREQ handling (also used verbatim by MLR sensors). The
+    /// frame was already structurally validated (and duplicate-checked
+    /// via its peek header) by the caller's `wire::peek`; everything
+    /// here runs on borrowed views plus in-place frame builders, so a
+    /// forwarded flood hop allocates only the frozen `Rc<[u8]>`.
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, frame: &[u8], origin: NodeId, req_id: u64) {
+        let me = ctx.id();
+        if origin == me || !self.seen_rreq.insert(origin.0, req_id) {
             return;
         }
-        if path.contains(&ctx.id()) {
+        let Ok(RoutingMsgView::Rreq { path, .. }) = RoutingMsgView::decode(frame) else {
+            return;
+        };
+        if path.contains(me.0) {
             return; // already walked through us
         }
-        let Some(&prev) = path.last() else { return };
-        // Step 3.1: answer from the cache when we can.
-        if let Some(route) = self.table.best().cloned() {
-            let mut full: Vec<NodeId> = path.clone();
-            full.push(ctx.id());
-            full.extend(route.relays.iter().copied());
-            // A cached path that loops back through the query path cannot
-            // be offered (the combined walk would repeat a node).
-            let unique: HashSet<_> = full.iter().collect();
-            if unique.len() == full.len() {
+        let Some(prev) = path.last() else { return };
+        let prev = NodeId(prev);
+        // Step 3.1: answer from the cache when we can. A cached path that
+        // loops back through the query path cannot be offered (the
+        // combined walk would repeat a node).
+        if let Some(route) = self.table.best() {
+            if wire::path_with_suffix_is_unique(path, me, &route.relays) {
                 let own_pm = (ctx.battery_fraction() * 1000.0) as u16;
-                let rrep = RoutingMsg::Rrep {
+                let gateway = route.gateway;
+                let place = route.place;
+                let energy_pm = route.energy_pm.min(own_pm);
+                let mut buf = ctx.take_scratch();
+                wire::encode_rrep_into(
+                    &mut buf,
                     origin,
                     req_id,
-                    gateway: route.gateway,
-                    place: route.place,
-                    energy_pm: route.energy_pm.min(own_pm),
-                    path: full,
-                };
+                    gateway,
+                    place,
+                    energy_pm,
+                    path,
+                    Some(me),
+                    &route.relays,
+                );
                 self.stats.cache_replies += 1;
                 if ctx.trace_enabled() {
                     ctx.trace(TraceEvent::CacheReply {
                         t: ctx.now(),
-                        node: ctx.id(),
+                        node: me,
                         origin,
                         req_id,
-                        gateway: route.gateway,
-                        place: route.place,
+                        gateway,
+                        place,
                     });
                 }
-                ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
+                ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, &buf[..]);
+                ctx.put_scratch(buf);
                 return;
             }
         }
-        // Otherwise append ourselves and keep flooding.
-        let mut path = path;
-        path.push(ctx.id());
-        let rreq = RoutingMsg::Rreq {
-            origin,
-            req_id,
-            path,
-            wanted: Vec::new(),
-        };
+        // Otherwise append ourselves in place and keep flooding.
+        let mut buf = ctx.take_scratch();
+        if wire::rreq_append_forward(frame, me, &mut buf).is_err() {
+            ctx.put_scratch(buf);
+            return;
+        }
         self.stats.rreq_forwarded += 1;
         if ctx.trace_enabled() {
             ctx.trace(TraceEvent::RreqFlood {
                 t: ctx.now(),
-                node: ctx.id(),
+                node: me,
                 origin,
                 req_id,
                 forwarded: true,
             });
         }
-        self.queue_flood(ctx, rreq.encode());
+        self.queue_flood(ctx, &buf[..]);
+        ctx.put_scratch(buf);
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn handle_rrep(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        origin: NodeId,
-        req_id: u64,
-        gateway: NodeId,
-        place: u16,
-        energy_pm: u16,
-        path: Vec<NodeId>,
-    ) {
+    fn handle_rrep(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
+        let Ok(RoutingMsgView::Rrep {
+            origin,
+            req_id,
+            gateway,
+            place,
+            energy_pm,
+            path,
+        }) = RoutingMsgView::decode(frame)
+        else {
+            return;
+        };
         let me = ctx.id();
-        let Some(idx) = path.iter().position(|&n| n == me) else {
+        let Some(idx) = path.position(me.0) else {
             return;
         };
         // Install the suffix route (Property 1: suffixes of shortest paths
@@ -311,7 +324,7 @@ impl SprSensor {
         let route = Route {
             gateway,
             place,
-            relays: path[idx + 1..].to_vec(),
+            relays: path.iter().skip(idx + 1).map(NodeId).collect(),
             energy_pm,
         };
         let route_hops = route.hops();
@@ -328,7 +341,6 @@ impl SprSensor {
         }
         if idx == 0 {
             // We are the origin; the collection timer decides.
-            let _ = (origin, req_id);
         } else {
             let remaining = path.len() - idx;
             let key = (origin, req_id, gateway);
@@ -340,32 +352,30 @@ impl SprSensor {
                 return;
             }
             self.seen_rrep.insert(key, remaining);
-            let prev = path[idx - 1];
-            // Fold our own residual level into the bottleneck.
+            let prev = NodeId(path.get(idx - 1).expect("idx > 0"));
+            // Fold our own residual level into the bottleneck; the path
+            // itself is relayed untouched, so patch the frame in place.
             let own_pm = (ctx.battery_fraction() * 1000.0) as u16;
-            let rrep = RoutingMsg::Rrep {
-                origin,
-                req_id,
-                gateway,
-                place,
-                energy_pm: energy_pm.min(own_pm),
-                path,
-            };
+            let mut buf = ctx.take_scratch();
+            if wire::rrep_energy_patch(frame, energy_pm.min(own_pm), &mut buf).is_err() {
+                ctx.put_scratch(buf);
+                return;
+            }
             self.stats.rrep_relayed += 1;
-            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
+            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, &buf[..]);
+            ctx.put_scratch(buf);
         }
     }
 
-    fn handle_data(&mut self, ctx: &mut Ctx<'_>, msg: RoutingMsg) {
-        let RoutingMsg::Data {
+    fn handle_data(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
+        let Ok(RoutingMsgView::Data {
             origin,
             msg_id,
-            sent_at,
             gateway,
             place,
             hops,
-            payload_len,
-        } = msg
+            ..
+        }) = RoutingMsgView::decode(frame)
         else {
             return;
         };
@@ -384,15 +394,11 @@ impl SprSensor {
         } else {
             route.next_hop()
         };
-        let fwd = RoutingMsg::Data {
-            origin,
-            msg_id,
-            sent_at,
-            gateway,
-            place,
-            hops: hops + 1,
-            payload_len,
-        };
+        let mut buf = ctx.take_scratch();
+        if wire::data_hops_patch(frame, hops + 1, &mut buf).is_err() {
+            ctx.put_scratch(buf);
+            return;
+        }
         self.stats.data_forwarded += 1;
         if ctx.trace_enabled() {
             ctx.trace(TraceEvent::Forward {
@@ -404,7 +410,8 @@ impl SprSensor {
                 hops: hops + 1,
             });
         }
-        ctx.send(Some(next), Tier::Sensor, PacketKind::Data, fwd.encode());
+        ctx.send(Some(next), Tier::Sensor, PacketKind::Data, &buf[..]);
+        ctx.put_scratch(buf);
     }
 
     fn on_collect_timer(&mut self, ctx: &mut Ctx<'_>) {
@@ -434,39 +441,32 @@ impl SprSensor {
     /// Record an announce for duplicate suppression; returns true if new.
     /// (Used by the MLR subclass-by-composition; SPR ignores announces.)
     fn announce_is_new(&mut self, gateway: NodeId, round: u32) -> bool {
-        self.seen_announce.insert((gateway, round))
+        self.seen_announce.insert(gateway.0, u64::from(round))
     }
 }
 
 impl Behavior for SprSensor {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        let Ok(msg) = RoutingMsg::decode(&pkt.payload) else {
+        // Header peek: classify + validate the frame from fixed offsets
+        // so duplicate floods are dropped before any path materialises.
+        let Ok(hdr) = wire::peek(&pkt.payload) else {
             return;
         };
-        match msg {
-            RoutingMsg::Rreq {
-                origin,
-                req_id,
-                path,
-                ..
-            } => self.handle_rreq(ctx, origin, req_id, path),
-            RoutingMsg::Rrep {
-                origin,
-                req_id,
-                gateway,
-                place,
-                energy_pm,
-                path,
-            } => self.handle_rrep(ctx, origin, req_id, gateway, place, energy_pm, path),
-            data @ RoutingMsg::Data { .. } => self.handle_data(ctx, data),
-            RoutingMsg::Announce { gateway, round, .. } => {
+        match hdr {
+            PeekHeader::Rreq { origin, req_id } => {
+                self.handle_rreq(ctx, &pkt.payload, origin, req_id)
+            }
+            PeekHeader::Rrep { .. } => self.handle_rrep(ctx, &pkt.payload),
+            PeekHeader::Data { .. } => self.handle_data(ctx, &pkt.payload),
+            PeekHeader::Announce { gateway, round, .. } => {
                 // SPR has no notion of places; just keep the flood moving
-                // so mixed deployments interoperate.
+                // so mixed deployments interoperate. The forwarded frame
+                // is byte-identical, so re-flood the shared buffer.
                 if self.announce_is_new(gateway, round) {
                     self.queue_flood(ctx, pkt.payload.clone());
                 }
             }
-            RoutingMsg::Load { .. } => {}
+            PeekHeader::Load { .. } => {}
         }
     }
 
@@ -496,7 +496,7 @@ impl Behavior for SprSensor {
 pub struct SprGateway {
     /// Feasible place this gateway currently occupies (NO_PLACE for SPR).
     pub place: u16,
-    seen_rreq: HashSet<(NodeId, u64)>,
+    seen_rreq: SeenTable,
     /// Packets absorbed (per-gateway load, for E10).
     pub absorbed: u64,
     /// If set, delivered data is forwarded on the mesh tier to this node
@@ -509,7 +509,7 @@ impl SprGateway {
     pub fn new() -> Self {
         SprGateway {
             place: NO_PLACE,
-            seen_rreq: HashSet::new(),
+            seen_rreq: SeenTable::new(),
             absorbed: 0,
             uplink: None,
         }
@@ -541,41 +541,57 @@ impl Default for SprGateway {
 
 impl Behavior for SprGateway {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        let Ok(msg) = RoutingMsg::decode(&pkt.payload) else {
+        let Ok(hdr) = wire::peek(&pkt.payload) else {
             return;
         };
-        match msg {
-            RoutingMsg::Rreq {
-                origin,
-                req_id,
-                path,
-                ..
-            } => {
+        match hdr {
+            PeekHeader::Rreq { origin, req_id } => {
                 // Step 3.2: first copy wins (the flood explores in BFS
                 // order, so the first arrival walked a fewest-hop path).
-                if !self.seen_rreq.insert((origin, req_id)) {
+                if !self.seen_rreq.insert(origin.0, req_id) {
                     return;
                 }
-                let Some(&prev) = path.last() else { return };
-                let rrep = RoutingMsg::Rrep {
+                let Ok(RoutingMsgView::Rreq { path, .. }) = RoutingMsgView::decode(&pkt.payload)
+                else {
+                    return;
+                };
+                let Some(prev) = path.last() else { return };
+                // Answer with the walked path verbatim — the reply path
+                // is assembled straight from the RREQ's path bytes, no
+                // intermediate clone.
+                let mut buf = ctx.take_scratch();
+                wire::encode_rrep_into(
+                    &mut buf,
                     origin,
                     req_id,
-                    gateway: ctx.id(),
-                    place: self.place,
-                    energy_pm: 1000, // gateways are unconstrained (§5.3)
+                    ctx.id(),
+                    self.place,
+                    1000, // gateways are unconstrained (§5.3)
                     path,
-                };
-                ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, rrep.encode());
+                    None,
+                    &[],
+                );
+                ctx.send(
+                    Some(NodeId(prev)),
+                    Tier::Sensor,
+                    PacketKind::Control,
+                    &buf[..],
+                );
+                ctx.put_scratch(buf);
             }
-            RoutingMsg::Data {
-                origin,
-                msg_id,
-                sent_at,
-                gateway,
-                hops,
-                payload_len,
-                ..
-            } => {
+            PeekHeader::Data { .. } => {
+                let Ok(RoutingMsgView::Data {
+                    origin,
+                    msg_id,
+                    sent_at,
+                    gateway,
+                    hops,
+                    payload_len,
+                    ..
+                }) = RoutingMsgView::decode(&pkt.payload)
+                else {
+                    return;
+                };
                 if gateway != ctx.id() {
                     return;
                 }

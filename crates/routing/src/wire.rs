@@ -14,8 +14,32 @@
 //!   (§5.3 step 2), flooded through the sensor tier.
 //! * `Load` — a gateway advertising its recent traffic load, used by the
 //!   §4.3 load-balance extension.
+//!
+//! # Frame layout (see DESIGN.md, "Wire layer")
+//!
+//! Every frame opens with a fixed-offset header — tag at byte 0, the
+//! originating node id at bytes 1..5, and (for flooded kinds) the
+//! originator-unique sequence at bytes 5..13 — so duplicate suppression
+//! can run off [`peek`] without materialising any variable-length field.
+//! The variable-length `path` is always the **trailing** field, which is
+//! what makes [`rreq_append_forward`] a memcpy + 2-byte count patch +
+//! 4-byte append instead of decode→clone→push→re-encode:
+//!
+//! ```text
+//! Rreq     | 1 tag | 4 origin | 8 req_id | 2 wc | 2·wc wanted | 2 pc | 4·pc path |
+//! Rrep     | 1 tag | 4 origin | 8 req_id | 4 gateway | 2 place | 2 energy | 2 pc | 4·pc path |
+//! Data     | 1 tag | 4 origin | 8 msg_id | 8 sent_at | 4 gateway | 2 place | 4 hops | 2 pl | pl pad |
+//! Announce | 1 tag | 4 gateway | 2 place | 4 round |
+//! Load     | 1 tag | 4 gateway | 4 load | 4 seq |
+//! ```
+//!
+//! Two decode surfaces share these layouts: the borrowed
+//! [`RoutingMsgView`] (list fields are `&[u8]`-backed views over the
+//! received frame — per-hop handling allocates nothing) and the owned
+//! [`RoutingMsg`] (for originators and tests), bridged by
+//! [`RoutingMsgView::to_owned`].
 
-use wmsn_util::codec::{DecodeError, Reader, Writer};
+use wmsn_util::codec::{DecodeError, IdListView, Reader, U16ListView, Writer};
 use wmsn_util::NodeId;
 
 /// Maximum path length accepted by decoders (sanity bound; fields in the
@@ -25,7 +49,30 @@ pub const MAX_PATH: usize = 512;
 /// Sentinel for "no feasible place" (SPR runs placeless).
 pub const NO_PLACE: u16 = u16::MAX;
 
-/// A routing-layer message.
+const TAG_RREQ: u8 = 1;
+const TAG_RREP: u8 = 2;
+const TAG_DATA: u8 = 3;
+const TAG_ANNOUNCE: u8 = 4;
+const TAG_LOAD: u8 = 5;
+
+// Fixed offsets of the peek header and the patchable fields. The tag is
+// byte 0; `origin`/`gateway` always sits at 1..5 and the flood sequence
+// (req_id / msg_id) at 5..13.
+const OFF_ID: usize = 1;
+const OFF_SEQ: usize = 5;
+const RREQ_WANTED_COUNT: usize = 13;
+const RREQ_WANTED: usize = 15;
+const RREP_GATEWAY: usize = 13;
+const RREP_ENERGY: usize = 19;
+const RREP_PATH_COUNT: usize = 21;
+const DATA_GATEWAY: usize = 21;
+const DATA_HOPS: usize = 27;
+const DATA_PAYLOAD_LEN: usize = 31;
+const DATA_HEADER: usize = 33;
+const ANNOUNCE_LEN: usize = 11;
+const LOAD_LEN: usize = 13;
+
+/// A routing-layer message (owned representation).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum RoutingMsg {
     /// Flooded routing query.
@@ -98,19 +145,485 @@ pub enum RoutingMsg {
     },
 }
 
-const TAG_RREQ: u8 = 1;
-const TAG_RREP: u8 = 2;
-const TAG_DATA: u8 = 3;
-const TAG_ANNOUNCE: u8 = 4;
-const TAG_LOAD: u8 = 5;
+/// Borrowed decode of a routing frame: list fields are zero-copy views
+/// over the received bytes, so per-hop handling of RREQ/RREP/Announce/
+/// Load allocates nothing. Bridge to the owned [`RoutingMsg`] with
+/// [`RoutingMsgView::to_owned`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoutingMsgView<'a> {
+    /// Flooded routing query (see [`RoutingMsg::Rreq`]).
+    Rreq {
+        /// Query originator.
+        origin: NodeId,
+        /// Originator-unique query id.
+        req_id: u64,
+        /// Nodes traversed so far (borrowed).
+        path: IdListView<'a>,
+        /// Wanted feasible places (borrowed).
+        wanted: U16ListView<'a>,
+    },
+    /// Routing response (see [`RoutingMsg::Rrep`]).
+    Rrep {
+        /// Query originator this answers.
+        origin: NodeId,
+        /// Query id this answers.
+        req_id: u64,
+        /// Responding gateway.
+        gateway: NodeId,
+        /// Feasible place of the gateway.
+        place: u16,
+        /// Path energy bottleneck so far (per mille).
+        energy_pm: u16,
+        /// Full sensor path (borrowed).
+        path: IdListView<'a>,
+    },
+    /// Application data (see [`RoutingMsg::Data`]).
+    Data {
+        /// Source sensor.
+        origin: NodeId,
+        /// Source-unique message id.
+        msg_id: u64,
+        /// Origination timestamp (µs).
+        sent_at: u64,
+        /// Destination gateway.
+        gateway: NodeId,
+        /// Destination place.
+        place: u16,
+        /// Radio hops taken so far.
+        hops: u32,
+        /// Application payload size.
+        payload_len: u16,
+    },
+    /// Gateway place announcement (see [`RoutingMsg::Announce`]).
+    Announce {
+        /// The gateway announcing.
+        gateway: NodeId,
+        /// Its (new) feasible place.
+        place: u16,
+        /// Round number.
+        round: u32,
+    },
+    /// Gateway load advertisement (see [`RoutingMsg::Load`]).
+    Load {
+        /// The gateway advertising.
+        gateway: NodeId,
+        /// Packets absorbed during the current window.
+        load: u32,
+        /// Advertisement sequence number.
+        seq: u32,
+    },
+}
+
+/// Fixed-offset header of a routing frame, extracted by [`peek`]. Carries
+/// exactly the fields duplicate suppression and frame classification
+/// need, with no variable-length field materialised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PeekHeader {
+    /// A structurally valid RREQ.
+    Rreq {
+        /// Query originator.
+        origin: NodeId,
+        /// Originator-unique query id.
+        req_id: u64,
+    },
+    /// A structurally valid RREP.
+    Rrep {
+        /// Query originator this answers.
+        origin: NodeId,
+        /// Query id this answers.
+        req_id: u64,
+        /// Responding gateway.
+        gateway: NodeId,
+    },
+    /// A structurally valid Data frame.
+    Data {
+        /// Source sensor.
+        origin: NodeId,
+        /// Source-unique message id.
+        msg_id: u64,
+        /// Destination gateway.
+        gateway: NodeId,
+    },
+    /// A structurally valid Announce.
+    Announce {
+        /// The gateway announcing.
+        gateway: NodeId,
+        /// Its (new) feasible place.
+        place: u16,
+        /// Round number.
+        round: u32,
+    },
+    /// A structurally valid Load advertisement.
+    Load {
+        /// The gateway advertising.
+        gateway: NodeId,
+        /// Packets absorbed during the current window.
+        load: u32,
+        /// Advertisement sequence number.
+        seq: u32,
+    },
+}
+
+#[inline]
+fn rd_u16(b: &[u8], off: usize) -> Result<u16, DecodeError> {
+    match b.get(off..off + 2) {
+        Some(s) => Ok(u16::from_le_bytes([s[0], s[1]])),
+        None => Err(DecodeError::Truncated {
+            needed: off + 2,
+            remaining: b.len(),
+        }),
+    }
+}
+
+#[inline]
+fn rd_u32(b: &[u8], off: usize) -> Result<u32, DecodeError> {
+    match b.get(off..off + 4) {
+        Some(s) => Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]])),
+        None => Err(DecodeError::Truncated {
+            needed: off + 4,
+            remaining: b.len(),
+        }),
+    }
+}
+
+#[inline]
+fn rd_u64(b: &[u8], off: usize) -> Result<u64, DecodeError> {
+    match b.get(off..off + 8) {
+        Some(s) => {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(s);
+            Ok(u64::from_le_bytes(a))
+        }
+        None => Err(DecodeError::Truncated {
+            needed: off + 8,
+            remaining: b.len(),
+        }),
+    }
+}
+
+#[inline]
+fn expect_len(b: &[u8], total: usize) -> Result<(), DecodeError> {
+    if b.len() < total {
+        Err(DecodeError::Truncated {
+            needed: total,
+            remaining: b.len(),
+        })
+    } else if b.len() > total {
+        Err(DecodeError::TrailingBytes(b.len() - total))
+    } else {
+        Ok(())
+    }
+}
+
+/// Read the fixed-offset header of a routing frame *and fully validate
+/// its structure* — length prefixes within bounds, total length exact —
+/// without touching any variable-length field. `peek(b).is_ok()` is
+/// equivalent to `RoutingMsg::decode(b).is_ok()` (every fixed-size field
+/// admits all byte patterns), so a frame accepted here is safe to hand
+/// to the in-place forwarders below, and duplicate suppression keyed on
+/// a peeked header never records a malformed frame as seen.
+pub fn peek(bytes: &[u8]) -> Result<PeekHeader, DecodeError> {
+    let tag = *bytes.first().ok_or(DecodeError::Truncated {
+        needed: 1,
+        remaining: 0,
+    })?;
+    match tag {
+        TAG_RREQ => {
+            let wc = rd_u16(bytes, RREQ_WANTED_COUNT)? as usize;
+            if wc > MAX_PATH {
+                return Err(DecodeError::LengthOutOfRange(wc));
+            }
+            let pc_off = RREQ_WANTED + 2 * wc;
+            let pc = rd_u16(bytes, pc_off)? as usize;
+            if pc > MAX_PATH {
+                return Err(DecodeError::LengthOutOfRange(pc));
+            }
+            expect_len(bytes, pc_off + 2 + 4 * pc)?;
+            Ok(PeekHeader::Rreq {
+                origin: NodeId(rd_u32(bytes, OFF_ID)?),
+                req_id: rd_u64(bytes, OFF_SEQ)?,
+            })
+        }
+        TAG_RREP => {
+            let pc = rd_u16(bytes, RREP_PATH_COUNT)? as usize;
+            if pc > MAX_PATH {
+                return Err(DecodeError::LengthOutOfRange(pc));
+            }
+            expect_len(bytes, RREP_PATH_COUNT + 2 + 4 * pc)?;
+            Ok(PeekHeader::Rrep {
+                origin: NodeId(rd_u32(bytes, OFF_ID)?),
+                req_id: rd_u64(bytes, OFF_SEQ)?,
+                gateway: NodeId(rd_u32(bytes, RREP_GATEWAY)?),
+            })
+        }
+        TAG_DATA => {
+            let pl = rd_u16(bytes, DATA_PAYLOAD_LEN)? as usize;
+            expect_len(bytes, DATA_HEADER + pl)?;
+            Ok(PeekHeader::Data {
+                origin: NodeId(rd_u32(bytes, OFF_ID)?),
+                msg_id: rd_u64(bytes, OFF_SEQ)?,
+                gateway: NodeId(rd_u32(bytes, DATA_GATEWAY)?),
+            })
+        }
+        TAG_ANNOUNCE => {
+            expect_len(bytes, ANNOUNCE_LEN)?;
+            Ok(PeekHeader::Announce {
+                gateway: NodeId(rd_u32(bytes, OFF_ID)?),
+                place: rd_u16(bytes, OFF_ID + 4)?,
+                round: rd_u32(bytes, OFF_ID + 6)?,
+            })
+        }
+        TAG_LOAD => {
+            expect_len(bytes, LOAD_LEN)?;
+            Ok(PeekHeader::Load {
+                gateway: NodeId(rd_u32(bytes, OFF_ID)?),
+                load: rd_u32(bytes, OFF_ID + 4)?,
+                seq: rd_u32(bytes, OFF_ID + 8)?,
+            })
+        }
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+/// Build the forwarded copy of an RREQ into `out` (a reusable scratch
+/// buffer) without decoding: memcpy the frame, bump the trailing path
+/// count, append `me`. Satellite invariant: everything before the path
+/// count — including the `wanted` list — is copied verbatim, never
+/// re-serialised. Fails on structurally invalid frames, non-RREQ tags,
+/// or a path already at [`MAX_PATH`].
+pub fn rreq_append_forward(frame: &[u8], me: NodeId, out: &mut Vec<u8>) -> Result<(), DecodeError> {
+    if !matches!(peek(frame)?, PeekHeader::Rreq { .. }) {
+        return Err(DecodeError::BadTag(frame[0]));
+    }
+    let wc = rd_u16(frame, RREQ_WANTED_COUNT)? as usize;
+    let pc_off = RREQ_WANTED + 2 * wc;
+    let pc = rd_u16(frame, pc_off)?;
+    if pc as usize + 1 > MAX_PATH {
+        return Err(DecodeError::LengthOutOfRange(pc as usize + 1));
+    }
+    out.clear();
+    out.reserve(frame.len() + 4);
+    out.extend_from_slice(frame);
+    out[pc_off..pc_off + 2].copy_from_slice(&(pc + 1).to_le_bytes());
+    out.extend_from_slice(&me.0.to_le_bytes());
+    Ok(())
+}
+
+/// Build the relayed copy of an RREP into `out`: memcpy the frame and
+/// patch the energy-bottleneck field. The path is untouched (relays do
+/// not append on the return trip). Fails on non-RREP frames.
+pub fn rrep_energy_patch(
+    frame: &[u8],
+    energy_pm: u16,
+    out: &mut Vec<u8>,
+) -> Result<(), DecodeError> {
+    if !matches!(peek(frame)?, PeekHeader::Rrep { .. }) {
+        return Err(DecodeError::BadTag(frame[0]));
+    }
+    out.clear();
+    out.extend_from_slice(frame);
+    out[RREP_ENERGY..RREP_ENERGY + 2].copy_from_slice(&energy_pm.to_le_bytes());
+    Ok(())
+}
+
+/// Build the forwarded copy of a Data frame into `out`: memcpy the frame
+/// and overwrite the hop counter. Fails on non-Data frames.
+pub fn data_hops_patch(frame: &[u8], hops: u32, out: &mut Vec<u8>) -> Result<(), DecodeError> {
+    if !matches!(peek(frame)?, PeekHeader::Data { .. }) {
+        return Err(DecodeError::BadTag(frame[0]));
+    }
+    out.clear();
+    out.extend_from_slice(frame);
+    out[DATA_HOPS..DATA_HOPS + 4].copy_from_slice(&hops.to_le_bytes());
+    Ok(())
+}
+
+/// Encode an RREP into `out` whose path is `prefix ++ [me]? ++ relays`,
+/// copying the prefix bytes straight out of the triggering RREQ — no
+/// intermediate `Vec<NodeId>` clone (the gateway direct-answer and the
+/// sensor cached-answer paths of `handle_rreq`).
+#[allow(clippy::too_many_arguments)]
+pub fn encode_rrep_into(
+    out: &mut Vec<u8>,
+    origin: NodeId,
+    req_id: u64,
+    gateway: NodeId,
+    place: u16,
+    energy_pm: u16,
+    prefix: IdListView<'_>,
+    me: Option<NodeId>,
+    relays: &[NodeId],
+) {
+    let count = prefix.len() + usize::from(me.is_some()) + relays.len();
+    debug_assert!(count <= MAX_PATH);
+    out.clear();
+    out.reserve(RREP_PATH_COUNT + 2 + 4 * count);
+    out.push(TAG_RREP);
+    out.extend_from_slice(&origin.0.to_le_bytes());
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(&gateway.0.to_le_bytes());
+    out.extend_from_slice(&place.to_le_bytes());
+    out.extend_from_slice(&energy_pm.to_le_bytes());
+    out.extend_from_slice(&(count as u16).to_le_bytes());
+    out.extend_from_slice(prefix.as_bytes());
+    if let Some(id) = me {
+        out.extend_from_slice(&id.0.to_le_bytes());
+    }
+    for r in relays {
+        out.extend_from_slice(&r.0.to_le_bytes());
+    }
+}
+
+/// Whether the conceptual path `prefix ++ [me] ++ relays` visits every
+/// node at most once. Allocation-free pairwise scan — paths are tens of
+/// entries, so O(n²) beats building a `HashSet` per candidate reply.
+pub fn path_with_suffix_is_unique(prefix: IdListView<'_>, me: NodeId, relays: &[NodeId]) -> bool {
+    let plen = prefix.len();
+    let n = plen + 1 + relays.len();
+    let at = |i: usize| -> u32 {
+        if i < plen {
+            prefix.get(i).expect("index < len")
+        } else if i == plen {
+            me.0
+        } else {
+            relays[i - plen - 1].0
+        }
+    };
+    for i in 0..n {
+        let v = at(i);
+        for j in i + 1..n {
+            if v == at(j) {
+                return false;
+            }
+        }
+    }
+    true
+}
 
 fn write_ids(w: &mut Writer, ids: &[NodeId]) {
     let raw: Vec<u32> = ids.iter().map(|n| n.0).collect();
     w.id_list(&raw);
 }
 
-fn read_ids(r: &mut Reader<'_>) -> Result<Vec<NodeId>, DecodeError> {
-    Ok(r.id_list(MAX_PATH)?.into_iter().map(NodeId).collect())
+impl<'a> RoutingMsgView<'a> {
+    /// Borrowed decode from bytes — list fields stay views over `bytes`.
+    pub fn decode(bytes: &'a [u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_RREQ => {
+                let origin = NodeId(r.u32()?);
+                let req_id = r.u64()?;
+                let wanted = r.u16_list_view(MAX_PATH)?;
+                let path = r.id_list_view(MAX_PATH)?;
+                RoutingMsgView::Rreq {
+                    origin,
+                    req_id,
+                    path,
+                    wanted,
+                }
+            }
+            TAG_RREP => RoutingMsgView::Rrep {
+                origin: NodeId(r.u32()?),
+                req_id: r.u64()?,
+                gateway: NodeId(r.u32()?),
+                place: r.u16()?,
+                energy_pm: r.u16()?,
+                path: r.id_list_view(MAX_PATH)?,
+            },
+            TAG_DATA => {
+                let origin = NodeId(r.u32()?);
+                let msg_id = r.u64()?;
+                let sent_at = r.u64()?;
+                let gateway = NodeId(r.u32()?);
+                let place = r.u16()?;
+                let hops = r.u32()?;
+                let payload_len = r.u16()?;
+                let _pad = r.raw(payload_len as usize)?;
+                RoutingMsgView::Data {
+                    origin,
+                    msg_id,
+                    sent_at,
+                    gateway,
+                    place,
+                    hops,
+                    payload_len,
+                }
+            }
+            TAG_ANNOUNCE => RoutingMsgView::Announce {
+                gateway: NodeId(r.u32()?),
+                place: r.u16()?,
+                round: r.u32()?,
+            },
+            TAG_LOAD => RoutingMsgView::Load {
+                gateway: NodeId(r.u32()?),
+                load: r.u32()?,
+                seq: r.u32()?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Materialise the owned [`RoutingMsg`].
+    pub fn to_owned(&self) -> RoutingMsg {
+        match *self {
+            RoutingMsgView::Rreq {
+                origin,
+                req_id,
+                path,
+                wanted,
+            } => RoutingMsg::Rreq {
+                origin,
+                req_id,
+                path: path.iter().map(NodeId).collect(),
+                wanted: wanted.to_vec(),
+            },
+            RoutingMsgView::Rrep {
+                origin,
+                req_id,
+                gateway,
+                place,
+                energy_pm,
+                path,
+            } => RoutingMsg::Rrep {
+                origin,
+                req_id,
+                gateway,
+                place,
+                energy_pm,
+                path: path.iter().map(NodeId).collect(),
+            },
+            RoutingMsgView::Data {
+                origin,
+                msg_id,
+                sent_at,
+                gateway,
+                place,
+                hops,
+                payload_len,
+            } => RoutingMsg::Data {
+                origin,
+                msg_id,
+                sent_at,
+                gateway,
+                place,
+                hops,
+                payload_len,
+            },
+            RoutingMsgView::Announce {
+                gateway,
+                place,
+                round,
+            } => RoutingMsg::Announce {
+                gateway,
+                place,
+                round,
+            },
+            RoutingMsgView::Load { gateway, load, seq } => RoutingMsg::Load { gateway, load, seq },
+        }
+    }
 }
 
 impl RoutingMsg {
@@ -125,11 +638,12 @@ impl RoutingMsg {
                 wanted,
             } => {
                 w.u8(TAG_RREQ).u32(origin.0).u64(*req_id);
-                write_ids(&mut w, path);
                 w.u16(wanted.len() as u16);
                 for &p in wanted {
                     w.u16(p);
                 }
+                // Path last: forwarders append in place (see module docs).
+                write_ids(&mut w, path);
             }
             RoutingMsg::Rrep {
                 origin,
@@ -183,71 +697,9 @@ impl RoutingMsg {
         w.into_bytes()
     }
 
-    /// Decode from bytes.
+    /// Decode from bytes (owned; delegates to the borrowed decoder).
     pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
-        let mut r = Reader::new(bytes);
-        let tag = r.u8()?;
-        let msg = match tag {
-            TAG_RREQ => {
-                let origin = NodeId(r.u32()?);
-                let req_id = r.u64()?;
-                let path = read_ids(&mut r)?;
-                let n = r.u16()? as usize;
-                if n > MAX_PATH {
-                    return Err(DecodeError::LengthOutOfRange(n));
-                }
-                let mut wanted = Vec::with_capacity(n);
-                for _ in 0..n {
-                    wanted.push(r.u16()?);
-                }
-                RoutingMsg::Rreq {
-                    origin,
-                    req_id,
-                    path,
-                    wanted,
-                }
-            }
-            TAG_RREP => RoutingMsg::Rrep {
-                origin: NodeId(r.u32()?),
-                req_id: r.u64()?,
-                gateway: NodeId(r.u32()?),
-                place: r.u16()?,
-                energy_pm: r.u16()?,
-                path: read_ids(&mut r)?,
-            },
-            TAG_DATA => {
-                let origin = NodeId(r.u32()?);
-                let msg_id = r.u64()?;
-                let sent_at = r.u64()?;
-                let gateway = NodeId(r.u32()?);
-                let place = r.u16()?;
-                let hops = r.u32()?;
-                let payload_len = r.u16()?;
-                let _pad = r.raw(payload_len as usize)?;
-                RoutingMsg::Data {
-                    origin,
-                    msg_id,
-                    sent_at,
-                    gateway,
-                    place,
-                    hops,
-                    payload_len,
-                }
-            }
-            TAG_ANNOUNCE => RoutingMsg::Announce {
-                gateway: NodeId(r.u32()?),
-                place: r.u16()?,
-                round: r.u32()?,
-            },
-            TAG_LOAD => RoutingMsg::Load {
-                gateway: NodeId(r.u32()?),
-                load: r.u32()?,
-                seq: r.u32()?,
-            },
-            t => return Err(DecodeError::BadTag(t)),
-        };
-        r.finish()?;
-        Ok(msg)
+        RoutingMsgView::decode(bytes).map(|v| v.to_owned())
     }
 }
 
@@ -260,14 +712,18 @@ mod tests {
         assert_eq!(RoutingMsg::decode(&bytes).unwrap(), msg);
     }
 
-    #[test]
-    fn rreq_roundtrip() {
-        roundtrip(RoutingMsg::Rreq {
+    fn sample_rreq() -> RoutingMsg {
+        RoutingMsg::Rreq {
             origin: NodeId(7),
             req_id: 99,
             path: vec![NodeId(7), NodeId(3), NodeId(12)],
             wanted: vec![2, 5],
-        });
+        }
+    }
+
+    #[test]
+    fn rreq_roundtrip() {
+        roundtrip(sample_rreq());
     }
 
     #[test]
@@ -364,5 +820,301 @@ mod tests {
         };
         let bytes = msg.encode();
         assert!(RoutingMsg::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn view_decode_matches_owned_for_all_variants() {
+        let msgs = [
+            sample_rreq(),
+            RoutingMsg::Rrep {
+                origin: NodeId(1),
+                req_id: 8,
+                gateway: NodeId(44),
+                place: 0,
+                energy_pm: 999,
+                path: vec![NodeId(1), NodeId(2), NodeId(3)],
+            },
+            RoutingMsg::Data {
+                origin: NodeId(2),
+                msg_id: 5,
+                sent_at: 77,
+                gateway: NodeId(50),
+                place: 3,
+                hops: 2,
+                payload_len: 8,
+            },
+            RoutingMsg::Announce {
+                gateway: NodeId(9),
+                place: 2,
+                round: 14,
+            },
+            RoutingMsg::Load {
+                gateway: NodeId(9),
+                load: 512,
+                seq: 3,
+            },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            let view = RoutingMsgView::decode(&bytes).unwrap();
+            assert_eq!(view.to_owned(), msg);
+        }
+    }
+
+    #[test]
+    fn peek_matches_decode_fields() {
+        let bytes = sample_rreq().encode();
+        assert_eq!(
+            peek(&bytes).unwrap(),
+            PeekHeader::Rreq {
+                origin: NodeId(7),
+                req_id: 99
+            }
+        );
+
+        let bytes = RoutingMsg::Rrep {
+            origin: NodeId(7),
+            req_id: 99,
+            gateway: NodeId(100),
+            place: 4,
+            energy_pm: 512,
+            path: vec![NodeId(7)],
+        }
+        .encode();
+        assert_eq!(
+            peek(&bytes).unwrap(),
+            PeekHeader::Rrep {
+                origin: NodeId(7),
+                req_id: 99,
+                gateway: NodeId(100)
+            }
+        );
+
+        let bytes = RoutingMsg::Data {
+            origin: NodeId(2),
+            msg_id: 5,
+            sent_at: 77,
+            gateway: NodeId(50),
+            place: 3,
+            hops: 2,
+            payload_len: 8,
+        }
+        .encode();
+        assert_eq!(
+            peek(&bytes).unwrap(),
+            PeekHeader::Data {
+                origin: NodeId(2),
+                msg_id: 5,
+                gateway: NodeId(50)
+            }
+        );
+
+        let bytes = RoutingMsg::Announce {
+            gateway: NodeId(9),
+            place: 2,
+            round: 14,
+        }
+        .encode();
+        assert_eq!(
+            peek(&bytes).unwrap(),
+            PeekHeader::Announce {
+                gateway: NodeId(9),
+                place: 2,
+                round: 14
+            }
+        );
+
+        let bytes = RoutingMsg::Load {
+            gateway: NodeId(9),
+            load: 512,
+            seq: 3,
+        }
+        .encode();
+        assert_eq!(
+            peek(&bytes).unwrap(),
+            PeekHeader::Load {
+                gateway: NodeId(9),
+                load: 512,
+                seq: 3
+            }
+        );
+    }
+
+    #[test]
+    fn peek_accepts_exactly_what_decode_accepts() {
+        // Every truncation prefix of a valid frame must be rejected by
+        // BOTH surfaces (never a panic or an over-read).
+        let bytes = sample_rreq().encode();
+        for cut in 0..bytes.len() {
+            assert!(peek(&bytes[..cut]).is_err(), "peek accepted prefix {cut}");
+            assert!(
+                RoutingMsg::decode(&bytes[..cut]).is_err(),
+                "decode accepted prefix {cut}"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(peek(&extended).is_err());
+        assert!(RoutingMsg::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn append_forward_equals_decode_push_reencode() {
+        let frame = sample_rreq().encode();
+        let mut out = Vec::new();
+        rreq_append_forward(&frame, NodeId(55), &mut out).unwrap();
+
+        let RoutingMsg::Rreq {
+            origin,
+            req_id,
+            mut path,
+            wanted,
+        } = RoutingMsg::decode(&frame).unwrap()
+        else {
+            unreachable!()
+        };
+        path.push(NodeId(55));
+        let expected = RoutingMsg::Rreq {
+            origin,
+            req_id,
+            path,
+            wanted,
+        }
+        .encode();
+        assert_eq!(out, expected);
+        // Satellite invariant: the wanted region is copied verbatim,
+        // byte-for-byte — never re-serialised on forward.
+        assert_eq!(&out[..RREQ_WANTED + 4], &frame[..RREQ_WANTED + 4]);
+    }
+
+    #[test]
+    fn append_forward_rejects_full_or_malformed() {
+        let full = RoutingMsg::Rreq {
+            origin: NodeId(0),
+            req_id: 0,
+            path: (0..MAX_PATH as u32).map(NodeId).collect(),
+            wanted: vec![],
+        }
+        .encode();
+        let mut out = Vec::new();
+        assert!(rreq_append_forward(&full, NodeId(9), &mut out).is_err());
+        assert!(rreq_append_forward(&full[..10], NodeId(9), &mut out).is_err());
+        let not_rreq = RoutingMsg::Load {
+            gateway: NodeId(9),
+            load: 1,
+            seq: 1,
+        }
+        .encode();
+        assert!(rreq_append_forward(&not_rreq, NodeId(9), &mut out).is_err());
+    }
+
+    #[test]
+    fn rrep_energy_patch_equals_reencode() {
+        let msg = RoutingMsg::Rrep {
+            origin: NodeId(7),
+            req_id: 99,
+            gateway: NodeId(100),
+            place: 4,
+            energy_pm: 512,
+            path: vec![NodeId(7), NodeId(3)],
+        };
+        let frame = msg.encode();
+        let mut out = Vec::new();
+        rrep_energy_patch(&frame, 300, &mut out).unwrap();
+        let expected = RoutingMsg::Rrep {
+            origin: NodeId(7),
+            req_id: 99,
+            gateway: NodeId(100),
+            place: 4,
+            energy_pm: 300,
+            path: vec![NodeId(7), NodeId(3)],
+        }
+        .encode();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn data_hops_patch_equals_reencode() {
+        let msg = RoutingMsg::Data {
+            origin: NodeId(2),
+            msg_id: 5,
+            sent_at: 77,
+            gateway: NodeId(50),
+            place: 3,
+            hops: 2,
+            payload_len: 16,
+        };
+        let frame = msg.encode();
+        let mut out = Vec::new();
+        data_hops_patch(&frame, 3, &mut out).unwrap();
+        let expected = RoutingMsg::Data {
+            origin: NodeId(2),
+            msg_id: 5,
+            sent_at: 77,
+            gateway: NodeId(50),
+            place: 3,
+            hops: 3,
+            payload_len: 16,
+        }
+        .encode();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn encode_rrep_into_equals_owned_encode() {
+        let rreq = sample_rreq().encode();
+        let RoutingMsgView::Rreq { path, .. } = RoutingMsgView::decode(&rreq).unwrap() else {
+            unreachable!()
+        };
+        let mut out = Vec::new();
+        encode_rrep_into(
+            &mut out,
+            NodeId(7),
+            99,
+            NodeId(100),
+            4,
+            512,
+            path,
+            Some(NodeId(55)),
+            &[NodeId(60), NodeId(61)],
+        );
+        let expected = RoutingMsg::Rrep {
+            origin: NodeId(7),
+            req_id: 99,
+            gateway: NodeId(100),
+            place: 4,
+            energy_pm: 512,
+            path: vec![
+                NodeId(7),
+                NodeId(3),
+                NodeId(12),
+                NodeId(55),
+                NodeId(60),
+                NodeId(61),
+            ],
+        }
+        .encode();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn path_uniqueness_matches_hashset_semantics() {
+        let rreq = sample_rreq().encode(); // path 7, 3, 12
+        let RoutingMsgView::Rreq { path, .. } = RoutingMsgView::decode(&rreq).unwrap() else {
+            unreachable!()
+        };
+        assert!(path_with_suffix_is_unique(path, NodeId(55), &[NodeId(60)]));
+        // me collides with the prefix
+        assert!(!path_with_suffix_is_unique(path, NodeId(3), &[]));
+        // relay collides with the prefix
+        assert!(!path_with_suffix_is_unique(path, NodeId(55), &[NodeId(7)]));
+        // relay collides with me
+        assert!(!path_with_suffix_is_unique(path, NodeId(55), &[NodeId(55)]));
+        // duplicate inside relays
+        assert!(!path_with_suffix_is_unique(
+            path,
+            NodeId(55),
+            &[NodeId(60), NodeId(60)]
+        ));
     }
 }

@@ -8,7 +8,10 @@
 //! intermediate sensors never answer queries from cache and forward data
 //! only along gateway-authenticated 4-tuple entries.
 
-use crate::wire::{announce_plaintext, req_plaintext, QuerySection, SecMsg};
+use crate::wire::{
+    announce_plaintext, req_plaintext, sdata_forward_patch, sdata_peek, QuerySection, SecMsg,
+    SrreqView,
+};
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
@@ -17,6 +20,7 @@ use wmsn_crypto::tesla::TeslaReceiver;
 use wmsn_crypto::{open, seal, KeyStore, ReplayGuard};
 use wmsn_sim::{Behavior, Ctx, Packet, PacketKind, Tier};
 use wmsn_util::codec::Reader;
+use wmsn_util::seen::SeenTable;
 use wmsn_util::NodeId;
 
 const TIMER_COLLECT: u64 = 0x5EC1;
@@ -115,9 +119,9 @@ pub struct SecMlrSensor {
     tesla: HashMap<NodeId, TeslaReceiver>,
     /// Gateways the application has declared compromised/unresponsive.
     blacklist: HashSet<NodeId>,
-    seen_rreq: HashSet<(NodeId, u64)>,
+    seen_rreq: SeenTable,
     seen_announce: HashSet<(NodeId, u32, u64)>,
-    seen_disclose: HashSet<(NodeId, u64)>,
+    seen_disclose: SeenTable,
     next_req_id: u64,
     next_msg_id: u64,
     pending: Vec<PendingMsg>,
@@ -140,9 +144,9 @@ impl SecMlrSensor {
             occupied: HashMap::new(),
             tesla: HashMap::new(),
             blacklist: HashSet::new(),
-            seen_rreq: HashSet::new(),
+            seen_rreq: SeenTable::new(),
             seen_announce: HashSet::new(),
-            seen_disclose: HashSet::new(),
+            seen_disclose: SeenTable::new(),
             next_req_id: 0,
             next_msg_id: 0,
             pending: Vec::new(),
@@ -229,7 +233,7 @@ impl SecMlrSensor {
         let req_id = self.next_req_id;
         self.next_req_id += 1;
         self.discovering = Some((req_id, retries_used));
-        self.seen_rreq.insert((me, req_id));
+        self.seen_rreq.insert(me.0, req_id);
         // One sealed section per eligible gateway ("RREQ with m
         // destinations").
         // Occupancy is part of the deployment configuration (round 0) and
@@ -304,36 +308,31 @@ impl SecMlrSensor {
         }
     }
 
-    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg) {
-        let SecMsg::Rreq {
-            origin,
-            req_id,
-            mut path,
-            sections,
-        } = msg
-        else {
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
+        // The view validates the whole frame (path and every sealed
+        // section) without materialising either, so duplicate and loop
+        // checks run allocation-free.
+        let Ok(view) = SrreqView::decode(frame) else {
             return;
         };
         let me = ctx.id();
-        if origin == me || !self.seen_rreq.insert((origin, req_id)) {
+        if view.origin == me || !self.seen_rreq.insert(view.origin.0, view.req_id) {
             return;
         }
-        if path.contains(&me) {
+        if view.path.contains(me.0) {
             return;
         }
         // Intermediates cannot verify or answer — append and re-flood.
-        path.push(me);
-        let fwd = SecMsg::Rreq {
-            origin,
-            req_id,
-            path,
-            sections,
-        };
+        // The sealed sections pass through byte-for-byte.
         self.stats.rreq_forwarded += 1;
-        self.queue_flood(ctx, fwd.encode(), PacketKind::Control);
+        let mut buf = ctx.take_scratch();
+        if view.append_forward(me, &mut buf).is_ok() {
+            self.queue_flood(ctx, &buf[..], PacketKind::Control);
+        }
+        ctx.put_scratch(buf);
     }
 
-    fn handle_rres(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg) {
+    fn handle_rres(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg, raw: &Rc<[u8]>) {
         let SecMsg::Rres {
             origin,
             gateway,
@@ -401,28 +400,18 @@ impl SecMlrSensor {
                 self.fwd.insert((origin, gateway), path[idx + 1]);
             }
             let prev = path[idx - 1];
-            let fwd = SecMsg::Rres {
-                origin,
-                gateway,
-                place,
-                path,
-                sealed,
-            };
             self.stats.rres_relayed += 1;
-            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, fwd.encode());
+            // A relayed response is unchanged — re-encoding would
+            // reproduce the received bytes, so forward the frame itself.
+            ctx.send(Some(prev), Tier::Sensor, PacketKind::Control, raw.clone());
         }
     }
 
-    fn handle_data(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg) {
-        let SecMsg::Data {
-            source,
-            destination,
-            is: _,
-            ir,
-            hops,
-            sealed,
-        } = msg
-        else {
+    fn handle_data(&mut self, ctx: &mut Ctx<'_>, frame: &[u8]) {
+        // RI header peek: the sealed envelope is never opened (or even
+        // copied out) on transit nodes — forwarding rewrites the three
+        // RI words in place.
+        let Some((source, destination, ir, hops)) = sdata_peek(frame) else {
             return;
         };
         let me = ctx.id();
@@ -433,19 +422,14 @@ impl SecMlrSensor {
             self.stats.data_dropped += 1;
             return;
         };
-        let fwd = SecMsg::Data {
-            source,
-            destination,
-            is: me,
-            ir: next,
-            hops: hops + 1,
-            sealed,
-        };
         self.stats.data_forwarded += 1;
-        ctx.send(Some(next), Tier::Sensor, PacketKind::Data, fwd.encode());
+        let mut buf = ctx.take_scratch();
+        sdata_forward_patch(frame, me, next, hops + 1, &mut buf);
+        ctx.send(Some(next), Tier::Sensor, PacketKind::Data, &buf[..]);
+        ctx.put_scratch(buf);
     }
 
-    fn handle_announce(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg) {
+    fn handle_announce(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg, raw: &Rc<[u8]>) {
         let SecMsg::Announce {
             gateway,
             place,
@@ -472,18 +456,12 @@ impl SecMlrSensor {
             }
         }
         // Keep the (still-pending) flood moving so other sensors can
-        // buffer it before the key discloses.
-        let fwd = SecMsg::Announce {
-            gateway,
-            place,
-            round,
-            interval,
-            tesla_tag,
-        };
-        self.queue_flood(ctx, fwd.encode(), PacketKind::Control);
+        // buffer it before the key discloses. The re-flooded frame is
+        // unchanged, so forward the received bytes verbatim.
+        self.queue_flood(ctx, raw.clone(), PacketKind::Control);
     }
 
-    fn handle_disclose(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg) {
+    fn handle_disclose(&mut self, ctx: &mut Ctx<'_>, msg: SecMsg, raw: &Rc<[u8]>) {
         let SecMsg::Disclose {
             gateway,
             interval,
@@ -492,7 +470,7 @@ impl SecMlrSensor {
         else {
             return;
         };
-        if !self.seen_disclose.insert((gateway, interval)) {
+        if !self.seen_disclose.insert(gateway.0, interval) {
             return;
         }
         if let Some(rx) = self.tesla.get_mut(&gateway) {
@@ -517,12 +495,7 @@ impl SecMlrSensor {
                 }
             }
         }
-        let fwd = SecMsg::Disclose {
-            gateway,
-            interval,
-            key,
-        };
-        self.queue_flood(ctx, fwd.encode(), PacketKind::Security);
+        self.queue_flood(ctx, raw.clone(), PacketKind::Security);
     }
 
     fn on_collect_timer(&mut self, ctx: &mut Ctx<'_>) {
@@ -571,15 +544,23 @@ pub fn parse_announce_plaintext(plain: &[u8]) -> Option<(NodeId, u16, u32)> {
 
 impl Behavior for SecMlrSensor {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        // Fast paths for the bulk traffic: flooded queries and relayed
+        // data are handled from the raw frame (their handlers validate
+        // it themselves) without materialising the sealed envelope.
+        match pkt.payload.first() {
+            Some(&crate::wire::TAG_SRREQ) => return self.handle_rreq(ctx, &pkt.payload),
+            Some(&crate::wire::TAG_SDATA) => return self.handle_data(ctx, &pkt.payload),
+            _ => {}
+        }
         let Ok(msg) = SecMsg::decode(&pkt.payload) else {
             return;
         };
         match msg {
-            m @ SecMsg::Rreq { .. } => self.handle_rreq(ctx, m),
-            m @ SecMsg::Rres { .. } => self.handle_rres(ctx, m),
-            m @ SecMsg::Data { .. } => self.handle_data(ctx, m),
-            m @ SecMsg::Announce { .. } => self.handle_announce(ctx, m),
-            m @ SecMsg::Disclose { .. } => self.handle_disclose(ctx, m),
+            m @ SecMsg::Rres { .. } => self.handle_rres(ctx, m, &pkt.payload),
+            m @ SecMsg::Announce { .. } => self.handle_announce(ctx, m, &pkt.payload),
+            m @ SecMsg::Disclose { .. } => self.handle_disclose(ctx, m, &pkt.payload),
+            // Queries and data were consumed by the fast paths above.
+            SecMsg::Rreq { .. } | SecMsg::Data { .. } => {}
         }
     }
 

@@ -18,12 +18,12 @@
 
 use wmsn_crypto::mac::Tag;
 use wmsn_crypto::SealedMessage;
-use wmsn_util::codec::{DecodeError, Reader, Writer};
+use wmsn_util::codec::{DecodeError, IdListView, Reader, Writer};
 use wmsn_util::NodeId;
 
-const TAG_SRREQ: u8 = 0x50;
+pub(crate) const TAG_SRREQ: u8 = 0x50;
 const TAG_SRRES: u8 = 0x51;
-const TAG_SDATA: u8 = 0x52;
+pub(crate) const TAG_SDATA: u8 = 0x52;
 const TAG_SANNOUNCE: u8 = 0x53;
 const TAG_SDISCLOSE: u8 = 0x54;
 
@@ -279,6 +279,125 @@ impl SecMsg {
     }
 }
 
+/// Byte offset of the SRREQ path count (`| 1 tag | 4 origin | 8 req_id |
+/// 2 path_count | …`).
+const SRREQ_PATH_COUNT: usize = 13;
+
+/// Fixed offsets of the SDATA RI header (`| 1 tag | 4 source | 4 dst |
+/// 4 is | 4 ir | 4 hops | sealed |`) and the start of the sealed section
+/// (`| 8 counter | 2 clen | clen ciphertext | 8 mac |`).
+const SDATA_IS: usize = 9;
+const SDATA_IR: usize = 13;
+const SDATA_HOPS: usize = 17;
+const SDATA_CLEN: usize = 29;
+const SDATA_MIN: usize = 39;
+
+/// A structurally validated, zero-copy view of a flooded SRREQ.
+///
+/// `decode` walks the whole frame — path bounds, section count, every
+/// sealed section's length fields, exact total length — so it accepts
+/// precisely the frames [`SecMsg::decode`] accepts as `Rreq`, without
+/// materialising the path or the sealed sections. Intermediates use it
+/// for duplicate suppression and loop detection before any allocation.
+pub struct SrreqView<'a> {
+    /// Query origin.
+    pub origin: NodeId,
+    /// Origin-unique query id.
+    pub req_id: u64,
+    /// Borrowed path walked so far.
+    pub path: IdListView<'a>,
+    /// Offset where the sealed sections begin (end of the path field).
+    sections_off: usize,
+    frame: &'a [u8],
+}
+
+impl<'a> SrreqView<'a> {
+    /// Validate and borrow an SRREQ frame.
+    pub fn decode(bytes: &'a [u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        if tag != TAG_SRREQ {
+            return Err(DecodeError::BadTag(tag));
+        }
+        let origin = NodeId(r.u32()?);
+        let req_id = r.u64()?;
+        let path = r.id_list_view(MAX_PATH)?;
+        let sections_off = bytes.len() - r.remaining();
+        let n = r.u16()? as usize;
+        if n > 256 {
+            return Err(DecodeError::LengthOutOfRange(n));
+        }
+        for _ in 0..n {
+            let _gateway = r.u32()?;
+            let _counter = r.u64()?;
+            let _ciphertext = r.bytes(u16::MAX as usize)?;
+            let _tag = r.raw(8)?;
+        }
+        r.finish()?;
+        Ok(SrreqView {
+            origin,
+            req_id,
+            path,
+            sections_off,
+            frame: bytes,
+        })
+    }
+
+    /// Build the frame an intermediate re-floods — the received frame
+    /// with `me` appended to the path — as two memcpys around the
+    /// appended id, patching the path count in place. The sealed
+    /// sections pass through byte-for-byte (envelope passthrough); no
+    /// section is ever decoded, so the result is identical to decode →
+    /// `path.push(me)` → re-encode.
+    pub fn append_forward(&self, me: NodeId, out: &mut Vec<u8>) -> Result<(), DecodeError> {
+        let pc = self.path.len();
+        if pc + 1 > MAX_PATH {
+            return Err(DecodeError::LengthOutOfRange(pc + 1));
+        }
+        out.clear();
+        out.reserve(self.frame.len() + 4);
+        out.extend_from_slice(&self.frame[..self.sections_off]);
+        out[SRREQ_PATH_COUNT..SRREQ_PATH_COUNT + 2]
+            .copy_from_slice(&((pc + 1) as u16).to_le_bytes());
+        out.extend_from_slice(&me.0.to_le_bytes());
+        out.extend_from_slice(&self.frame[self.sections_off..]);
+        Ok(())
+    }
+}
+
+/// Read the RI header of an SDATA frame from its fixed-offset prefix,
+/// validating the full structure (the declared ciphertext length must
+/// account for the frame exactly). Returns `(source, destination, ir,
+/// hops)` for precisely the frames [`SecMsg::decode`] accepts as `Data`.
+pub fn sdata_peek(b: &[u8]) -> Option<(NodeId, NodeId, NodeId, u32)> {
+    if b.len() < SDATA_MIN || b[0] != TAG_SDATA {
+        return None;
+    }
+    let clen = u16::from_le_bytes(b[SDATA_CLEN..SDATA_CLEN + 2].try_into().unwrap()) as usize;
+    if b.len() != SDATA_MIN + clen {
+        return None;
+    }
+    let source = NodeId(u32::from_le_bytes(b[1..5].try_into().unwrap()));
+    let destination = NodeId(u32::from_le_bytes(b[5..9].try_into().unwrap()));
+    let ir = NodeId(u32::from_le_bytes(
+        b[SDATA_IR..SDATA_IR + 4].try_into().unwrap(),
+    ));
+    let hops = u32::from_le_bytes(b[SDATA_HOPS..SDATA_HOPS + 4].try_into().unwrap());
+    Some((source, destination, ir, hops))
+}
+
+/// Rewrite an SDATA frame for the next hop: copy it into `out` and patch
+/// the immediate-sender, immediate-receiver and hop fields in place. The
+/// sealed payload is untouched, so the result is byte-identical to
+/// decode → rewrite RI → re-encode.
+pub fn sdata_forward_patch(frame: &[u8], is: NodeId, ir: NodeId, hops: u32, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(frame);
+    out[SDATA_IS..SDATA_IS + 4].copy_from_slice(&is.0.to_le_bytes());
+    out[SDATA_IR..SDATA_IR + 4].copy_from_slice(&ir.0.to_le_bytes());
+    out[SDATA_HOPS..SDATA_HOPS + 4].copy_from_slice(&hops.to_le_bytes());
+}
+
 /// The authenticated content of a `req` section: binds the query id so a
 /// recorded section cannot be replayed under a different query.
 pub fn req_plaintext(req_id: u64, origin: NodeId) -> Vec<u8> {
@@ -393,6 +512,101 @@ mod tests {
             announce_plaintext(NodeId(1), 2, 3),
             announce_plaintext(NodeId(1), 2, 4)
         );
+    }
+
+    #[test]
+    fn srreq_view_matches_owned_decode_and_rejects_what_decode_rejects() {
+        let msg = SecMsg::Rreq {
+            origin: NodeId(7),
+            req_id: 42,
+            path: vec![NodeId(7), NodeId(3)],
+            sections: vec![
+                QuerySection {
+                    gateway: NodeId(100),
+                    sealed: sealed(),
+                },
+                QuerySection {
+                    gateway: NodeId(101),
+                    sealed: sealed(),
+                },
+            ],
+        };
+        let bytes = msg.encode();
+        let view = SrreqView::decode(&bytes).unwrap();
+        assert_eq!(view.origin, NodeId(7));
+        assert_eq!(view.req_id, 42);
+        assert_eq!(view.path.iter().collect::<Vec<_>>(), vec![7, 3]);
+        // Every truncation prefix fails for both decoders; so does a
+        // trailing byte.
+        for cut in 0..bytes.len() {
+            assert!(SrreqView::decode(&bytes[..cut]).is_err());
+            assert!(SecMsg::decode(&bytes[..cut]).is_err());
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SrreqView::decode(&long).is_err());
+    }
+
+    #[test]
+    fn srreq_append_forward_equals_push_and_reencode() {
+        let msg = SecMsg::Rreq {
+            origin: NodeId(7),
+            req_id: 42,
+            path: vec![NodeId(7), NodeId(3)],
+            sections: vec![QuerySection {
+                gateway: NodeId(100),
+                sealed: sealed(),
+            }],
+        };
+        let bytes = msg.encode();
+        let mut out = Vec::new();
+        SrreqView::decode(&bytes)
+            .unwrap()
+            .append_forward(NodeId(9), &mut out)
+            .unwrap();
+        let expected = SecMsg::Rreq {
+            origin: NodeId(7),
+            req_id: 42,
+            path: vec![NodeId(7), NodeId(3), NodeId(9)],
+            sections: vec![QuerySection {
+                gateway: NodeId(100),
+                sealed: sealed(),
+            }],
+        }
+        .encode();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sdata_peek_and_forward_patch_equal_decode_and_reencode() {
+        let msg = SecMsg::Data {
+            source: NodeId(1),
+            destination: NodeId(100),
+            is: NodeId(2),
+            ir: NodeId(3),
+            hops: 2,
+            sealed: sealed(),
+        };
+        let bytes = msg.encode();
+        assert_eq!(
+            sdata_peek(&bytes),
+            Some((NodeId(1), NodeId(100), NodeId(3), 2))
+        );
+        for cut in 0..bytes.len() {
+            assert_eq!(sdata_peek(&bytes[..cut]), None);
+        }
+        let mut out = Vec::new();
+        sdata_forward_patch(&bytes, NodeId(3), NodeId(4), 3, &mut out);
+        let expected = SecMsg::Data {
+            source: NodeId(1),
+            destination: NodeId(100),
+            is: NodeId(3),
+            ir: NodeId(4),
+            hops: 3,
+            sealed: sealed(),
+        }
+        .encode();
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -257,6 +257,23 @@ impl Ctx<'_> {
         self.core.emit(ev);
     }
 
+    /// Borrow the world's reusable frame-assembly buffer. In-place flood
+    /// forwarding builds the outgoing frame here (memcpy + patch +
+    /// append), freezes it with `Rc::from(&buf[..])`, then returns the
+    /// buffer via [`Ctx::put_scratch`] so the capacity is reused across
+    /// every forward in the run. Taking twice without returning is safe
+    /// but forfeits the reuse (the second take sees an empty buffer).
+    #[inline]
+    pub fn take_scratch(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.core.frame_scratch)
+    }
+
+    /// Return the buffer obtained from [`Ctx::take_scratch`].
+    #[inline]
+    pub fn put_scratch(&mut self, buf: Vec<u8>) {
+        self.core.frame_scratch = buf;
+    }
+
     /// Modelling shortcut: the ids of currently-alive neighbours on
     /// `tier`. Real deployments learn this with HELLO beacons; simulation
     /// studies (including those the paper cites) commonly grant neighbour

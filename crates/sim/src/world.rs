@@ -86,6 +86,12 @@ pub struct WorldCore {
     collisions: [CollisionTracker; 2],
     /// Reusable slot buffer for `transmit_ranged` receiver collection.
     ranged_scratch: Vec<usize>,
+    /// Reusable frame-assembly buffer lent to behaviours via
+    /// [`Ctx::take_scratch`](crate::node::Ctx::take_scratch) — in-place
+    /// flood forwarding builds the outgoing frame here before freezing
+    /// it to `Rc<[u8]>`. Behaviours run one at a time, so a single
+    /// world-level buffer suffices.
+    pub(crate) frame_scratch: Vec<u8>,
     /// Structured-trace sink; `None` (the default) disables tracing, and
     /// every hook below is a branch on this `Option` — the zero-cost-
     /// disabled contract the hot-path numbers depend on.
@@ -757,6 +763,7 @@ impl World {
                 adjacency: [None, None],
                 collisions: [CollisionTracker::new(), CollisionTracker::new()],
                 ranged_scratch: Vec::new(),
+                frame_scratch: Vec::new(),
                 trace: None,
             },
             behaviors: Vec::new(),

@@ -204,15 +204,137 @@ impl<'a> Reader<'a> {
 
     /// Read a `u16`-count-prefixed list of `u32` ids, bounded by `max`.
     pub fn id_list(&mut self, max: usize) -> Result<Vec<u32>, DecodeError> {
+        Ok(self.id_list_view(max)?.iter().collect())
+    }
+
+    /// Borrowed variant of [`Reader::id_list`]: validates the count
+    /// prefix and returns a zero-copy [`IdListView`] over the id bytes
+    /// without materialising a `Vec`.
+    pub fn id_list_view(&mut self, max: usize) -> Result<IdListView<'a>, DecodeError> {
         let len = self.u16()? as usize;
         if len > max {
             return Err(DecodeError::LengthOutOfRange(len));
         }
-        let mut ids = Vec::with_capacity(len);
-        for _ in 0..len {
-            ids.push(self.u32()?);
+        Ok(IdListView {
+            raw: self.take(len * 4)?,
+        })
+    }
+
+    /// Borrowed `u16`-count-prefixed list of `u16` values, bounded by
+    /// `max` — the encoding of `wanted` place lists.
+    pub fn u16_list_view(&mut self, max: usize) -> Result<U16ListView<'a>, DecodeError> {
+        let len = self.u16()? as usize;
+        if len > max {
+            return Err(DecodeError::LengthOutOfRange(len));
         }
-        Ok(ids)
+        Ok(U16ListView {
+            raw: self.take(len * 2)?,
+        })
+    }
+}
+
+/// Zero-copy view over a wire-encoded list of little-endian `u32` ids
+/// (the byte region *after* its `u16` count prefix). Produced by
+/// [`Reader::id_list_view`]; the backing bytes live in the received
+/// frame, so iterating or indexing allocates nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IdListView<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> IdListView<'a> {
+    /// View over raw id bytes (length must be a multiple of 4).
+    pub fn from_bytes(raw: &'a [u8]) -> Self {
+        debug_assert_eq!(raw.len() % 4, 0);
+        IdListView { raw }
+    }
+
+    /// Number of ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.raw.len() / 4
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The `i`-th id, or `None` past the end.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<u32> {
+        let b = self.raw.get(i * 4..i * 4 + 4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// The last id, if any.
+    #[inline]
+    pub fn last(&self) -> Option<u32> {
+        self.len().checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// Whether `id` occurs in the list.
+    pub fn contains(&self, id: u32) -> bool {
+        self.iter().any(|x| x == id)
+    }
+
+    /// Index of the first occurrence of `id`.
+    pub fn position(&self, id: u32) -> Option<usize> {
+        self.iter().position(|x| x == id)
+    }
+
+    /// Iterate the ids without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.raw
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// The underlying id bytes (no count prefix) — the memcpy source for
+    /// in-place path forwarding.
+    #[inline]
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.raw
+    }
+}
+
+/// Zero-copy view over a wire-encoded list of little-endian `u16`
+/// values (after its count prefix). See [`IdListView`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct U16ListView<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> U16ListView<'a> {
+    /// Number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.raw.len() / 2
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterate the values without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.raw
+            .chunks_exact(2)
+            .map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Collect into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u16> {
+        self.iter().collect()
+    }
+
+    /// The underlying value bytes (no count prefix).
+    #[inline]
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.raw
     }
 }
 
@@ -304,6 +426,59 @@ mod tests {
         assert_eq!(r.bytes(8).unwrap(), b"");
         assert!(r.id_list(8).unwrap().is_empty());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn id_list_view_matches_owned_decode() {
+        let ids = [7u32, 0, 42, u32::MAX];
+        let mut w = Writer::new();
+        w.id_list(&ids);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let view = r.id_list_view(8).unwrap();
+        r.finish().unwrap();
+        assert_eq!(view.len(), 4);
+        assert!(!view.is_empty());
+        assert_eq!(view.iter().collect::<Vec<_>>(), ids.to_vec());
+        assert_eq!(view.get(2), Some(42));
+        assert_eq!(view.get(4), None);
+        assert_eq!(view.last(), Some(u32::MAX));
+        assert!(view.contains(0));
+        assert!(!view.contains(1));
+        assert_eq!(view.position(42), Some(2));
+        assert_eq!(view.as_bytes().len(), 16);
+    }
+
+    #[test]
+    fn id_list_view_rejects_truncated_and_oversized() {
+        let mut w = Writer::new();
+        w.id_list(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        // Truncated payload: count says 3 but only 2 ids present.
+        let mut r = Reader::new(&buf[..buf.len() - 4]);
+        assert!(r.id_list_view(8).is_err());
+        // Count exceeding the bound.
+        let mut r2 = Reader::new(&buf);
+        assert_eq!(
+            r2.id_list_view(2).unwrap_err(),
+            DecodeError::LengthOutOfRange(3)
+        );
+    }
+
+    #[test]
+    fn u16_list_view_roundtrips() {
+        let mut w = Writer::new();
+        w.u16(3).u16(5).u16(0).u16(9);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let view = r.u16_list_view(8).unwrap();
+        r.finish().unwrap();
+        assert_eq!(view.to_vec(), vec![5, 0, 9]);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.as_bytes().len(), 6);
+        let mut r2 = Reader::new(&buf);
+        assert!(r2.u16_list_view(2).is_err());
     }
 
     #[test]

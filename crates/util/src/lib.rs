@@ -14,6 +14,8 @@
 //!   bit-reproducible from a `u64` seed, plus stream-splitting.
 //! * [`codec`] — byte-level encode/decode helpers used by the wire formats
 //!   of the secure routing protocol (Figs. 4–6 of the paper).
+//! * [`seen`] — generation-stamped duplicate-suppression tables for flood
+//!   protocols (replacing per-packet `HashSet` probes on the hot path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod geom;
 pub mod ids;
 pub mod json;
 pub mod rng;
+pub mod seen;
 pub mod stats;
 
 pub use geom::{Point, Rect};

@@ -1,0 +1,213 @@
+//! Duplicate-suppression tables for flood protocols.
+//!
+//! Every flooding protocol in the workspace deduplicates on a
+//! `(originator, sequence)` pair — RREQ floods on `(origin, req_id)`,
+//! announce floods on `(gateway, round)`, data floods on
+//! `(origin, msg_id)`. The naive representation is a
+//! `HashSet<(NodeId, u64)>`, which pays a hash + probe on the hottest
+//! branch in the simulator: *dropping an already-seen flood copy*.
+//!
+//! [`SeenTable`] replaces the hash set with a dense, generation-stamped
+//! array indexed by originator id. Each slot tracks the highest sequence
+//! seen plus a 64-wide membership bitmap below it, which is exact for
+//! every realistic arrival pattern: per-origin sequences are issued
+//! monotonically, and stale copies (late deliveries, replay attacks)
+//! trail the newest flood by far less than 64 sequence numbers.
+//! Clearing is O(1) — the generation stamp is bumped and stale slots
+//! are recognised lazily.
+//!
+//! Out-of-range originator ids (forged identities larger than any dense
+//! deployment) spill to an exact hash-set overflow so adversarial input
+//! cannot force a huge allocation.
+
+use std::collections::HashSet;
+
+/// Originator ids below this are tracked in the dense array; anything
+/// larger (necessarily a forged id — deployments are orders of magnitude
+/// smaller) falls back to the exact overflow set.
+const DENSE_LIMIT: usize = 1 << 16;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    /// Generation this slot was last written in; mismatches mean empty.
+    gen: u64,
+    /// Highest sequence inserted for this originator.
+    max: u64,
+    /// Membership bitmap over `[max - 63, max]`; bit `k` set means
+    /// `max - k` has been seen.
+    bits: u64,
+}
+
+/// Dense generation-stamped `(originator, sequence)` membership table.
+///
+/// Semantics match a `HashSet<(u32, u64)>` for monotone-per-origin
+/// sequences with bounded reordering: a sequence more than 63 behind the
+/// newest one inserted for that origin is conservatively reported as
+/// already seen (such frames are ancient replays; treating them as
+/// duplicates is the safe direction for duplicate suppression).
+#[derive(Clone, Debug)]
+pub struct SeenTable {
+    gen: u64,
+    slots: Vec<Slot>,
+    overflow: HashSet<(u32, u64)>,
+}
+
+impl Default for SeenTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeenTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        SeenTable {
+            gen: 1,
+            slots: Vec::new(),
+            overflow: HashSet::new(),
+        }
+    }
+
+    /// O(1) clear: forget every recorded pair.
+    pub fn clear(&mut self) {
+        self.gen += 1;
+        self.overflow.clear();
+    }
+
+    /// Whether `(origin, seq)` has been recorded since the last clear.
+    #[inline]
+    pub fn contains(&self, origin: u32, seq: u64) -> bool {
+        let idx = origin as usize;
+        if idx >= DENSE_LIMIT {
+            return self.overflow.contains(&(origin, seq));
+        }
+        let Some(slot) = self.slots.get(idx) else {
+            return false;
+        };
+        if slot.gen != self.gen || seq > slot.max {
+            return false;
+        }
+        let back = slot.max - seq;
+        // Ancient sequences below the bitmap window count as seen.
+        back >= 64 || slot.bits & (1u64 << back) != 0
+    }
+
+    /// Record `(origin, seq)`; returns `true` if it was newly inserted
+    /// (mirrors `HashSet::insert`).
+    pub fn insert(&mut self, origin: u32, seq: u64) -> bool {
+        let idx = origin as usize;
+        if idx >= DENSE_LIMIT {
+            return self.overflow.insert((origin, seq));
+        }
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, Slot::default());
+        }
+        let gen = self.gen;
+        let slot = &mut self.slots[idx];
+        if slot.gen != gen {
+            *slot = Slot {
+                gen,
+                max: seq,
+                bits: 1,
+            };
+            return true;
+        }
+        if seq > slot.max {
+            let shift = seq - slot.max;
+            slot.bits = if shift >= 64 { 0 } else { slot.bits << shift };
+            slot.bits |= 1;
+            slot.max = seq;
+            return true;
+        }
+        let back = slot.max - seq;
+        if back >= 64 {
+            return false; // ancient: conservatively already-seen
+        }
+        let mask = 1u64 << back;
+        if slot.bits & mask != 0 {
+            return false;
+        }
+        slot.bits |= mask;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut t = SeenTable::new();
+        assert!(!t.contains(3, 7));
+        assert!(t.insert(3, 7));
+        assert!(t.contains(3, 7));
+        assert!(!t.insert(3, 7), "second insert reports duplicate");
+        assert!(!t.contains(3, 8));
+        assert!(!t.contains(4, 7));
+    }
+
+    #[test]
+    fn monotone_sequences_track_exactly() {
+        let mut t = SeenTable::new();
+        for seq in 0..200u64 {
+            assert!(t.insert(9, seq), "seq {seq} must be new");
+        }
+        for seq in 150..200u64 {
+            assert!(t.contains(9, seq));
+            assert!(!t.insert(9, seq));
+        }
+    }
+
+    #[test]
+    fn bounded_reordering_is_exact() {
+        let mut t = SeenTable::new();
+        t.insert(1, 10);
+        t.insert(1, 12); // 11 skipped
+        assert!(!t.contains(1, 11));
+        assert!(t.insert(1, 11), "late seq within window is new");
+        assert!(t.contains(1, 11));
+        assert!(!t.insert(1, 11));
+    }
+
+    #[test]
+    fn ancient_sequences_count_as_seen() {
+        let mut t = SeenTable::new();
+        t.insert(1, 1000);
+        assert!(t.contains(1, 1), "64+ behind max is conservatively seen");
+        assert!(!t.insert(1, 1));
+    }
+
+    #[test]
+    fn clear_forgets_everything_cheaply() {
+        let mut t = SeenTable::new();
+        t.insert(2, 5);
+        t.insert(70_000, 5); // overflow path
+        t.clear();
+        assert!(!t.contains(2, 5));
+        assert!(!t.contains(70_000, 5));
+        assert!(t.insert(2, 5));
+        assert!(t.insert(70_000, 5));
+    }
+
+    #[test]
+    fn forged_huge_ids_use_the_exact_overflow() {
+        let mut t = SeenTable::new();
+        assert!(t.insert(u32::MAX, 3));
+        assert!(t.contains(u32::MAX, 3));
+        assert!(!t.insert(u32::MAX, 3));
+        // Arbitrary (non-monotone) sequences stay exact in overflow.
+        assert!(t.insert(u32::MAX, 1));
+        assert!(t.contains(u32::MAX, 1));
+    }
+
+    #[test]
+    fn window_slide_beyond_64_drops_the_bitmap() {
+        let mut t = SeenTable::new();
+        t.insert(5, 0);
+        t.insert(5, 100); // shift >= 64 zeroes the window
+        assert!(t.contains(5, 100));
+        assert!(t.contains(5, 0), "below-window is treated as seen");
+        assert!(!t.contains(5, 101));
+    }
+}

@@ -10,12 +10,13 @@ use wmsn::crypto::hash::hash as wh;
 use wmsn::crypto::{open, seal, Key128, TeslaBroadcaster, TeslaReceiver};
 use wmsn::routing::optimal_lifetime_rounds;
 use wmsn::routing::table::{Route, RoutingTable};
-use wmsn::routing::wire::{RoutingMsg, NO_PLACE};
+use wmsn::routing::wire::{peek, PeekHeader, RoutingMsg, RoutingMsgView, MAX_PATH, NO_PLACE};
 use wmsn::secure::wire::SecMsg;
 use wmsn::topology::connectivity::{is_connected, HopField};
 use wmsn::topology::control::{critical_range, gaf_sleep_schedule};
 use wmsn::topology::places::FeasiblePlaces;
 use wmsn::topology::{MovementPolicy, MovementSchedule, Topology};
+use wmsn::util::codec::{DecodeError, Writer};
 use wmsn::util::geom::unit_disk_adjacency;
 use wmsn::util::{NodeId, Point, Rect, SplitMix64};
 
@@ -50,7 +51,191 @@ fn routing_wire_decode_never_panics() {
     for _ in 0..CASES {
         let bytes = arb_bytes(&mut r, 0, 256);
         let _ = RoutingMsg::decode(&bytes);
+        let _ = RoutingMsgView::decode(&bytes);
+        let _ = peek(&bytes);
         let _ = SecMsg::decode(&bytes);
+    }
+}
+
+/// A random valid routing message covering every variant.
+fn arb_routing_msg(r: &mut SplitMix64) -> RoutingMsg {
+    match r.next_index(5) {
+        0 => RoutingMsg::Rreq {
+            origin: NodeId(r.next_below(1000) as u32),
+            req_id: r.next_u64_raw(),
+            path: (0..r.next_index(20))
+                .map(|_| NodeId(r.next_below(1000) as u32))
+                .collect(),
+            wanted: (0..r.next_index(8))
+                .map(|_| r.next_u64_raw() as u16)
+                .collect(),
+        },
+        1 => RoutingMsg::Rrep {
+            origin: NodeId(r.next_below(1000) as u32),
+            req_id: r.next_u64_raw(),
+            gateway: NodeId(r.next_below(1000) as u32),
+            place: r.next_u64_raw() as u16,
+            energy_pm: r.next_u64_raw() as u16,
+            path: (0..r.next_index(20))
+                .map(|_| NodeId(r.next_below(1000) as u32))
+                .collect(),
+        },
+        2 => RoutingMsg::Data {
+            origin: NodeId(r.next_u64_raw() as u32),
+            msg_id: r.next_u64_raw(),
+            sent_at: r.next_u64_raw(),
+            gateway: NodeId(r.next_u64_raw() as u32),
+            place: r.next_u64_raw() as u16,
+            hops: r.next_u64_raw() as u32,
+            payload_len: r.next_below(128) as u16,
+        },
+        3 => RoutingMsg::Announce {
+            gateway: NodeId(r.next_u64_raw() as u32),
+            place: r.next_u64_raw() as u16,
+            round: r.next_u64_raw() as u32,
+        },
+        _ => RoutingMsg::Load {
+            gateway: NodeId(r.next_u64_raw() as u32),
+            load: r.next_u64_raw() as u32,
+            seq: r.next_u64_raw() as u32,
+        },
+    }
+}
+
+#[test]
+fn borrowed_views_and_peek_match_owned_decode_on_random_frames() {
+    let mut r = rng_for(16);
+    for _ in 0..CASES {
+        let msg = arb_routing_msg(&mut r);
+        let bytes = msg.encode();
+        let view = RoutingMsgView::decode(&bytes).expect("valid frame must decode as a view");
+        assert_eq!(view.to_owned(), msg, "view decode must equal owned decode");
+        let header = peek(&bytes).expect("peek must accept what decode accepts");
+        match (&msg, header) {
+            (
+                RoutingMsg::Rreq { origin, req_id, .. },
+                PeekHeader::Rreq {
+                    origin: o,
+                    req_id: q,
+                },
+            ) => {
+                assert_eq!((*origin, *req_id), (o, q));
+            }
+            (
+                RoutingMsg::Rrep {
+                    origin,
+                    req_id,
+                    gateway,
+                    ..
+                },
+                PeekHeader::Rrep {
+                    origin: o,
+                    req_id: q,
+                    gateway: g,
+                },
+            ) => {
+                assert_eq!((*origin, *req_id, *gateway), (o, q, g));
+            }
+            (
+                RoutingMsg::Data {
+                    origin,
+                    msg_id,
+                    gateway,
+                    ..
+                },
+                PeekHeader::Data {
+                    origin: o,
+                    msg_id: m,
+                    gateway: g,
+                },
+            ) => {
+                assert_eq!((*origin, *msg_id, *gateway), (o, m, g));
+            }
+            (
+                RoutingMsg::Announce {
+                    gateway,
+                    place,
+                    round,
+                },
+                PeekHeader::Announce {
+                    gateway: g,
+                    place: p,
+                    round: rd,
+                },
+            ) => {
+                assert_eq!((*gateway, *place, *round), (g, p, rd));
+            }
+            (
+                RoutingMsg::Load { gateway, load, seq },
+                PeekHeader::Load {
+                    gateway: g,
+                    load: l,
+                    seq: s,
+                },
+            ) => {
+                assert_eq!((*gateway, *load, *seq), (g, l, s));
+            }
+            (m, h) => panic!("peek kind mismatch: {m:?} vs {h:?}"),
+        }
+    }
+}
+
+#[test]
+fn borrowed_decoder_rejects_every_truncation_without_panicking() {
+    let mut r = rng_for(17);
+    for _ in 0..CASES_SLOW {
+        let msg = arb_routing_msg(&mut r);
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                RoutingMsgView::decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+            assert!(peek(&bytes[..cut]).is_err());
+        }
+        let mut long = bytes.clone();
+        long.push(r.next_u64_raw() as u8);
+        assert!(RoutingMsgView::decode(&long).is_err(), "trailing byte");
+        assert!(peek(&long).is_err());
+    }
+}
+
+#[test]
+fn oversized_path_counts_are_rejected_before_any_allocation() {
+    for claimed in [MAX_PATH + 1, u16::MAX as usize] {
+        // RREQ: | tag | origin | req_id | wanted(0) | path_count | … |
+        let mut w = Writer::new();
+        w.u8(1).u32(7).u64(9).u16(0).u16(claimed as u16);
+        for _ in 0..4 * claimed {
+            w.u8(0);
+        }
+        let bytes = w.into_bytes();
+        for result in [
+            RoutingMsgView::decode(&bytes).map(|_| ()),
+            peek(&bytes).map(|_| ()),
+            RoutingMsg::decode(&bytes).map(|_| ()),
+        ] {
+            assert!(
+                matches!(result, Err(DecodeError::LengthOutOfRange(n)) if n == claimed),
+                "claimed path count {claimed} must be rejected as out of range"
+            );
+        }
+        // RREP: | tag | origin | req_id | gateway | place | energy | path_count | … |
+        let mut w = Writer::new();
+        w.u8(2)
+            .u32(7)
+            .u64(9)
+            .u32(3)
+            .u16(0)
+            .u16(500)
+            .u16(claimed as u16);
+        let bytes = w.into_bytes();
+        for result in [
+            RoutingMsgView::decode(&bytes).map(|_| ()),
+            peek(&bytes).map(|_| ()),
+        ] {
+            assert!(matches!(result, Err(DecodeError::LengthOutOfRange(n)) if n == claimed));
+        }
     }
 }
 

@@ -1,0 +1,163 @@
+//! Zero-copy equivalence: the borrowed-decode / in-place-forwarding
+//! control plane is observationally identical to the owned one it
+//! replaced.
+//!
+//! The committed golden artifacts were generated *before* the zero-copy
+//! rework, so they are the "before" side of the comparison:
+//!
+//! * one E1 round (SPR, 40 sensors, 3 gateways) must reproduce the
+//!   committed metric bit patterns exactly;
+//! * one E6 round (the attack suite — the densest user of the MLR and
+//!   SecMLR flood paths) must reproduce its committed tail of the same
+//!   golden table;
+//! * the E1 JSONL trace must hash to the pinned digest, which was
+//!   verified against a pre-zero-copy checkout when this test landed
+//!   (E6 has no trace hook, so its equivalence is pinned via metrics).
+//!
+//! To regenerate the digest after an *intentional* semantic change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --release --test zero_copy_equivalence -- --nocapture
+//! ```
+
+use wmsn::core::builder::build_spr;
+use wmsn::core::drivers::SprDriver;
+use wmsn::core::experiments::e6_attacks;
+use wmsn::core::params::{FieldParams, GatewayParams, TrafficParams};
+use wmsn::trace::BufferSink;
+
+const GOLDEN: [&[u64]; 4] = [
+    GOLDEN_SEED_11,
+    GOLDEN_SEED_23,
+    GOLDEN_SEED_37,
+    GOLDEN_SEED_53,
+];
+
+include!("golden/values.rs");
+
+/// FNV-1a 64 over the trace bytes — cheap, dependency-free, and stable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pinned digests of the E1 trace JSONL, one per traced seed. Verified
+/// byte-identical against the pre-zero-copy tree when introduced.
+const E1_TRACE_FNV: [(u64, u64); 2] = [(11, 0x1ba04195756ad90b), (23, 0xe32c68267cf3598a)];
+
+fn e1_round(seed: u64, traced: bool) -> (Vec<f64>, String) {
+    let field = FieldParams::default_uniform(40, seed);
+    let scen = build_spr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+    );
+    let mut d = SprDriver::new(scen);
+    if traced {
+        d.scenario.world.set_trace_sink(Box::new(BufferSink::new()));
+    }
+    let report = d.run_round();
+    let sensors = d.scenario.sensors.clone();
+    let m = d.scenario.world.metrics();
+    let metrics = vec![
+        report.delivery_ratio(),
+        m.mean_hops(),
+        m.mean_latency_us(),
+        m.sent_data as f64,
+        m.sent_control as f64,
+        m.received as f64,
+        m.collided as f64,
+        m.csma_deferrals as f64,
+        m.total_energy(&sensors),
+        m.energy_d2(&sensors),
+    ];
+    let trace = if traced {
+        d.scenario
+            .world
+            .take_trace_sink()
+            .expect("sink installed")
+            .as_any()
+            .downcast_ref::<BufferSink>()
+            .expect("BufferSink")
+            .out
+            .clone()
+    } else {
+        String::new()
+    };
+    (metrics, trace)
+}
+
+#[test]
+fn e1_round_reproduces_the_pre_zero_copy_metrics_bit_for_bit() {
+    // GOLDEN rows start with the ten e1.* metrics, in e1_round order.
+    let (metrics, _) = e1_round(11, false);
+    for (i, v) in metrics.iter().enumerate() {
+        assert_eq!(
+            v.to_bits(),
+            GOLDEN[0][i],
+            "e1 metric #{i}: got {v}, pre-zero-copy golden {}",
+            f64::from_bits(GOLDEN[0][i])
+        );
+    }
+}
+
+#[test]
+fn e6_round_reproduces_the_pre_zero_copy_metrics_bit_for_bit() {
+    // GOLDEN rows end with the e6.* metrics, in e6_attacks order.
+    let results = e6_attacks(11);
+    assert!(!results.is_empty());
+    let tail = &GOLDEN[0][GOLDEN[0].len() - results.len()..];
+    for (r, &gold) in results.iter().zip(tail) {
+        assert_eq!(
+            r.value.to_bits(),
+            gold,
+            "e6 {} {}: got {}, pre-zero-copy golden {}",
+            r.config,
+            r.metric,
+            r.value,
+            f64::from_bits(gold)
+        );
+    }
+}
+
+#[test]
+fn e1_trace_bytes_match_the_pinned_pre_zero_copy_digest() {
+    let regen = std::env::var("GOLDEN_REGEN").is_ok();
+    for (seed, expected) in E1_TRACE_FNV {
+        let (_, trace) = e1_round(seed, true);
+        assert!(!trace.is_empty(), "seed {seed}: trace must not be empty");
+        let got = fnv1a(trace.as_bytes());
+        if regen {
+            println!("    ({seed}, {got:#018x}),");
+            continue;
+        }
+        assert_eq!(
+            got, expected,
+            "seed {seed}: trace digest {got:#018x} != pinned {expected:#018x}"
+        );
+    }
+    assert!(
+        !regen,
+        "GOLDEN_REGEN run: paste the printed digests into E1_TRACE_FNV"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // The scratch-buffer plumbing and the trace layer share the hot
+    // path; a traced run must produce exactly the metrics of an
+    // untraced one.
+    let (a, _) = e1_round(11, false);
+    let (b, _) = e1_round(11, true);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "metric #{i} drifted under tracing"
+        );
+    }
+}
