@@ -1,0 +1,35 @@
+//! E18: blind attack fingerprinting and monitor-driven recovery.
+//!
+//! Runs every E6 attack cell with the health monitor installed as the
+//! trace sink (the monitor never learns which attack — or whether any —
+//! is running) and reports the detection matrix, then the E8-style
+//! gateway-death scenario recovered by the `HealthPolicy` loop instead
+//! of a scripted repair.
+
+use wmsn_bench::emit;
+use wmsn_bench::harness::Criterion;
+use wmsn_bench::{criterion_group, criterion_main};
+use wmsn_core::experiments::{e18_detection, e18_recovery, run_attack_cell_monitored, Attack};
+use wmsn_health::HealthConfig;
+
+fn bench(c: &mut Criterion) {
+    emit("e18_detection", &e18_detection(1));
+    emit("e18_recovery", &e18_recovery(1));
+    c.bench_function("e18/monitored_replay_cell", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_attack_cell_monitored(
+                wmsn_attacks::sinkhole::TargetProtocol::Mlr,
+                Attack::Replay,
+                1,
+                HealthConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

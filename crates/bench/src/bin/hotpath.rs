@@ -26,7 +26,9 @@
 
 use std::hint::black_box;
 use std::time::Instant;
-use wmsn_core::experiments::{e17_seed_sweep, e9_event_stats, e9_scalability};
+use wmsn_core::experiments::{
+    e17_seed_sweep, e9_event_stats, e9_event_stats_monitored, e9_scalability,
+};
 use wmsn_routing::wire::{rreq_append_forward, RoutingMsg};
 use wmsn_trace::{log_error, log_record};
 use wmsn_util::json::Json;
@@ -75,6 +77,12 @@ const KERNELS: &[Kernel] = &[
         desc: "E9 scalability n=800: full SPR round simulation (transmit/deliver hot path)",
         run: || e9_scalability(&[800], 17, true).len(),
         event_stats: Some(|| e9_event_stats(800, 17)),
+    },
+    Kernel {
+        name: "e9_n800_sim_monitored",
+        desc: "E9 n=800 SPR rounds with the health monitor installed as trace sink (monitor-enabled row; e9_n800_sim above is the one-branch disabled cost)",
+        run: || e9_event_stats_monitored(800, 17).0 as usize,
+        event_stats: Some(|| e9_event_stats_monitored(800, 17)),
     },
     Kernel {
         name: "e17_sweep_8seeds",

@@ -11,18 +11,26 @@
 //! wmsn-trace path    <trace.jsonl> <origin> <msg_id>
 //! wmsn-trace drop    <trace.jsonl> <seq>
 //! wmsn-trace energy  <trace.jsonl> <node>
+//! wmsn-trace health  <trace.jsonl>                 # run the health monitor offline
+//! wmsn-trace alerts  <trace.jsonl>                 # just the alert JSONL stream
+//! wmsn-trace top     <trace.jsonl> [k]             # k busiest nodes by tx (default 10)
 //! ```
+//!
+//! `health`/`alerts`/`top` replay the recorded trace through the same
+//! `wmsn_health::HealthMonitor` the simulator installs online, so an
+//! offline fingerprint matches the live one byte for byte.
 //!
 //! All output is structured records (one flat JSON object per line);
 //! malformed traces and missing messages exit non-zero, which is what
 //! the CI step relies on.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter};
 use wmsn_core::builder::build_spr;
 use wmsn_core::drivers::SprDriver;
 use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
-use wmsn_trace::{log_error, log_record, JsonlSink, Replay};
+use wmsn_health::{HealthConfig, HealthMonitor};
+use wmsn_trace::{log_error, log_record, JsonlSink, Replay, TraceEvent};
 use wmsn_util::json::Json;
 
 fn usage() -> ! {
@@ -31,7 +39,10 @@ fn usage() -> ! {
          \x20      wmsn-trace summary <trace.jsonl>\n\
          \x20      wmsn-trace path    <trace.jsonl> <origin> <msg_id>\n\
          \x20      wmsn-trace drop    <trace.jsonl> <seq>\n\
-         \x20      wmsn-trace energy  <trace.jsonl> <node>"
+         \x20      wmsn-trace energy  <trace.jsonl> <node>\n\
+         \x20      wmsn-trace health  <trace.jsonl>\n\
+         \x20      wmsn-trace alerts  <trace.jsonl>\n\
+         \x20      wmsn-trace top     <trace.jsonl> [k]"
     );
     std::process::exit(2);
 }
@@ -225,6 +236,124 @@ fn energy_query(path: &str, node: u64) {
     }
 }
 
+/// Stream a recorded trace through the health monitor, line by line —
+/// the offline twin of installing the monitor as the world's sink.
+fn monitor_file(path: &str) -> HealthMonitor {
+    let file = File::open(path).unwrap_or_else(|e| {
+        log_error(
+            "trace_error",
+            vec![
+                ("path", Json::from(path.to_string())),
+                ("error", Json::from(e.to_string())),
+            ],
+        );
+        std::process::exit(1);
+    });
+    let mut monitor = HealthMonitor::with_config(HealthConfig::default());
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            log_error(
+                "trace_error",
+                vec![
+                    ("path", Json::from(path.to_string())),
+                    ("error", Json::from(e.to_string())),
+                ],
+            );
+            std::process::exit(1);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::from_json_line(&line).unwrap_or_else(|e| {
+            log_error(
+                "trace_parse_error",
+                vec![
+                    ("path", Json::from(path.to_string())),
+                    ("line", Json::from((lineno + 1) as u64)),
+                    ("error", Json::from(e)),
+                ],
+            );
+            std::process::exit(1);
+        });
+        monitor.observe(&ev);
+    }
+    monitor.finalize();
+    monitor
+}
+
+fn health(path: &str) {
+    let m = monitor_file(path);
+    let net = m.net();
+    log_record(
+        "health_summary",
+        vec![
+            ("path", Json::from(path.to_string())),
+            ("events", Json::from(net.events)),
+            ("tx", Json::from(net.tx_total)),
+            ("rx", Json::from(net.rx_total)),
+            ("drops", Json::from(net.drops_total())),
+            ("forwards", Json::from(net.forwards)),
+            ("dup_forwards", Json::from(net.dup_forwards)),
+            ("delivers", Json::from(net.delivers)),
+            ("dup_delivers", Json::from(net.dup_delivers)),
+            ("route_installs", Json::from(net.route_installs)),
+            ("alerts", Json::from(m.alerts().len())),
+        ],
+    );
+    for (&id, g) in m.gateways() {
+        log_record(
+            "health_gateway",
+            vec![
+                ("gateway", Json::from(id)),
+                ("delivers", Json::from(g.delivers)),
+                ("moves", Json::from(g.moves)),
+                ("routes_installed", Json::from(g.routes_installed)),
+                ("deliver_rate", Json::Num(g.deliver_rate.get())),
+                ("silence_latched", Json::from(g.silence_latched)),
+            ],
+        );
+    }
+    for a in m.alerts() {
+        println!("{}", a.to_json());
+    }
+}
+
+fn alerts(path: &str) {
+    let m = monitor_file(path);
+    print!("{}", m.alerts_jsonl());
+}
+
+fn top(path: &str, k: usize) {
+    let m = monitor_file(path);
+    let mut order: Vec<(u64, usize)> = m
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.tx_total(), i))
+        .filter(|&(tx, _)| tx > 0)
+        .collect();
+    // Busiest first; stable on ties by node id.
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in order.iter().take(k) {
+        let s = &m.nodes()[i];
+        log_record(
+            "top_node",
+            vec![
+                ("node", Json::from(i as u64)),
+                ("tx", Json::from(s.tx_total())),
+                ("tx_control", Json::from(s.tx_control)),
+                ("tx_data", Json::from(s.tx_data)),
+                ("rx", Json::from(s.rx)),
+                ("drops", Json::from(s.drops_total())),
+                ("forwards", Json::from(s.forwards)),
+                ("dup_forwards", Json::from(s.dup_forwards)),
+                ("delivers", Json::from(s.delivers)),
+                ("spontaneous_ctrl", Json::from(s.spontaneous_ctrl)),
+            ],
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -255,6 +384,19 @@ fn main() {
                 usage()
             };
             energy_query(path, parse_u64(n, "node"));
+        }
+        Some("health") => {
+            let Some(path) = args.get(1) else { usage() };
+            health(path);
+        }
+        Some("alerts") => {
+            let Some(path) = args.get(1) else { usage() };
+            alerts(path);
+        }
+        Some("top") => {
+            let Some(path) = args.get(1) else { usage() };
+            let k = args.get(2).map_or(10, |s| parse_u64(s, "k")) as usize;
+            top(path, k);
         }
         _ => usage(),
     }

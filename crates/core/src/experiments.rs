@@ -471,7 +471,8 @@ impl Attack {
         ]
     }
 
-    fn label(self) -> &'static str {
+    /// Stable label used in report rows.
+    pub fn label(self) -> &'static str {
         match self {
             Attack::None => "none",
             Attack::Blackhole => "blackhole",
@@ -498,6 +499,19 @@ pub struct AttackOutcome {
 /// with the gateway at the far end and the adversary parked beside the
 /// source, `rounds` rounds of one message per sensor.
 pub fn run_attack_cell(protocol: TargetProtocol, attack: Attack, seed: u64) -> AttackOutcome {
+    run_attack_cell_traced(protocol, attack, seed, None).0
+}
+
+/// [`run_attack_cell`] with an optional trace sink installed before the
+/// world starts. The sink only records — the simulation is identical to
+/// the unsinked run — and is returned flushed so callers can downcast
+/// it (E18 hands in a blind `HealthMonitor` this way).
+pub fn run_attack_cell_traced(
+    protocol: TargetProtocol,
+    attack: Attack,
+    seed: u64,
+    sink: Option<Box<dyn wmsn_trace::TraceSink>>,
+) -> (AttackOutcome, Option<Box<dyn wmsn_trace::TraceSink>>) {
     let n = 10usize;
     let mut cfg = wmsn_sim::WorldConfig::ideal(seed);
     cfg.sensor_phy.range_m = 10.0;
@@ -587,6 +601,9 @@ pub fn run_attack_cell(protocol: TargetProtocol, attack: Attack, seed: u64) -> A
             g.guard = Some(wmsn_secure::gateway::TopologyGuard::new(layout, 10.0));
         });
     }
+    if let Some(sink) = sink {
+        world.set_trace_sink(sink);
+    }
     match protocol {
         TargetProtocol::Mlr => {
             world.start();
@@ -628,13 +645,15 @@ pub fn run_attack_cell(protocol: TargetProtocol, attack: Attack, seed: u64) -> A
         }
         world.run_for(3_000_000);
     }
+    let sink = world.take_trace_sink();
     let m = world.metrics();
     let unique: std::collections::HashSet<(NodeId, u64)> =
         m.deliveries.iter().map(|d| (d.source, d.msg_id)).collect();
-    AttackOutcome {
+    let outcome = AttackOutcome {
         delivery_ratio: m.delivery_ratio(),
         duplicate_deliveries: m.deliveries.len() as u64 - unique.len() as u64,
-    }
+    };
+    (outcome, sink)
 }
 
 /// E6: the full attack-resistance matrix.
@@ -1640,6 +1659,178 @@ pub fn e17_seed_sweep(seeds: &[u64]) -> Vec<ReportRow> {
             delivery.min().unwrap_or(0.0),
         ),
     ]
+}
+
+// --------------------------------------------------------------- E18 --
+
+/// The alert class the detector bank is expected to raise for each E6
+/// attack (`None` for the healthy baseline, which must raise nothing).
+/// This is the experiment's ground truth — the monitor itself never
+/// sees it.
+pub fn expected_alert_class(attack: Attack) -> Option<wmsn_health::AlertKind> {
+    use wmsn_health::AlertKind;
+    match attack {
+        Attack::None => None,
+        // Data vanishes into a node that never forwards or delivers.
+        Attack::Blackhole | Attack::Sinkhole | Attack::Wormhole | Attack::WormholeGuarded => {
+            Some(AlertKind::ForwardAsymmetry)
+        }
+        Attack::Replay => Some(AlertKind::DuplicateStorm),
+        // Both announcer variants are unprompted control floods.
+        Attack::FalseAnnounce | Attack::HelloFlood => Some(AlertKind::AnnounceSpike),
+    }
+}
+
+/// Run one E6 attack cell blind through the health monitor: the monitor
+/// is installed as the world's trace sink before start and never told
+/// which attack (if any) is running. Returns the outcome and the
+/// flushed monitor for fingerprint inspection.
+pub fn run_attack_cell_monitored(
+    protocol: TargetProtocol,
+    attack: Attack,
+    seed: u64,
+    cfg: wmsn_health::HealthConfig,
+) -> (AttackOutcome, wmsn_health::HealthMonitor) {
+    let sink = Box::new(wmsn_health::HealthMonitor::with_config(cfg));
+    let (outcome, sink) = run_attack_cell_traced(protocol, attack, seed, Some(sink));
+    let monitor = sink
+        .expect("sink survives the run")
+        .as_any()
+        .downcast_ref::<wmsn_health::HealthMonitor>()
+        .expect("the installed sink is the monitor")
+        .clone();
+    (outcome, monitor)
+}
+
+/// E18: blind attack fingerprinting. Every E6 attack cell (MLR arm) is
+/// run with the monitor watching; `detected` is 1 when the expected
+/// alert class is raised (for the baseline: when *no* alert is raised).
+/// `alerts` counts everything the bank raised in that cell.
+pub fn e18_detection(seed: u64) -> Vec<ReportRow> {
+    let mut rows = Vec::new();
+    for attack in Attack::all() {
+        let (out, monitor) = run_attack_cell_monitored(
+            TargetProtocol::Mlr,
+            attack,
+            seed,
+            wmsn_health::HealthConfig::default(),
+        );
+        let classes: std::collections::BTreeSet<wmsn_health::AlertKind> =
+            monitor.alerts().iter().map(|a| a.kind).collect();
+        let detected = match expected_alert_class(attack) {
+            Some(class) => classes.contains(&class),
+            None => monitor.alerts().is_empty(),
+        };
+        let cfg_label = format!("mlr vs {}", attack.label());
+        rows.push(ReportRow::new(
+            "E18",
+            &cfg_label,
+            "detected",
+            if detected { 1.0 } else { 0.0 },
+        ));
+        rows.push(ReportRow::new(
+            "E18",
+            &cfg_label,
+            "alerts",
+            monitor.alerts().len() as f64,
+        ));
+        rows.push(ReportRow::new(
+            "E18",
+            &cfg_label,
+            "delivery_ratio",
+            out.delivery_ratio,
+        ));
+    }
+    rows
+}
+
+/// E18 recovery: E8's gateway-death scenario, but the redirect is
+/// monitor-driven instead of scripted. The monitor watches the healthy
+/// and failure rounds, raises gateway-silence on the victim, and
+/// [`crate::health_loop`] applies the policy's `RemoveGateway` — the
+/// experiment never names the victim itself.
+pub fn e18_recovery(seed: u64) -> Vec<ReportRow> {
+    use wmsn_health::{HealthConfig, HealthMonitor, HealthPolicy};
+    let field = FieldParams {
+        battery_j: 10.0,
+        ..FieldParams::default_uniform(60, seed)
+    };
+    let mut mlr = MlrDriver::new(build_mlr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+        0.0,
+    ));
+    mlr.scenario
+        .world
+        .set_trace_sink(HealthMonitor::boxed(HealthConfig::default()));
+    let healthy = mlr.run_round();
+    let victim = mlr.scenario.gateways[0];
+    mlr.scenario.world.kill(victim);
+    let failure = mlr.run_round();
+    // The self-healing loop: whatever the monitor flagged, the policy
+    // maps to levers. No victim id flows from the script to the repair.
+    let policy = HealthPolicy::default();
+    let actions = crate::health_loop::drain_actions(&mut mlr.scenario.world, &policy);
+    let sensors = mlr.scenario.sensors.clone();
+    let gateways = mlr.scenario.gateways.clone();
+    let applied =
+        crate::health_loop::apply_to_mlr(&mut mlr.scenario.world, &sensors, &gateways, &actions);
+    let recovered = mlr.run_round();
+    vec![
+        ReportRow::new(
+            "E18",
+            "mlr healthy",
+            "delivery_ratio",
+            healthy.delivery_ratio(),
+        ),
+        ReportRow::new(
+            "E18",
+            "mlr gateway_killed",
+            "delivery_ratio",
+            failure.delivery_ratio(),
+        ),
+        ReportRow::new(
+            "E18",
+            "mlr monitor_recovered",
+            "delivery_ratio",
+            recovered.delivery_ratio(),
+        ),
+        ReportRow::new("E18", "mlr recovery", "actions_applied", applied as f64),
+    ]
+}
+
+/// Event-loop statistics for the simulated E9 kernel at size `n` with a
+/// [`wmsn_health::HealthMonitor`] installed as the trace sink — the
+/// bench's `monitor-enabled` row. Same workload as [`e9_event_stats`];
+/// the delta against it is the monitor's full online-aggregation cost.
+pub fn e9_event_stats_monitored(n: usize, seed: u64) -> (u64, usize) {
+    let density = 0.02;
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    for scaled in [false, true] {
+        let m = if scaled { (n / 50).max(2) } else { 1 };
+        let field = FieldParams {
+            battery_j: 10.0,
+            ..FieldParams::constant_density(n, density, seed)
+        };
+        let grid = ((m as f64).sqrt().ceil() as usize).max(2);
+        let gw = GatewayParams {
+            m,
+            place_grid: (grid, grid),
+            ..GatewayParams::default_three()
+        };
+        let mut d = SprDriver::new(build_spr(&field, &gw, TrafficParams::default()));
+        d.scenario
+            .world
+            .set_trace_sink(wmsn_health::HealthMonitor::boxed(
+                wmsn_health::HealthConfig::default(),
+            ));
+        d.run_round();
+        events += d.scenario.world.events_processed();
+        peak = peak.max(d.scenario.world.peak_queue_depth());
+    }
+    (events, peak)
 }
 
 #[cfg(test)]

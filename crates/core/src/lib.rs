@@ -17,6 +17,8 @@
 //!   examples print these, and EXPERIMENTS.md records them against the
 //!   paper.
 //! * [`report`] — terminal table + JSON rendering of report rows.
+//! * [`health_loop`] — the self-healing loop: drain `wmsn-health`
+//!   monitor alerts and apply policy actions to the running stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@
 pub mod builder;
 pub mod drivers;
 pub mod experiments;
+pub mod health_loop;
 pub mod params;
 pub mod report;
 pub mod wmg;
@@ -35,8 +38,10 @@ pub mod prelude {
         SecMlrScenario, SprScenario, ThreeTierScenario,
     };
     pub use crate::drivers::{LifetimeResult, MlrDriver, RoundReport, SecMlrDriver, SprDriver};
+    pub use crate::health_loop::{apply_to_mlr, apply_to_secmlr, drain_actions};
     pub use crate::params::{FieldParams, GatewayParams, TrafficParams};
     pub use crate::report::{print_rows, rows_to_json};
+    pub use wmsn_health::{HealthAlert, HealthConfig, HealthMonitor, HealthPolicy};
     pub use wmsn_sim::{Metrics, World, WorldConfig};
     pub use wmsn_util::stats::ReportRow;
 }

@@ -1,0 +1,143 @@
+//! Typed health alerts.
+//!
+//! Each alert is a small `Copy` value naming the detector that fired,
+//! the entity it fired on, and the integer evidence behind it. Like
+//! trace events, alerts serialise to one flat JSON object with fixed
+//! key order, so an alert stream is byte-deterministic for a
+//! deterministic run — the golden E18 test pins this.
+
+use wmsn_util::json::Json;
+
+/// The detector classes of the bank (§4.2 watchdog, §4.3 QoS, §2.3/§6
+/// attack fingerprints, plus the lifetime forecast).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertKind {
+    /// A gateway that was absorbing traffic went silent while the
+    /// network kept forwarding — the §4.2 watchdog condition.
+    GatewaySilence,
+    /// The same application message is being re-forwarded or
+    /// re-delivered at storm rate — replay / wormhole re-injection.
+    DuplicateStorm,
+    /// A node attracts data it neither forwards nor delivers —
+    /// sinkhole / blackhole / data-dropping wormhole.
+    ForwardAsymmetry,
+    /// A non-gateway node keeps seeding control floods unprompted —
+    /// forged gateway-move announcements or a HELLO flood.
+    AnnounceSpike,
+    /// One gateway is absorbing a pathological share of deliveries
+    /// while peers idle (§4.3 load-balance trigger).
+    LoadImbalance,
+    /// A node's consumption slope forecasts battery exhaustion within
+    /// the configured horizon (first-death ETA).
+    EnergyDepletion,
+}
+
+impl AlertKind {
+    /// Every detector class, in serialisation order.
+    pub fn all() -> [AlertKind; 6] {
+        [
+            AlertKind::GatewaySilence,
+            AlertKind::DuplicateStorm,
+            AlertKind::ForwardAsymmetry,
+            AlertKind::AnnounceSpike,
+            AlertKind::LoadImbalance,
+            AlertKind::EnergyDepletion,
+        ]
+    }
+
+    /// Stable string form used in the JSONL output and CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::GatewaySilence => "gateway_silence",
+            AlertKind::DuplicateStorm => "duplicate_storm",
+            AlertKind::ForwardAsymmetry => "forward_asymmetry",
+            AlertKind::AnnounceSpike => "announce_spike",
+            AlertKind::LoadImbalance => "load_imbalance",
+            AlertKind::EnergyDepletion => "energy_depletion",
+        }
+    }
+}
+
+/// One alert raised by the detector bank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthAlert {
+    /// Which detector fired.
+    pub kind: AlertKind,
+    /// Simulation time (µs) at which the condition was confirmed —
+    /// always a window boundary or flush point.
+    pub t: u64,
+    /// The accused / affected entity (node or gateway id).
+    pub subject: u64,
+    /// Detector-specific evidence value (e.g. duplicate count, silent
+    /// windows, spontaneous floods, window deliveries, ETA in µs).
+    pub observed: u64,
+    /// The threshold the evidence crossed.
+    pub threshold: u64,
+}
+
+impl HealthAlert {
+    /// Serialise to one flat JSON object with fixed key order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("alert", Json::from(self.kind.as_str())),
+            ("t", Json::from(self.t)),
+            ("subject", Json::from(self.subject)),
+            ("observed", Json::from(self.observed)),
+            ("threshold", Json::from(self.threshold)),
+        ])
+    }
+}
+
+/// Render a slice of alerts as JSONL (one alert per line, trailing
+/// newline per line) — the byte-deterministic form golden tests pin.
+pub fn alerts_to_jsonl(alerts: &[HealthAlert]) -> String {
+    let mut out = String::new();
+    for a in alerts {
+        out.push_str(&a.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alert_json_is_compact_and_key_ordered() {
+        let a = HealthAlert {
+            kind: AlertKind::DuplicateStorm,
+            t: 42,
+            subject: 7,
+            observed: 9,
+            threshold: 3,
+        };
+        assert_eq!(
+            a.to_json().to_string(),
+            r#"{"alert":"duplicate_storm","t":42,"subject":7,"observed":9,"threshold":3}"#
+        );
+    }
+
+    #[test]
+    fn kinds_have_unique_stable_names() {
+        let names: Vec<&str> = AlertKind::all().iter().map(|k| k.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn jsonl_rendering_is_one_line_per_alert() {
+        let a = HealthAlert {
+            kind: AlertKind::GatewaySilence,
+            t: 1,
+            subject: 2,
+            observed: 3,
+            threshold: 4,
+        };
+        let text = alerts_to_jsonl(&[a, a]);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -1,0 +1,46 @@
+//! Online network-health monitor for the WMSN stack.
+//!
+//! The trace layer (`wmsn-trace`) gave the simulator a flight recorder;
+//! this crate gives it cockpit instruments. [`HealthMonitor`] is a
+//! [`wmsn_trace::TraceSink`] that aggregates the event stream *online*
+//! into windowed / EWMA statistics per node, per gateway, and
+//! network-wide, and runs a bank of detectors over them at window
+//! boundaries, producing typed [`HealthAlert`]s:
+//!
+//! - **gateway_silence** — the §4.2 watchdog: a previously-delivering
+//!   gateway stops while traffic keeps flowing.
+//! - **duplicate_storm** — replayed / re-injected application messages.
+//! - **forward_asymmetry** — a node attracts data it never forwards or
+//!   delivers (sinkhole, blackhole, data-dropping wormhole).
+//! - **announce_spike** — unprompted control floods (forged gateway
+//!   moves, HELLO floods).
+//! - **load_imbalance** — one gateway absorbing a pathological share of
+//!   deliveries (§4.3 QoS trigger).
+//! - **energy_depletion** — first-death ETA forecast from the residual
+//!   energy slope.
+//!
+//! The detectors are *blind*: they see only the trace stream. The E18
+//! experiment runs every E6 attack scenario through the monitor without
+//! labels and checks each is fingerprinted with its expected alert
+//! class, with zero false alerts on the healthy baseline.
+//!
+//! [`HealthPolicy`] closes the loop, mapping alerts to the recovery
+//! levers the stack already has (gateway removal, secure blacklisting,
+//! quarantine, §4.3 load rebalancing); the sim-side applier lives in
+//! `wmsn_core::health_loop` because this crate deliberately cannot see
+//! the routing stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod monitor;
+pub mod policy;
+pub mod stats;
+
+pub use alert::{alerts_to_jsonl, AlertKind, HealthAlert};
+pub use monitor::{HealthConfig, HealthMonitor};
+pub use policy::{HealthAction, HealthPolicy};
+pub use stats::{
+    drop_cause_at, drop_cause_index, Ewma, GatewayStats, NetStats, NodeStats, DROP_CAUSE_COUNT,
+};

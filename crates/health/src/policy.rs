@@ -1,0 +1,126 @@
+//! Alert → recovery-action mapping.
+//!
+//! The monitor stays protocol-agnostic; this module is the thin layer
+//! that turns its typed alerts into *requests* against the recovery
+//! levers the routing stack already exposes (§4.2 gateway redirect,
+//! secure-mode blacklisting, §4.3 load-aware selection). The health
+//! crate cannot see the routing crate, so actions are plain values —
+//! the sim-side loop (`wmsn_core::health_loop`) interprets them.
+
+use crate::alert::{AlertKind, HealthAlert};
+
+/// A recovery action requested by the policy. Interpreted by the
+/// simulation loop against whatever protocol stack is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthAction {
+    /// Purge the gateway from every sensor's tables and caches so
+    /// discovery re-routes around it (§4.2 redirect).
+    RemoveGateway(u64),
+    /// Blacklist the gateway in the secure stack (stronger than
+    /// removal: replies naming it are rejected on arrival).
+    BlacklistGateway(u64),
+    /// Take a suspected-malicious node out of the network (sleep it).
+    QuarantineNode(u64),
+    /// Nudge the overloaded gateway's load-advertisement so the
+    /// load-aware α term steers traffic to its peers (§4.3).
+    RebalanceLoad(u64),
+}
+
+/// Maps alerts to actions. The two flags select which levers exist in
+/// the running stack.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HealthPolicy {
+    /// The stack is the secure (SMLR) variant: prefer blacklisting
+    /// over plain removal for dead/hijacked gateways.
+    pub secure: bool,
+    /// Attack fingerprints may quarantine the accused node. Off by
+    /// default: detection alone should not disrupt a healthy-but-odd
+    /// node unless the operator opts in.
+    pub quarantine_suspects: bool,
+}
+
+impl HealthPolicy {
+    /// Actions for one alert, in application order.
+    pub fn actions_for(&self, alert: &HealthAlert) -> Vec<HealthAction> {
+        match alert.kind {
+            AlertKind::GatewaySilence => {
+                if self.secure {
+                    vec![HealthAction::BlacklistGateway(alert.subject)]
+                } else {
+                    vec![HealthAction::RemoveGateway(alert.subject)]
+                }
+            }
+            AlertKind::DuplicateStorm | AlertKind::ForwardAsymmetry | AlertKind::AnnounceSpike => {
+                if self.quarantine_suspects {
+                    vec![HealthAction::QuarantineNode(alert.subject)]
+                } else {
+                    Vec::new()
+                }
+            }
+            AlertKind::LoadImbalance => vec![HealthAction::RebalanceLoad(alert.subject)],
+            // Forecasts inform; they do not trigger intervention.
+            AlertKind::EnergyDepletion => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(kind: AlertKind) -> HealthAlert {
+        HealthAlert {
+            kind,
+            t: 0,
+            subject: 7,
+            observed: 5,
+            threshold: 3,
+        }
+    }
+
+    #[test]
+    fn silence_maps_to_the_stack_appropriate_lever() {
+        let plain = HealthPolicy::default();
+        assert_eq!(
+            plain.actions_for(&alert(AlertKind::GatewaySilence)),
+            vec![HealthAction::RemoveGateway(7)]
+        );
+        let secure = HealthPolicy {
+            secure: true,
+            ..HealthPolicy::default()
+        };
+        assert_eq!(
+            secure.actions_for(&alert(AlertKind::GatewaySilence)),
+            vec![HealthAction::BlacklistGateway(7)]
+        );
+    }
+
+    #[test]
+    fn quarantine_is_opt_in() {
+        let cautious = HealthPolicy::default();
+        assert!(cautious
+            .actions_for(&alert(AlertKind::ForwardAsymmetry))
+            .is_empty());
+        let strict = HealthPolicy {
+            quarantine_suspects: true,
+            ..HealthPolicy::default()
+        };
+        assert_eq!(
+            strict.actions_for(&alert(AlertKind::AnnounceSpike)),
+            vec![HealthAction::QuarantineNode(7)]
+        );
+    }
+
+    #[test]
+    fn forecasts_do_not_intervene() {
+        let p = HealthPolicy {
+            secure: true,
+            quarantine_suspects: true,
+        };
+        assert!(p.actions_for(&alert(AlertKind::EnergyDepletion)).is_empty());
+        assert_eq!(
+            p.actions_for(&alert(AlertKind::LoadImbalance)),
+            vec![HealthAction::RebalanceLoad(7)]
+        );
+    }
+}

@@ -1025,6 +1025,24 @@ impl World {
         self.core.trace.is_some()
     }
 
+    /// Borrow the installed trace sink downcast to a concrete type —
+    /// `None` if no sink is installed or it is a different type. Lets
+    /// online consumers (e.g. a health monitor) be interrogated
+    /// mid-run without removing the sink.
+    pub fn trace_sink_as<T: 'static>(&self) -> Option<&T> {
+        self.core.trace.as_deref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`World::trace_sink_as`] — the hook a policy
+    /// loop uses to drain alerts from an installed monitor.
+    pub fn trace_sink_as_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.core
+            .trace
+            .as_deref_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
     /// Total events the event loop has processed (popped) so far.
     pub fn events_processed(&self) -> u64 {
         self.core.queue.total_popped()

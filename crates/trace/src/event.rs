@@ -28,6 +28,15 @@ impl TraceTier {
             TraceTier::Mesh => "mesh",
         }
     }
+
+    /// Inverse of [`TraceTier::as_str`].
+    pub fn from_name(s: &str) -> Option<TraceTier> {
+        match s {
+            "sensor" => Some(TraceTier::Sensor),
+            "mesh" => Some(TraceTier::Mesh),
+            _ => None,
+        }
+    }
 }
 
 /// Frame kind of a traced transmission. Mirrors the simulator's
@@ -49,6 +58,16 @@ impl TraceKind {
             TraceKind::Control => "control",
             TraceKind::Data => "data",
             TraceKind::Security => "security",
+        }
+    }
+
+    /// Inverse of [`TraceKind::as_str`].
+    pub fn from_name(s: &str) -> Option<TraceKind> {
+        match s {
+            "control" => Some(TraceKind::Control),
+            "data" => Some(TraceKind::Data),
+            "security" => Some(TraceKind::Security),
+            _ => None,
         }
     }
 }
@@ -77,6 +96,18 @@ impl DropCause {
             DropCause::Dead => "dead",
             DropCause::OutOfRange => "out_of_range",
             DropCause::Energy => "energy",
+        }
+    }
+
+    /// Inverse of [`DropCause::as_str`].
+    pub fn from_name(s: &str) -> Option<DropCause> {
+        match s {
+            "collision" => Some(DropCause::Collision),
+            "loss" => Some(DropCause::Loss),
+            "dead" => Some(DropCause::Dead),
+            "out_of_range" => Some(DropCause::OutOfRange),
+            "energy" => Some(DropCause::Energy),
+            _ => None,
         }
     }
 }
@@ -475,6 +506,173 @@ impl TraceEvent {
         Json::obj(fields)
     }
 
+    /// Decode a parsed trace line back into the event it serialised
+    /// from — the exact inverse of [`TraceEvent::to_json`], so recorded
+    /// JSONL can be replayed through online consumers (the health
+    /// monitor's offline mode). Unknown event names and missing or
+    /// mistyped fields are hard errors, same discipline as the parser.
+    pub fn from_record(rec: &[(String, crate::parse::Value)]) -> Result<TraceEvent, String> {
+        use crate::parse::get;
+        let str_of = |key: &str| -> Result<&str, String> {
+            get(rec, key)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let u64_of = |key: &str| -> Result<u64, String> {
+            get(rec, key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("missing integer field '{key}'"))
+        };
+        let f64_of = |key: &str| -> Result<f64, String> {
+            get(rec, key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("missing number field '{key}'"))
+        };
+        let node_of = |key: &str| -> Result<NodeId, String> {
+            let n = u64_of(key)?;
+            u32::try_from(n)
+                .map(NodeId)
+                .map_err(|_| format!("field '{key}' out of NodeId range"))
+        };
+        let opt_node_of = |key: &str| -> Result<Option<NodeId>, String> {
+            match get(rec, key) {
+                Some(crate::parse::Value::Null) => Ok(None),
+                Some(_) => node_of(key).map(Some),
+                None => Err(format!("missing field '{key}'")),
+            }
+        };
+        let place_of = || -> Result<u16, String> {
+            u16::try_from(u64_of("place")?).map_err(|_| "field 'place' out of range".into())
+        };
+        let hops_of = || -> Result<u32, String> {
+            u32::try_from(u64_of("hops")?).map_err(|_| "field 'hops' out of range".into())
+        };
+        let energy_pm_of = || -> Result<u16, String> {
+            u16::try_from(u64_of("energy_pm")?).map_err(|_| "field 'energy_pm' out of range".into())
+        };
+        let tier_of = || -> Result<TraceTier, String> {
+            TraceTier::from_name(str_of("tier")?).ok_or_else(|| "unknown tier".into())
+        };
+        let ev = str_of("ev")?;
+        let t = u64_of("t")?;
+        match ev {
+            "tx_start" => Ok(TraceEvent::TxStart {
+                t,
+                seq: u64_of("seq")?,
+                src: node_of("src")?,
+                dst: opt_node_of("dst")?,
+                tier: tier_of()?,
+                kind: TraceKind::from_name(str_of("kind")?).ok_or("unknown kind")?,
+                bytes: u32::try_from(u64_of("bytes")?).map_err(|_| "field 'bytes' out of range")?,
+            }),
+            "tx_defer" => Ok(TraceEvent::TxDefer {
+                t,
+                src: node_of("src")?,
+                tier: tier_of()?,
+                attempt: u8::try_from(u64_of("attempt")?)
+                    .map_err(|_| "field 'attempt' out of range")?,
+            }),
+            "tx_giveup" => Ok(TraceEvent::TxGiveUp {
+                t,
+                src: node_of("src")?,
+                tier: tier_of()?,
+            }),
+            "rx" => Ok(TraceEvent::Rx {
+                t,
+                seq: u64_of("seq")?,
+                node: node_of("node")?,
+            }),
+            "drop" => Ok(TraceEvent::Drop {
+                t,
+                seq: u64_of("seq")?,
+                node: node_of("node")?,
+                cause: DropCause::from_name(str_of("cause")?).ok_or("unknown drop cause")?,
+            }),
+            "forward" => Ok(TraceEvent::Forward {
+                t,
+                node: node_of("node")?,
+                origin: node_of("origin")?,
+                msg_id: u64_of("msg_id")?,
+                next: opt_node_of("next")?,
+                hops: hops_of()?,
+            }),
+            "deliver" => Ok(TraceEvent::Deliver {
+                t,
+                node: node_of("node")?,
+                origin: node_of("origin")?,
+                msg_id: u64_of("msg_id")?,
+                hops: hops_of()?,
+                latency_us: u64_of("latency_us")?,
+            }),
+            "rreq_flood" => Ok(TraceEvent::RreqFlood {
+                t,
+                node: node_of("node")?,
+                origin: node_of("origin")?,
+                req_id: u64_of("req_id")?,
+                forwarded: matches!(get(rec, "forwarded"), Some(crate::parse::Value::Bool(true))),
+            }),
+            "cache_reply" => Ok(TraceEvent::CacheReply {
+                t,
+                node: node_of("node")?,
+                origin: node_of("origin")?,
+                req_id: u64_of("req_id")?,
+                gateway: node_of("gateway")?,
+                place: place_of()?,
+            }),
+            "route_install" => Ok(TraceEvent::RouteInstall {
+                t,
+                node: node_of("node")?,
+                gateway: node_of("gateway")?,
+                place: place_of()?,
+                hops: hops_of()?,
+                energy_pm: energy_pm_of()?,
+            }),
+            "route_select" => Ok(TraceEvent::RouteSelect {
+                t,
+                node: node_of("node")?,
+                gateway: node_of("gateway")?,
+                place: place_of()?,
+                hops: hops_of()?,
+                energy_pm: energy_pm_of()?,
+            }),
+            "gateway_move" => Ok(TraceEvent::GatewayMove {
+                t,
+                gateway: node_of("gateway")?,
+                place: place_of()?,
+            }),
+            "node_move" => Ok(TraceEvent::NodeMove {
+                t,
+                node: node_of("node")?,
+                x: f64_of("x")?,
+                y: f64_of("y")?,
+            }),
+            "node_sleep" => Ok(TraceEvent::NodeSleep {
+                t,
+                node: node_of("node")?,
+            }),
+            "node_wake" => Ok(TraceEvent::NodeWake {
+                t,
+                node: node_of("node")?,
+            }),
+            "node_kill" => Ok(TraceEvent::NodeKill {
+                t,
+                node: node_of("node")?,
+            }),
+            "energy" => Ok(TraceEvent::Energy {
+                t,
+                node: node_of("node")?,
+                consumed_j: f64_of("consumed_j")?,
+            }),
+            other => Err(format!("unknown event '{other}'")),
+        }
+    }
+
+    /// Parse one JSONL trace line and decode it — a convenience over
+    /// [`crate::parse::parse_line`] + [`TraceEvent::from_record`].
+    pub fn from_json_line(line: &str) -> Result<TraceEvent, String> {
+        Self::from_record(&crate::parse::parse_line(line)?)
+    }
+
     /// Simulation time of the event, microseconds.
     pub fn t(&self) -> u64 {
         match *self {
@@ -518,6 +716,146 @@ mod tests {
             ev.to_json().to_string(),
             r#"{"ev":"tx_start","t":42,"seq":7,"src":3,"dst":null,"tier":"sensor","kind":"data","bytes":32}"#
         );
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        let events = [
+            TraceEvent::TxStart {
+                t: 1,
+                seq: 2,
+                src: NodeId(3),
+                dst: Some(NodeId(4)),
+                tier: TraceTier::Mesh,
+                kind: TraceKind::Security,
+                bytes: 48,
+            },
+            TraceEvent::TxStart {
+                t: 1,
+                seq: 2,
+                src: NodeId(3),
+                dst: None,
+                tier: TraceTier::Sensor,
+                kind: TraceKind::Control,
+                bytes: 16,
+            },
+            TraceEvent::TxDefer {
+                t: 2,
+                src: NodeId(5),
+                tier: TraceTier::Sensor,
+                attempt: 3,
+            },
+            TraceEvent::TxGiveUp {
+                t: 3,
+                src: NodeId(5),
+                tier: TraceTier::Mesh,
+            },
+            TraceEvent::Rx {
+                t: 4,
+                seq: 9,
+                node: NodeId(6),
+            },
+            TraceEvent::Drop {
+                t: 5,
+                seq: 9,
+                node: NodeId(6),
+                cause: DropCause::Energy,
+            },
+            TraceEvent::Forward {
+                t: 6,
+                node: NodeId(7),
+                origin: NodeId(1),
+                msg_id: 11,
+                next: None,
+                hops: 2,
+            },
+            TraceEvent::Deliver {
+                t: 7,
+                node: NodeId(8),
+                origin: NodeId(1),
+                msg_id: 11,
+                hops: 3,
+                latency_us: 1234,
+            },
+            TraceEvent::RreqFlood {
+                t: 8,
+                node: NodeId(2),
+                origin: NodeId(2),
+                req_id: 1,
+                forwarded: false,
+            },
+            TraceEvent::CacheReply {
+                t: 9,
+                node: NodeId(3),
+                origin: NodeId(2),
+                req_id: 1,
+                gateway: NodeId(10),
+                place: 2,
+            },
+            TraceEvent::RouteInstall {
+                t: 10,
+                node: NodeId(3),
+                gateway: NodeId(10),
+                place: 2,
+                hops: 4,
+                energy_pm: 900,
+            },
+            TraceEvent::RouteSelect {
+                t: 11,
+                node: NodeId(3),
+                gateway: NodeId(10),
+                place: 2,
+                hops: 4,
+                energy_pm: 900,
+            },
+            TraceEvent::GatewayMove {
+                t: 12,
+                gateway: NodeId(10),
+                place: 0,
+            },
+            TraceEvent::NodeMove {
+                t: 13,
+                node: NodeId(4),
+                x: 1.5,
+                y: -2.25,
+            },
+            TraceEvent::NodeSleep {
+                t: 14,
+                node: NodeId(4),
+            },
+            TraceEvent::NodeWake {
+                t: 15,
+                node: NodeId(4),
+            },
+            TraceEvent::NodeKill {
+                t: 16,
+                node: NodeId(4),
+            },
+            TraceEvent::Energy {
+                t: 17,
+                node: NodeId(4),
+                consumed_j: 0.125,
+            },
+        ];
+        for ev in events {
+            let line = ev.to_json().to_string();
+            let back = TraceEvent::from_json_line(&line).unwrap_or_else(|e| {
+                panic!("decode failed for {line}: {e}");
+            });
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_lines() {
+        assert!(TraceEvent::from_json_line(r#"{"ev":"warp","t":1}"#).is_err());
+        assert!(TraceEvent::from_json_line(r#"{"t":1}"#).is_err());
+        assert!(TraceEvent::from_json_line(r#"{"ev":"rx","t":1,"seq":2}"#).is_err());
+        assert!(TraceEvent::from_json_line(
+            r#"{"ev":"drop","t":1,"seq":2,"node":3,"cause":"gremlin"}"#
+        )
+        .is_err());
+        assert!(TraceEvent::from_json_line("not json").is_err());
     }
 
     #[test]

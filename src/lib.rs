@@ -16,6 +16,7 @@
 pub use wmsn_attacks as attacks;
 pub use wmsn_core as core;
 pub use wmsn_crypto as crypto;
+pub use wmsn_health as health;
 pub use wmsn_routing as routing;
 pub use wmsn_secure as secure;
 pub use wmsn_sim as sim;

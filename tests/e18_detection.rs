@@ -1,0 +1,92 @@
+//! E18: blind attack fingerprinting and monitor-driven recovery.
+//!
+//! The monitor is installed as an ordinary trace sink and never told
+//! which attack is running. Every E6 attack cell must raise its
+//! expected alert class, the healthy baseline must raise none, and the
+//! E8 gateway-death scenario must recover through the policy loop with
+//! no scripted `remove_gateway`.
+
+use wmsn::core::experiments::{
+    e18_detection, e18_recovery, expected_alert_class, run_attack_cell_monitored, Attack,
+};
+use wmsn::core::report::find_value;
+use wmsn::health::{AlertKind, HealthConfig};
+use wmsn_attacks::sinkhole::TargetProtocol;
+
+#[test]
+fn every_attack_is_fingerprinted_and_baseline_is_clean() {
+    let rows = e18_detection(1);
+    for attack in Attack::all() {
+        let label = format!("mlr vs {}", attack.label());
+        let detected = find_value(&rows, &label, "detected").unwrap();
+        assert_eq!(detected, 1.0, "{label}: expected class not raised");
+        let alerts = find_value(&rows, &label, "alerts").unwrap();
+        if attack == Attack::None {
+            assert_eq!(alerts, 0.0, "baseline must raise zero alerts");
+        } else {
+            assert!(alerts >= 1.0, "{label}: attack run raised no alerts");
+        }
+    }
+}
+
+#[test]
+fn fingerprints_accuse_the_adversary_not_the_honest_chain() {
+    // The blackhole cell replaces the honest relay at node 1; the
+    // asymmetry alert must name it, not some honest sensor.
+    let (_, monitor) = run_attack_cell_monitored(
+        TargetProtocol::Mlr,
+        Attack::Blackhole,
+        1,
+        HealthConfig::default(),
+    );
+    let accused: Vec<u64> = monitor
+        .alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::ForwardAsymmetry)
+        .map(|a| a.subject)
+        .collect();
+    assert_eq!(accused, vec![1], "blackhole relay is node 1");
+}
+
+#[test]
+fn detection_is_stable_across_seeds() {
+    for seed in [2, 3] {
+        let rows = e18_detection(seed);
+        for attack in Attack::all() {
+            let label = format!("mlr vs {}", attack.label());
+            assert_eq!(
+                find_value(&rows, &label, "detected").unwrap(),
+                1.0,
+                "seed {seed}, {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gateway_death_recovers_via_the_policy_loop() {
+    let rows = e18_recovery(1);
+    let healthy = find_value(&rows, "mlr healthy", "delivery_ratio").unwrap();
+    let failure = find_value(&rows, "mlr gateway_killed", "delivery_ratio").unwrap();
+    let recovered = find_value(&rows, "mlr monitor_recovered", "delivery_ratio").unwrap();
+    let applied = find_value(&rows, "mlr recovery", "actions_applied").unwrap();
+    assert!(applied >= 1.0, "the monitor must have driven an action");
+    assert!(
+        failure < healthy,
+        "killing a gateway must hurt: {healthy} → {failure}"
+    );
+    assert!(
+        recovered > failure,
+        "monitor-driven redirect must recover delivery: {failure} → {recovered}"
+    );
+}
+
+#[test]
+fn baseline_expectation_is_empty_and_attacks_have_classes() {
+    assert_eq!(expected_alert_class(Attack::None), None);
+    for attack in Attack::all() {
+        if attack != Attack::None {
+            assert!(expected_alert_class(attack).is_some(), "{attack:?}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Detector-determinism golden suite for the health plane.
+//!
+//! Same discipline as `golden_trace.rs`: the monitor's alert stream is
+//! part of the deterministic output surface. Two runs of the same
+//! seeded scenario must produce **byte-identical** alert JSONL, the
+//! fingerprint classes must be stable across seeds, and healthy runs
+//! must raise zero alerts (the false-positive property the E18
+//! baseline row pins).
+
+use wmsn::core::builder::build_spr;
+use wmsn::core::drivers::SprDriver;
+use wmsn::core::experiments::{run_attack_cell_monitored, Attack};
+use wmsn::core::params::{FieldParams, GatewayParams, TrafficParams};
+use wmsn::health::{AlertKind, HealthConfig, HealthMonitor};
+use wmsn::trace::TraceEvent;
+use wmsn_attacks::sinkhole::TargetProtocol;
+
+fn attack_alert_jsonl(attack: Attack, seed: u64) -> String {
+    let (_, monitor) =
+        run_attack_cell_monitored(TargetProtocol::Mlr, attack, seed, HealthConfig::default());
+    monitor.alerts_jsonl()
+}
+
+#[test]
+fn e18_alert_stream_is_byte_identical_across_runs() {
+    for attack in [Attack::Replay, Attack::Sinkhole, Attack::HelloFlood] {
+        let a = attack_alert_jsonl(attack, 1);
+        let b = attack_alert_jsonl(attack, 1);
+        assert!(!a.is_empty(), "{attack:?} must raise alerts");
+        assert_eq!(a, b, "{attack:?}: alert stream must be byte-identical");
+    }
+}
+
+#[test]
+fn fingerprint_classes_are_stable_across_seeds() {
+    // The *set of classes* raised for an attack is the fingerprint; it
+    // must not depend on the seed even where exact counts may.
+    for attack in [Attack::Blackhole, Attack::Replay, Attack::FalseAnnounce] {
+        let classes = |seed: u64| -> std::collections::BTreeSet<AlertKind> {
+            let (_, m) = run_attack_cell_monitored(
+                TargetProtocol::Mlr,
+                attack,
+                seed,
+                HealthConfig::default(),
+            );
+            m.alerts().iter().map(|a| a.kind).collect()
+        };
+        let first = classes(1);
+        assert!(!first.is_empty());
+        for seed in [2, 3] {
+            assert_eq!(classes(seed), first, "{attack:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn healthy_runs_raise_zero_alerts() {
+    // Property: across seeds and two healthy scenario shapes, the bank
+    // stays silent — no detector threshold is crossed by normal
+    // operation (discovery floods, retries, idle gaps, rotation).
+    for seed in [1, 7, 23] {
+        let (_, monitor) = run_attack_cell_monitored(
+            TargetProtocol::Mlr,
+            Attack::None,
+            seed,
+            HealthConfig::default(),
+        );
+        assert_eq!(
+            monitor.alerts().len(),
+            0,
+            "seed {seed}: attack-cell baseline raised {}",
+            monitor.alerts_jsonl()
+        );
+        // A bigger rotating-gateway SPR field, one full round.
+        let field = FieldParams::default_uniform(40, seed);
+        let scen = build_spr(
+            &field,
+            &GatewayParams::default_three(),
+            TrafficParams::default(),
+        );
+        let mut d = SprDriver::new(scen);
+        d.scenario
+            .world
+            .set_trace_sink(HealthMonitor::boxed(HealthConfig::default()));
+        d.run_round();
+        let sink = d.scenario.world.take_trace_sink().expect("sink installed");
+        let monitor = sink
+            .as_any()
+            .downcast_ref::<HealthMonitor>()
+            .expect("HealthMonitor");
+        assert_eq!(
+            monitor.alerts().len(),
+            0,
+            "seed {seed}: healthy SPR round raised {}",
+            monitor.alerts_jsonl()
+        );
+        assert!(monitor.net().delivers > 0, "the round must have traffic");
+    }
+}
+
+#[test]
+fn offline_replay_reproduces_the_online_fingerprint() {
+    // Feeding the monitor decoded JSONL must give the same alerts as
+    // watching live — the `wmsn-trace health` CLI contract.
+    let (_, live) = run_attack_cell_monitored(
+        TargetProtocol::Mlr,
+        Attack::Replay,
+        1,
+        HealthConfig::default(),
+    );
+    let field = FieldParams::default_uniform(30, 5);
+    let scen = build_spr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+    );
+    let mut d = SprDriver::new(scen);
+    d.scenario
+        .world
+        .set_trace_sink(Box::new(wmsn::trace::BufferSink::new()));
+    d.run_round();
+    let sink = d.scenario.world.take_trace_sink().expect("sink installed");
+    let jsonl = &sink
+        .as_any()
+        .downcast_ref::<wmsn::trace::BufferSink>()
+        .expect("BufferSink")
+        .out;
+    let mut offline = HealthMonitor::new();
+    for line in jsonl.lines() {
+        let ev = TraceEvent::from_json_line(line).expect("recorded lines decode");
+        offline.observe(&ev);
+    }
+    offline.finalize();
+    assert_eq!(offline.alerts_jsonl(), "", "healthy SPR replay stays clean");
+    assert!(offline.net().events > 0);
+    assert!(!live.alerts_jsonl().is_empty());
+}
