@@ -20,15 +20,29 @@
 //! kernel. Repetitions default to 3 (min is reported; override with
 //! `HOTPATH_REPS`).
 //!
-//! `--check` is the CI smoke gate: it re-times only the simulated E9
-//! kernel and exits non-zero if the wall time regressed more than 25%
-//! against the committed `BENCH_hotpath.json` baseline.
+//! Every kernel row carries a before/after pair. The `before_s` value
+//! comes from, in order of preference: the `--label before` snapshot
+//! (a timing of the pre-change build); the kernel's own built-in
+//! baseline run (`baseline` — the same workload with the optimisation
+//! switched off, e.g. the n=100k row timing the single-threaded
+//! full-medium path against the sharded fast-path kernel); or carried
+//! forward from the committed `BENCH_hotpath.json`.
+//!
+//! `--threads N` sets the worker-thread count for the sharded kernels
+//! (default: available parallelism).
+//!
+//! `--check` is the CI smoke gate: it re-times the simulated E9 kernels
+//! (n=800 reference and the n=100k sharded row) and exits non-zero if
+//! wall time regressed more than 25% against the committed
+//! `BENCH_hotpath.json` baseline.
 
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use wmsn_core::experiments::{
-    e17_seed_sweep, e9_event_stats, e9_event_stats_monitored, e9_scalability,
+    e17_seed_sweep, e9_event_stats, e9_event_stats_monitored, e9_large, e9_scalability,
 };
+use wmsn_core::params::ParallelConfig;
 use wmsn_routing::wire::{rreq_append_forward, RoutingMsg};
 use wmsn_trace::{log_error, log_record};
 use wmsn_util::json::Json;
@@ -56,10 +70,32 @@ fn flood_forward_kernel() -> usize {
     acc
 }
 
+/// Worker-thread count for the sharded kernels (`--threads`, default
+/// available parallelism). A process-wide atomic so the `fn()`-typed
+/// kernel entries below can read it without captures.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn bench_threads() -> usize {
+    THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Sources reporting in the n=100k round. Route caches only populate
+/// along reply paths, so *every* cache-cold SPR discovery is a
+/// near-network-wide flood (~3M events at this density) — the source
+/// count, not `n`, sets the event budget. Three stride-spaced sources
+/// (~10M events) keep the round interactive and the CI `--check`
+/// re-timing affordable while still flooding every shard seam.
+const N100K_SOURCES: usize = 3;
+
 struct Kernel {
     name: &'static str,
     desc: &'static str,
     run: fn() -> usize,
+    /// Optional built-in baseline: the same workload with the
+    /// optimisation under test switched off. Timed in the same
+    /// invocation and used as `before_s` when no `--label before`
+    /// snapshot covers this kernel.
+    baseline: Option<fn() -> usize>,
     /// Optional event-loop statistics: `(events processed, peak queue
     /// depth)` for one un-timed run of the same kernel.
     event_stats: Option<fn() -> (u64, usize)>,
@@ -70,19 +106,47 @@ const KERNELS: &[Kernel] = &[
         name: "e9_n800_analytic",
         desc: "E9 scalability n=800: build + placement + hop fields (no event loop)",
         run: || e9_scalability(&[800], 17, false).len(),
+        baseline: None,
         event_stats: None,
     },
     Kernel {
         name: "e9_n800_sim",
         desc: "E9 scalability n=800: full SPR round simulation (transmit/deliver hot path)",
         run: || e9_scalability(&[800], 17, true).len(),
+        baseline: None,
         event_stats: Some(|| e9_event_stats(800, 17)),
     },
     Kernel {
         name: "e9_n800_sim_monitored",
         desc: "E9 n=800 SPR rounds with the health monitor installed as trace sink (monitor-enabled row; e9_n800_sim above is the one-branch disabled cost)",
         run: || e9_event_stats_monitored(800, 17).0 as usize,
+        baseline: None,
         event_stats: Some(|| e9_event_stats_monitored(800, 17)),
+    },
+    Kernel {
+        name: "e9_n100k_sim",
+        desc: "E9 large: n=100k three-tier SPR round on the sharded kernel (one strip shard per --threads worker, unicast fast path on); built-in baseline is the same round on the single-threaded reference kernel with the fast path off — the tracked before_s comes from the snapshot: the pre-PR kernel (dense per-origin dedup tables) on this exact workload",
+        run: || {
+            e9_large(
+                100_000,
+                17,
+                N100K_SOURCES,
+                true,
+                Some(ParallelConfig::per_thread(bench_threads())),
+            )
+            .events as usize
+        },
+        baseline: Some(|| e9_large(100_000, 17, N100K_SOURCES, false, None).events as usize),
+        event_stats: Some(|| {
+            let s = e9_large(
+                100_000,
+                17,
+                N100K_SOURCES,
+                true,
+                Some(ParallelConfig::per_thread(bench_threads())),
+            );
+            (s.events, s.peak_queue_depth)
+        }),
     },
     Kernel {
         name: "e17_sweep_8seeds",
@@ -91,27 +155,29 @@ const KERNELS: &[Kernel] = &[
             let seeds: Vec<u64> = (1..=8).collect();
             e17_seed_sweep(&seeds).len()
         },
+        baseline: None,
         event_stats: None,
     },
     Kernel {
         name: "flood_forward",
         desc: "RREQ append-forward microbench: 1M in-place forwards of a 12-hop query",
         run: flood_forward_kernel,
+        baseline: None,
         event_stats: None,
     },
 ];
 
-fn time_kernel(k: &Kernel, reps: usize) -> f64 {
+fn time_fn(name: &str, f: fn() -> usize, reps: usize) -> f64 {
     let mut best = f64::INFINITY;
     for rep in 0..reps {
         let t = Instant::now();
-        let rows = (k.run)();
+        let rows = f();
         let dt = t.elapsed().as_secs_f64();
         best = best.min(dt);
         log_record(
             "hotpath_rep",
             vec![
-                ("kernel", Json::from(k.name)),
+                ("kernel", Json::from(name.to_string())),
                 ("rep", Json::from(rep + 1)),
                 ("reps", Json::from(reps)),
                 ("seconds", Json::Num(dt)),
@@ -120,6 +186,10 @@ fn time_kernel(k: &Kernel, reps: usize) -> f64 {
         );
     }
     best
+}
+
+fn time_kernel(k: &Kernel, reps: usize) -> f64 {
+    time_fn(k.name, k.run, reps)
 }
 
 /// Pull `"key": <float>` out of a JSON document this tool wrote earlier.
@@ -141,11 +211,24 @@ fn extract_kernel_f64(doc: &str, kernel: &str, key: &str) -> Option<f64> {
     extract_f64(&doc[start..], key)
 }
 
-/// `--check`: re-time the simulated E9 kernel and fail (exit 1) if it
+/// Pull `"key": "<string>"` out of a JSON document this tool (or a
+/// hand-annotated snapshot) wrote. Same substring-scan contract as
+/// [`extract_f64`]; escapes are not interpreted (none are written).
+fn extract_string(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = &doc[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `--check`: re-time the simulated E9 kernels (the n=800 reference
+/// round and the n=100k sharded round) and fail (exit 1) if any
 /// regressed more than 25% against the committed `BENCH_hotpath.json`
-/// baseline — the CI smoke gate for the simulator hot path.
+/// baseline — the CI smoke gate for the simulator hot path. A kernel
+/// absent from the baseline fails the gate (exit 2) rather than
+/// passing silently.
 fn run_check(reps: usize) -> ! {
-    const CHECK_KERNEL: &str = "e9_n800_sim";
+    const CHECK_KERNELS: &[&str] = &["e9_n800_sim", "e9_n100k_sim"];
     const MAX_RATIO: f64 = 1.25;
     let doc = match std::fs::read_to_string("BENCH_hotpath.json") {
         Ok(doc) => doc,
@@ -160,46 +243,50 @@ fn run_check(reps: usize) -> ! {
             std::process::exit(2);
         }
     };
-    let Some(baseline_s) = extract_kernel_f64(&doc, CHECK_KERNEL, "after_s") else {
-        log_error(
-            "hotpath_check_error",
-            vec![("kernel_not_in_baseline", Json::from(CHECK_KERNEL))],
-        );
-        std::process::exit(2);
-    };
-    let k = KERNELS
-        .iter()
-        .find(|k| k.name == CHECK_KERNEL)
-        .expect("check kernel is registered");
-    let now_s = time_kernel(k, reps);
-    let ratio = now_s / baseline_s;
-    log_record(
-        "hotpath_check",
-        vec![
-            ("kernel", Json::from(CHECK_KERNEL)),
-            ("baseline_s", Json::Num(baseline_s)),
-            ("now_s", Json::Num(now_s)),
-            ("ratio", Json::Num(ratio)),
-            ("max_ratio", Json::Num(MAX_RATIO)),
-        ],
-    );
-    if ratio > MAX_RATIO {
-        log_error(
-            "hotpath_check_failed",
+    let mut failed = false;
+    for name in CHECK_KERNELS {
+        let Some(baseline_s) = extract_kernel_f64(&doc, name, "after_s") else {
+            log_error(
+                "hotpath_check_error",
+                vec![("kernel_not_in_baseline", Json::from(*name))],
+            );
+            std::process::exit(2);
+        };
+        let k = KERNELS
+            .iter()
+            .find(|k| k.name == *name)
+            .expect("check kernel is registered");
+        let now_s = time_kernel(k, reps);
+        let ratio = now_s / baseline_s;
+        log_record(
+            "hotpath_check",
             vec![
-                ("kernel", Json::from(CHECK_KERNEL)),
-                ("regression_pct", Json::Num((ratio - 1.0) * 100.0)),
+                ("kernel", Json::from(*name)),
+                ("baseline_s", Json::Num(baseline_s)),
+                ("now_s", Json::Num(now_s)),
+                ("ratio", Json::Num(ratio)),
+                ("max_ratio", Json::Num(MAX_RATIO)),
             ],
         );
-        std::process::exit(1);
+        if ratio > MAX_RATIO {
+            failed = true;
+            log_error(
+                "hotpath_check_failed",
+                vec![
+                    ("kernel", Json::from(*name)),
+                    ("regression_pct", Json::Num((ratio - 1.0) * 100.0)),
+                ],
+            );
+        }
     }
-    std::process::exit(0);
+    std::process::exit(i32::from(failed));
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label = "after".to_string();
     let mut check = false;
+    let mut threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -207,12 +294,29 @@ fn main() {
                 label = args.get(i + 1).cloned().unwrap_or_default();
                 i += 2;
             }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| {
+                        log_error(
+                            "hotpath_error",
+                            vec![(
+                                "bad_threads",
+                                Json::from(args.get(i + 1).cloned().unwrap_or_default()),
+                            )],
+                        );
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
             "--check" => {
                 check = true;
                 i += 1;
             }
             "--help" | "-h" => {
-                println!("usage: hotpath [--label before|after] [--check]");
+                println!("usage: hotpath [--label before|after] [--threads N] [--check]");
                 return;
             }
             other => {
@@ -224,6 +328,7 @@ fn main() {
             }
         }
     }
+    THREADS.store(threads, Ordering::Relaxed);
     let reps: usize = std::env::var("HOTPATH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -239,6 +344,7 @@ fn main() {
         vec![
             ("kernels", Json::from(KERNELS.len())),
             ("reps", Json::from(reps)),
+            ("threads", Json::from(threads)),
             ("label", Json::from(label.clone())),
         ],
     );
@@ -271,28 +377,65 @@ fn main() {
     }
 
     let before_doc = std::fs::read_to_string("BENCH_hotpath.before.json").ok();
+    let committed_doc = std::fs::read_to_string("BENCH_hotpath.json").ok();
+    // Uniform before/after pairing: snapshot first, then the kernel's
+    // built-in baseline (timed now, same machine, same build), then the
+    // pair carried forward from the committed baseline. `before_source`
+    // records which one each row used; a `<kernel>_before_note` string
+    // in the snapshot (how that baseline was obtained, e.g. a bounded
+    // lower-bound run) is carried into the row as `before_note`.
+    let mut befores: Vec<Option<(f64, &'static str, Option<String>)>> = Vec::new();
+    for (k, _) in &timings {
+        let resolved = if let Some(s) = before_doc
+            .as_deref()
+            .and_then(|doc| extract_f64(doc, &format!("{}_before_s", k.name)))
+        {
+            let note = before_doc
+                .as_deref()
+                .and_then(|doc| extract_string(doc, &format!("{}_before_note", k.name)));
+            Some((s, "label_before_snapshot", note))
+        } else if let Some(baseline) = k.baseline {
+            log_record("hotpath_baseline", vec![("kernel", Json::from(k.name))]);
+            Some((
+                time_fn(&format!("{}_baseline", k.name), baseline, reps),
+                "builtin_baseline",
+                None,
+            ))
+        } else {
+            committed_doc
+                .as_deref()
+                .and_then(|doc| extract_kernel_f64(doc, k.name, "before_s"))
+                .map(|s| (s, "carried_forward", None))
+        };
+        befores.push(resolved);
+    }
     let kernels = Json::Arr(
         timings
             .iter()
-            .map(|(k, after_s)| {
+            .zip(&befores)
+            .map(|((k, after_s), before)| {
                 let mut pairs = vec![
                     ("kernel", Json::from(k.name)),
                     ("description", Json::from(k.desc)),
                     ("reps", Json::from(reps)),
                     ("after_s", Json::Num(*after_s)),
                 ];
+                if k.name.contains("n100k") {
+                    pairs.push(("threads", Json::from(threads)));
+                }
                 if let Some(stats) = k.event_stats {
                     let (events, peak) = stats();
                     pairs.push(("events", Json::from(events)));
                     pairs.push(("events_per_sec", Json::Num(events as f64 / after_s)));
                     pairs.push(("peak_queue_depth", Json::from(peak)));
                 }
-                if let Some(before_s) = before_doc
-                    .as_deref()
-                    .and_then(|doc| extract_f64(doc, &format!("{}_before_s", k.name)))
-                {
-                    pairs.push(("before_s", Json::Num(before_s)));
+                if let Some((before_s, source, note)) = before {
+                    pairs.push(("before_s", Json::Num(*before_s)));
                     pairs.push(("speedup", Json::Num(before_s / after_s)));
+                    pairs.push(("before_source", Json::from(*source)));
+                    if let Some(note) = note {
+                        pairs.push(("before_note", Json::from(note.clone())));
+                    }
                 }
                 Json::obj(pairs)
             })
@@ -312,16 +455,13 @@ fn main() {
         "hotpath_wrote",
         vec![("path", Json::from("BENCH_hotpath.json"))],
     );
-    for (k, after_s) in &timings {
+    for ((k, after_s), before) in timings.iter().zip(&befores) {
         let mut fields = vec![
             ("kernel", Json::from(k.name)),
             ("after_s", Json::Num(*after_s)),
         ];
-        if let Some(before_s) = before_doc
-            .as_deref()
-            .and_then(|doc| extract_f64(doc, &format!("{}_before_s", k.name)))
-        {
-            fields.push(("before_s", Json::Num(before_s)));
+        if let Some((before_s, _, _)) = before {
+            fields.push(("before_s", Json::Num(*before_s)));
             fields.push(("speedup", Json::Num(before_s / after_s)));
         }
         log_record("hotpath_result", fields);

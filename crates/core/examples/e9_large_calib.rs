@@ -1,0 +1,60 @@
+//! One-off calibration probe for the E9 large round: prints wall time
+//! and event counts for a few source counts on both kernels.
+//!
+//! ```sh
+//! cargo run --release -p wmsn-core --example e9_large_calib -- <n> <sources...>
+//! ```
+
+use std::time::Instant;
+use wmsn_core::experiments::e9_large;
+use wmsn_core::params::ParallelConfig;
+
+/// Which kernels to time, from `WMSN_CALIB_ONLY` (comma-separated
+/// subset of `sharded,fastref,ref`; unset = all three).
+fn wanted(kernel: &str) -> bool {
+    match std::env::var("WMSN_CALIB_ONLY") {
+        Ok(list) => list.split(',').any(|k| k.trim() == kernel),
+        Err(_) => true,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let sources: Vec<usize> = args.filter_map(|a| a.parse().ok()).collect();
+    let sources = if sources.is_empty() { vec![4] } else { sources };
+    for s in sources {
+        let tb = Instant::now();
+        let _ = wmsn_core::experiments::e9_large_scenario(n, 17);
+        eprintln!("build: {:.2}s", tb.elapsed().as_secs_f64());
+        if wanted("sharded") {
+            let t0 = Instant::now();
+            let sharded = e9_large(n, 17, s, true, Some(ParallelConfig::per_thread(1)));
+            eprintln!(
+                "sharded+fast: {:.2}s ({} ev, ratio {:.3}, peak {})",
+                t0.elapsed().as_secs_f64(),
+                sharded.events,
+                sharded.delivery_ratio,
+                sharded.peak_queue_depth
+            );
+        }
+        if wanted("fastref") {
+            let tf = Instant::now();
+            let fast_ref = e9_large(n, 17, s, true, None);
+            eprintln!(
+                "ref+fast: {:.2}s ({} ev)",
+                tf.elapsed().as_secs_f64(),
+                fast_ref.events
+            );
+        }
+        if wanted("ref") {
+            let t2 = Instant::now();
+            let reference = e9_large(n, 17, s, false, None);
+            eprintln!(
+                "ref: {:.2}s ({} ev)",
+                t2.elapsed().as_secs_f64(),
+                reference.events
+            );
+        }
+    }
+}

@@ -155,9 +155,14 @@ pub fn build_mlr_with(
 
 /// An SPR scenario (static gateways; the `m = 1` case is the flat
 /// single-sink baseline of Fig. 2(a)).
-pub struct SprScenario {
+///
+/// Generic over the simulation host so the same scenario (and the
+/// [`crate::drivers::SprDriver`] running it) works on the
+/// single-threaded reference [`World`] or the sharded parallel kernel
+/// — build on a `World`, then lift with [`SprScenario::map_world`].
+pub struct SprScenario<H = World> {
     /// The world.
-    pub world: World,
+    pub world: H,
     /// Sensor ids.
     pub sensors: Vec<NodeId>,
     /// Gateway ids.
@@ -203,7 +208,59 @@ pub fn build_spr(field: &FieldParams, gw: &GatewayParams, traffic: TrafficParams
     }
 }
 
-impl SprScenario {
+/// [`build_spr`] plus the mesh tier: one base station at the field
+/// centre on a mesh radio stretched to the field diagonal, so every
+/// gateway can unicast delivered data up the backbone. Returns the
+/// scenario and the base-station id.
+///
+/// The uplink wiring itself (`SprGateway::set_uplink`) happens at round
+/// start — see `experiments::e9_large_round` — so the returned world is
+/// still un-started and can be lifted onto the sharded kernel via
+/// [`SprScenario::map_world`].
+pub fn build_spr_three_tier(
+    field: &FieldParams,
+    gw: &GatewayParams,
+    traffic: TrafficParams,
+) -> (SprScenario, NodeId) {
+    let mut rng = SplitMix64::new(field.seed).split(0xB01D);
+    let sensor_positions = generate_sensors(field, &mut rng);
+    let (places, initial) = place_initial(field, gw, &sensor_positions, &mut rng);
+    let gateway_positions: Vec<Point> = initial.iter().map(|&p| places.position(p)).collect();
+    let mut cfg = field.world_config();
+    cfg.mesh_phy.range_m = field.field.diagonal() + 1.0;
+    let mut world = World::new(cfg);
+    let sensors: Vec<NodeId> = sensor_positions
+        .iter()
+        .map(|&pos| {
+            world.add_node(
+                NodeConfig::sensor(pos, field.battery_j),
+                SprSensor::boxed(SprConfig::default()),
+            )
+        })
+        .collect();
+    let gateways: Vec<NodeId> = gateway_positions
+        .iter()
+        .map(|&pos| world.add_node(NodeConfig::gateway(pos), SprGateway::boxed()))
+        .collect();
+    let base = world.add_node(
+        NodeConfig::base_station(field.field.center()),
+        SprGateway::boxed(),
+    );
+    (
+        SprScenario {
+            world,
+            sensors,
+            gateways,
+            traffic,
+            sensor_positions,
+            gateway_positions,
+            range_m: field.range_m,
+        },
+        base,
+    )
+}
+
+impl<H> SprScenario<H> {
     /// Analytic topology of this scenario.
     pub fn topology(&self) -> Topology {
         Topology::new(
@@ -212,6 +269,22 @@ impl SprScenario {
             wmsn_util::Rect::from_corners(Point::new(-1e9, -1e9), Point::new(1e9, 1e9)),
             self.range_m,
         )
+    }
+
+    /// Replace the host, keeping every other scenario field — the hook
+    /// that lifts a freshly built (un-started) `SprScenario<World>`
+    /// onto the sharded kernel:
+    /// `s.map_world(|w| ShardedWorld::from_world(w, assignment, threads))`.
+    pub fn map_world<H2>(self, f: impl FnOnce(H) -> H2) -> SprScenario<H2> {
+        SprScenario {
+            world: f(self.world),
+            sensors: self.sensors,
+            gateways: self.gateways,
+            traffic: self.traffic,
+            sensor_positions: self.sensor_positions,
+            gateway_positions: self.gateway_positions,
+            range_m: self.range_m,
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use wmsn_routing::leach::LeachSensor;
 use wmsn_routing::mlr::{MlrGateway, MlrSensor};
 use wmsn_routing::spr::{SprGateway, SprSensor};
 use wmsn_secure::{SecMlrGateway, SecMlrSensor};
-use wmsn_sim::{Metrics, SimTime, World};
+use wmsn_sim::{Metrics, SimHost, SimTime, World};
 use wmsn_util::{NodeId, SplitMix64};
 
 /// Metrics delta for one round.
@@ -92,8 +92,8 @@ fn delta_report(
 /// `msgs` messages. Sensors are staggered by a small per-node offset —
 /// real deployments do not sample synchronously, and under the collision
 /// model a synchronized burst would destroy itself.
-fn inject_traffic<F>(
-    world: &mut World,
+fn inject_traffic<H, F>(
+    world: &mut H,
     sensors: &[NodeId],
     msgs: u32,
     fraction: f64,
@@ -101,7 +101,8 @@ fn inject_traffic<F>(
     rng: &mut SplitMix64,
     mut originate: F,
 ) where
-    F: FnMut(&mut World, NodeId),
+    H: SimHost,
+    F: FnMut(&mut H, NodeId),
 {
     let stagger = (gap_us / (sensors.len() as u64 + 1)).clamp(1, 5_000);
     for _ in 0..msgs {
@@ -229,9 +230,14 @@ impl MlrDriver {
 
 /// Driver for SPR scenarios (static gateways; per-round table reset is
 /// the protocol's own semantics, §5.2).
-pub struct SprDriver {
+///
+/// Generic over the simulation host: `SprDriver<World>` (the default)
+/// drives the bit-exact reference, `SprDriver<ShardedWorld>` the
+/// parallel kernel — same rounds, same traffic schedule, same RNG
+/// streams.
+pub struct SprDriver<H: SimHost = World> {
     /// The scenario being driven.
-    pub scenario: SprScenario,
+    pub scenario: SprScenario<H>,
     round: u32,
     /// Reset tables each round (SPR's defined behaviour; disable to
     /// measure the pure on-demand cache steady state).
@@ -239,9 +245,9 @@ pub struct SprDriver {
     traffic_rng: SplitMix64,
 }
 
-impl SprDriver {
+impl<H: SimHost> SprDriver<H> {
     /// Wrap a scenario.
-    pub fn new(scenario: SprScenario) -> Self {
+    pub fn new(scenario: SprScenario<H>) -> Self {
         let traffic_rng = SplitMix64::new(0xF00E ^ scenario.traffic.round_duration_us);
         SprDriver {
             scenario,
@@ -283,7 +289,7 @@ impl SprDriver {
         let round = self.round;
         self.round += 1;
         let at = s.world.now();
-        s.world.metrics_mut().snapshot_round(round, at);
+        s.world.snapshot_round(round, at);
         delta_report(round, before, s.world.metrics(), 0)
     }
 

@@ -6,9 +6,12 @@
 //! [`ReportRow`]s, and are shared between the criterion benches and the
 //! examples. Parameterised sizes let benches scale runs up or down.
 
-use crate::builder::{build_leach, build_mlr, build_secmlr, build_spr, build_three_tier};
+use crate::builder::{
+    build_leach, build_mlr, build_secmlr, build_spr, build_spr_three_tier, build_three_tier,
+    SprScenario,
+};
 use crate::drivers::{LeachDriver, MlrDriver, SecMlrDriver, SprDriver};
-use crate::params::{FieldParams, GatewayParams, TrafficParams};
+use crate::params::{FieldParams, GatewayParams, ParallelConfig, TrafficParams};
 use wmsn_attacks::announcer::{AnnounceTarget, FalseAnnouncer};
 use wmsn_attacks::sinkhole::TargetProtocol;
 use wmsn_attacks::{wormhole_pair, Replayer, SelectiveForwarder, Sinkhole};
@@ -16,8 +19,9 @@ use wmsn_routing::mesh::MeshNode;
 use wmsn_routing::mlr::{MlrConfig, MlrGateway, MlrSensor};
 use wmsn_routing::optimal_lifetime_rounds;
 
+use wmsn_routing::spr::{SprGateway, SprSensor};
 use wmsn_secure::{SecMlrGateway, SecMlrSensor};
-use wmsn_sim::{NodeConfig, PacketKind, World};
+use wmsn_sim::{NodeConfig, PacketKind, ShardedWorld, SimHost, World};
 use wmsn_topology::connectivity::HopField;
 use wmsn_topology::paper::{
     fig2_single_sink, fig2_three_gateways, table1_field, table1_topology, FIG2_NAMED,
@@ -25,6 +29,7 @@ use wmsn_topology::paper::{
     TABLE1_SELECTED,
 };
 use wmsn_topology::places::FeasiblePlaces;
+use wmsn_topology::strip_shards;
 use wmsn_topology::{placement, Deployment, Topology};
 use wmsn_util::stats::ReportRow;
 use wmsn_util::{NodeId, Point, Rect, SplitMix64};
@@ -901,6 +906,135 @@ pub fn e9_event_stats(n: usize, seed: u64) -> (u64, usize) {
     (events, peak)
 }
 
+// ------------------------------------------------------- E9 (large) --
+
+/// Execution summary of one large-scale SPR round (see [`e9_large`]).
+///
+/// The routing outcomes (`originated`, `unique_deliveries`,
+/// `delivery_ratio`, `mean_latency_us`) are bit-identical between the
+/// reference kernel and any sharded run; `events` and
+/// `peak_queue_depth` are per-kernel execution statistics and differ by
+/// construction (the sharded kernel re-schedules boundary arrivals).
+#[derive(Clone, Copy, Debug)]
+pub struct E9LargeSummary {
+    /// Sensor count.
+    pub n: usize,
+    /// Application messages originated.
+    pub originated: u64,
+    /// Unique (source, msg_id) messages delivered.
+    pub unique_deliveries: u64,
+    /// `unique_deliveries / originated`.
+    pub delivery_ratio: f64,
+    /// Mean end-to-end latency (µs).
+    pub mean_latency_us: f64,
+    /// Events popped by the kernel (execution statistic).
+    pub events: u64,
+    /// Event-queue high-water mark (execution statistic).
+    pub peak_queue_depth: usize,
+}
+
+/// Build the large-scale E9 world: `n` sensors at the standard E9
+/// density (0.02 / m²), one gateway per 500 sensors on a random
+/// feasible-place grid, and a base station at the field centre that
+/// every gateway uplinks delivered data to (the full three-tier path).
+///
+/// Batteries are infinite: the sharded kernel's equivalence envelope
+/// requires death-free rounds, and this workload measures kernel
+/// throughput, not network lifetime.
+pub fn e9_large_scenario(n: usize, seed: u64) -> (SprScenario, NodeId) {
+    let field = FieldParams {
+        battery_j: f64::INFINITY,
+        ..FieldParams::constant_density(n, 0.02, seed)
+    };
+    let m = (n / 500).max(2);
+    let grid = ((m as f64).sqrt().ceil() as usize).max(2);
+    let gw = GatewayParams {
+        m,
+        place_grid: (grid, grid),
+        placement: placement::PlacementAlgorithm::Random,
+        movement: wmsn_topology::MovementPolicy::Static,
+    };
+    build_spr_three_tier(&field, &gw, TrafficParams::default())
+}
+
+/// Run one timer-staggered SPR round on any host kernel (the reference
+/// [`World`] or the sharded parallel kernel).
+///
+/// Every gateway is uplinked to `base`, then `sources` sensors (an even
+/// stride across the id space) arm origination timers spread over the
+/// first half of the round, and a single `run_until` carries the world
+/// to the round end. The event loop — not a driver loop — paces the
+/// world, which is what lets the sharded kernel overlap shards instead
+/// of serialising behind per-message `run_for` calls.
+pub fn e9_large_round<H: SimHost>(
+    scen: &mut SprScenario<H>,
+    base: NodeId,
+    sources: usize,
+) -> E9LargeSummary {
+    let n = scen.sensors.len();
+    let sources = sources.clamp(1, n.max(1));
+    scen.world.start();
+    let gateways = scen.gateways.clone();
+    for g in gateways {
+        scen.world
+            .with_behavior::<SprGateway, _>(g, |b, _| b.set_uplink(base));
+    }
+    let window = scen.traffic.round_duration_us / 2;
+    let stride = (n / sources).max(1);
+    let gap = (window / sources as u64).max(1);
+    let armed: Vec<NodeId> = (0..sources.min(n))
+        .map(|k| scen.sensors[k * stride])
+        .collect();
+    for (k, s) in armed.into_iter().enumerate() {
+        let delay = 1 + k as u64 * gap;
+        scen.world
+            .with_behavior::<SprSensor, _>(s, |b, ctx| b.schedule_originate(ctx, delay));
+    }
+    scen.world.run_until(scen.traffic.round_duration_us);
+    let events = scen.world.events_processed();
+    let peak = scen.world.peak_queue_depth();
+    let m = scen.world.metrics();
+    E9LargeSummary {
+        n,
+        originated: m.originated,
+        unique_deliveries: m.unique_deliveries(),
+        delivery_ratio: m.delivery_ratio(),
+        mean_latency_us: m.mean_latency_us(),
+        events,
+        peak_queue_depth: peak,
+    }
+}
+
+/// The large-scale E9 entry point: one SPR round at `n`, on the
+/// single-threaded reference kernel (`parallel = None`) or on the
+/// sharded parallel kernel (`parallel = Some(_)`, strip shards cut
+/// along the sensor-range grid seam).
+///
+/// `fast_path = false` additionally disables the unicast fast-path
+/// delivery optimisation — the pre-optimisation medium path the perf
+/// harness times the baseline against.
+pub fn e9_large(
+    n: usize,
+    seed: u64,
+    sources: usize,
+    fast_path: bool,
+    parallel: Option<ParallelConfig>,
+) -> E9LargeSummary {
+    let (mut scen, base) = e9_large_scenario(n, seed);
+    scen.world.set_unicast_fast_path(fast_path);
+    match parallel {
+        None => e9_large_round(&mut scen, base, sources),
+        Some(p) => {
+            let mut positions = scen.sensor_positions.clone();
+            positions.extend_from_slice(&scen.gateway_positions);
+            positions.push(scen.world.node(base).pos);
+            let assignment = strip_shards(&positions, scen.range_m, p.shards);
+            let mut scen = scen.map_world(|w| ShardedWorld::from_world(w, assignment, p.threads));
+            e9_large_round(&mut scen, base, sources)
+        }
+    }
+}
+
 // --------------------------------------------------------------- E10 --
 
 /// E10: load balance under a hot spot. Sensors near gateway 0 produce 5×
@@ -1582,39 +1716,8 @@ where
 {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(seeds.len().max(1));
-    if workers <= 1 || seeds.len() <= 1 {
-        return seeds.iter().map(|&s| f(s)).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
-    let f = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= seeds.len() {
-                    break;
-                }
-                let r = f(seeds[i]);
-                if tx.send((i, r)).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
-    let mut out: Vec<Option<T>> = Vec::new();
-    out.resize_with(seeds.len(), || None);
-    for (i, r) in rx {
-        out[i] = Some(r);
-    }
-    out.into_iter()
-        .map(|x| x.expect("every seed slot filled"))
-        .collect()
+        .unwrap_or(1);
+    wmsn_util::pool::parallel_chunked(seeds.len(), workers, |i| f(seeds[i]))
 }
 
 /// E17: seed-robustness sweep — MLR delivery ratio and mean hops across

@@ -86,6 +86,7 @@ impl FieldParams {
                 CollisionModel::None
             },
             csma: self.csma,
+            ..MediumConfig::default()
         };
         cfg
     }
@@ -130,6 +131,31 @@ impl GatewayParams {
     /// Total number of feasible places `|P|`.
     pub fn n_places(&self) -> usize {
         self.place_grid.0 * self.place_grid.1
+    }
+}
+
+/// Parallel-kernel execution knobs for the large-scale scenarios.
+///
+/// The field is cut into `shards` vertical strips (see
+/// `wmsn_topology::strip_shards`) and driven by `threads` workers.
+/// `shards >= threads` keeps every worker busy; extra shards beyond the
+/// thread count only add boundary seams without adding parallelism.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Number of spatial shards.
+    pub shards: usize,
+    /// Worker threads driving the shards.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// One shard per thread — the default cut.
+    pub fn per_thread(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ParallelConfig {
+            shards: threads,
+            threads,
+        }
     }
 }
 

@@ -24,7 +24,7 @@
 use crate::alert::{AlertKind, HealthAlert};
 use crate::stats::{drop_cause_index, GatewayStats, NetStats, NodeStats, DROP_CAUSE_COUNT};
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use wmsn_trace::{DropCause, TraceEvent, TraceKind, TraceSink};
 
 /// Detector thresholds and aggregation parameters.
@@ -95,9 +95,16 @@ pub struct HealthMonitor {
     nodes: Vec<NodeStats>,
     gateways: BTreeMap<u64, GatewayStats>,
     net: NetStats,
-    /// Recent `(seq, kind)` pairs from `tx_start`, ordered by seq, for
-    /// classifying `rx` events by frame kind.
-    seq_kinds: VecDeque<(u64, TraceKind)>,
+    /// Frame kind per recently announced `tx_start` sequence number,
+    /// for classifying `rx` events by kind. Keyed lookups only (never
+    /// iterated), so the `HashMap` stays deterministic. Sequence
+    /// numbers are causal keys, NOT monotone in emission order — a
+    /// CSMA retransmit can also re-announce the same seq, hence the
+    /// occurrence count.
+    seq_kinds: HashMap<u64, (TraceKind, u32)>,
+    /// Eviction order for `seq_kinds`, bounding it to
+    /// [`HealthConfig::seq_window`] recent announcements.
+    seq_ring: VecDeque<u64>,
     /// `(node, origin, msg_id)` triples already forwarded — membership
     /// only, never iterated, so a HashSet stays deterministic.
     forwarded: HashSet<(u64, u64, u64)>,
@@ -128,7 +135,8 @@ impl HealthMonitor {
             nodes: Vec::new(),
             gateways: BTreeMap::new(),
             net: NetStats::default(),
-            seq_kinds: VecDeque::new(),
+            seq_kinds: HashMap::new(),
+            seq_ring: VecDeque::new(),
             forwarded: HashSet::new(),
             delivered: HashSet::new(),
             rreq_grace: Vec::new(),
@@ -209,19 +217,24 @@ impl HealthMonitor {
                     }
                 }
                 self.net.tx_total += 1;
-                self.seq_kinds.push_back((seq, kind));
-                while self.seq_kinds.len() > seq_cap {
-                    self.seq_kinds.pop_front();
+                self.seq_ring.push_back(seq);
+                self.seq_kinds.entry(seq).or_insert((kind, 0)).1 += 1;
+                while self.seq_ring.len() > seq_cap {
+                    let old = self.seq_ring.pop_front().expect("len > 0");
+                    if let Some(e) = self.seq_kinds.get_mut(&old) {
+                        e.1 -= 1;
+                        if e.1 == 0 {
+                            self.seq_kinds.remove(&old);
+                        }
+                    }
                 }
             }
             TraceEvent::TxDefer { .. } | TraceEvent::TxGiveUp { .. } => {}
             TraceEvent::Rx { t, seq, node } => {
-                let is_data = {
-                    let k = self.seq_kinds.partition_point(|&(s, _)| s < seq);
-                    self.seq_kinds
-                        .get(k)
-                        .is_some_and(|&(s, kind)| s == seq && kind == TraceKind::Data)
-                };
+                let is_data = self
+                    .seq_kinds
+                    .get(&seq)
+                    .is_some_and(|&(kind, _)| kind == TraceKind::Data);
                 let s = self.node_mut(u64::from(node.0));
                 s.rx += 1;
                 s.last_rx_t = Some(t);

@@ -34,6 +34,8 @@ use wmsn_util::NodeId;
 const TIMER_COLLECT: u64 = 1;
 /// Timer tag: jittered re-flood.
 const TIMER_FLOOD: u64 = 2;
+/// Timer tag: deferred origination (see [`SprSensor::schedule_originate`]).
+const TIMER_ORIGINATE: u64 = 3;
 
 /// Tunables for SPR (and reused by MLR).
 #[derive(Clone, Copy, Debug)]
@@ -154,6 +156,18 @@ impl SprSensor {
                 self.start_discovery(ctx, 0);
             }
         }
+    }
+
+    /// Schedule [`Self::originate`] to fire `delay_us` from now via the
+    /// node's own timer, instead of having an external driver call it.
+    ///
+    /// At large n a driver-side stagger loop serialises the whole world
+    /// behind repeated `run_for` calls; timer-driven origination lets a
+    /// scenario arm every source up front and then issue one long
+    /// `run_until`, which is what the sharded kernel needs to overlap
+    /// work across shards.
+    pub fn schedule_originate(&mut self, ctx: &mut Ctx<'_>, delay_us: u64) {
+        ctx.set_timer(delay_us, TIMER_ORIGINATE);
     }
 
     fn route_known(&self) -> bool {
@@ -478,6 +492,7 @@ impl Behavior for SprSensor {
                     ctx.send(None, Tier::Sensor, PacketKind::Control, bytes);
                 }
             }
+            TIMER_ORIGINATE => self.originate(ctx),
             _ => {}
         }
     }

@@ -2,17 +2,22 @@
 //!
 //! A timer wheel keyed by exact microsecond, with an overflow heap for
 //! events beyond the wheel's horizon. Pop order is exactly `(time,
-//! sequence)`: the sequence number breaks timestamp ties in schedule
-//! order, which makes runs bit-reproducible — two events at the same
-//! instant always fire in the order they were scheduled, independent of
-//! queue internals.
+//! key)`: the caller supplies a 64-bit *causal key* with every event,
+//! and the key breaks timestamp ties. The world derives keys from the
+//! scheduling node's id and a per-node counter (`node << 32 | counter`),
+//! which makes tie-breaking a property of *who scheduled what* rather
+//! than of global insertion order — the same events get the same keys no
+//! matter how the world is partitioned, so the sharded parallel kernel
+//! reproduces the single-threaded schedule bit for bit.
 //!
 //! Why a wheel and not a binary heap: the simulator schedules ~1.4M
 //! events per 800-node round, almost all within a few milliseconds of
 //! `now`, and heap sift costs (log-depth cache misses per pop on a
 //! ~40k-entry heap) dominated the whole run. The wheel pops in O(1) —
-//! each slot covers one exact microsecond, so a slot's FIFO list is
-//! already in `(at, seq)` order and no comparisons happen at all.
+//! each slot covers one exact microsecond, so a slot's list holds one
+//! timestamp and only needs key order within it. Bulk schedules (a
+//! broadcast fan-out) carry ascending keys from one node, so the
+//! tail-append fast path keeps slot insertion O(1) in the common case.
 
 use crate::packet::Packet;
 use crate::time::SimTime;
@@ -62,8 +67,8 @@ pub enum EventKind {
 pub struct Event {
     /// Firing time.
     pub at: SimTime,
-    /// Monotone schedule order for tie-breaking.
-    pub seq: u64,
+    /// Causal key for tie-breaking at equal `at` (see module docs).
+    pub key: u64,
     /// Action.
     pub kind: EventKind,
 }
@@ -78,11 +83,12 @@ const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 const WORDS: usize = WHEEL_SLOTS / 64;
 const NIL: u32 = u32::MAX;
 
-/// An event body parked in the slab, linked into its slot's FIFO.
+/// An event body parked in the slab, linked into its slot's key-ordered
+/// list.
 #[derive(Debug)]
 struct SlabEntry {
     at: SimTime,
-    seq: u64,
+    key: u64,
     /// Next entry in the same wheel slot (same `at`), or `NIL`.
     next: u32,
     /// `None` = slot free.
@@ -93,7 +99,7 @@ struct SlabEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct HeapEntry {
     at: SimTime,
-    seq: u64,
+    key: u64,
     slot: u32,
 }
 
@@ -109,7 +115,7 @@ impl Ord for HeapEntry {
         other
             .at
             .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
@@ -120,9 +126,9 @@ pub struct EventQueue {
     slab: Vec<SlabEntry>,
     /// Recycled slab slots.
     free: Vec<u32>,
-    /// Per-slot FIFO heads into `slab` (`NIL` = empty).
+    /// Per-slot list heads into `slab` (`NIL` = empty).
     heads: Vec<u32>,
-    /// Per-slot FIFO tails.
+    /// Per-slot list tails.
     tails: Vec<u32>,
     /// One bit per slot: set iff the slot has entries.
     occupied: Vec<u64>,
@@ -137,7 +143,6 @@ pub struct EventQueue {
     overflow: BinaryHeap<HeapEntry>,
     /// Total pending events (wheel + overflow).
     count: usize,
-    next_seq: u64,
     /// High-water mark of `count` over the queue's lifetime.
     peak: usize,
     /// Total events ever popped (the event-loop throughput numerator).
@@ -164,16 +169,14 @@ impl EventQueue {
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             count: 0,
-            next_seq: 0,
             peak: 0,
             popped: 0,
         }
     }
 
-    /// Schedule `kind` at absolute time `at`.
-    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    /// Schedule `kind` at absolute time `at` with causal key `key`.
+    /// Events at equal `at` fire in ascending key order.
+    pub fn schedule(&mut self, at: SimTime, key: u64, kind: EventKind) {
         if self.count == 0 {
             // Every slot was drained on the way here, so the wheel is
             // clean and the window can be re-anchored for free.
@@ -182,14 +185,14 @@ impl EventQueue {
         } else if at < self.wheel_start {
             self.rebase(at);
         }
-        let idx = self.alloc(at, seq, kind);
+        let idx = self.alloc(at, key, kind);
         if at - self.wheel_start < WHEEL_SLOTS as u64 {
             self.wheel_insert(at, idx);
             if at < self.cursor {
                 self.cursor = at;
             }
         } else {
-            self.overflow.push(HeapEntry { at, seq, slot: idx });
+            self.overflow.push(HeapEntry { at, key, slot: idx });
         }
         self.count += 1;
         if self.count > self.peak {
@@ -208,7 +211,7 @@ impl EventQueue {
         let s = self.scan();
         let idx = self.heads[s] as usize;
         let at = self.slab[idx].at;
-        let seq = self.slab[idx].seq;
+        let key = self.slab[idx].key;
         self.cursor = at;
         let next = self.slab[idx].next;
         self.heads[s] = next;
@@ -221,7 +224,7 @@ impl EventQueue {
         self.popped += 1;
         let kind = self.slab[idx].kind.take().expect("scheduled slot");
         self.free.push(idx as u32);
-        Some(Event { at, seq, kind })
+        Some(Event { at, key, kind })
     }
 
     /// Time of the earliest pending event.
@@ -259,10 +262,10 @@ impl EventQueue {
         self.count == 0
     }
 
-    fn alloc(&mut self, at: SimTime, seq: u64, kind: EventKind) -> u32 {
+    fn alloc(&mut self, at: SimTime, key: u64, kind: EventKind) -> u32 {
         let entry = SlabEntry {
             at,
-            seq,
+            key,
             next: NIL,
             kind: Some(kind),
         };
@@ -278,24 +281,51 @@ impl EventQueue {
         }
     }
 
-    /// Append `idx` to its time slot's FIFO. Entries in one slot share one
-    /// exact `at` (the window is one wheel revolution), and appends happen
-    /// in rising `seq` order, so slot order is `(at, seq)` order.
+    /// Link `idx` into its time slot's key-ordered list. Entries in one
+    /// slot share one exact `at` (the window is one wheel revolution).
+    /// Bulk schedules arrive with ascending keys, so the tail-append
+    /// fast path covers the hot case; out-of-order keys (two nodes
+    /// scheduling into the same microsecond) walk the short list.
     fn wheel_insert(&mut self, at: SimTime, idx: u32) {
         let s = (at & WHEEL_MASK) as usize;
-        if self.tails[s] == NIL {
-            self.heads[s] = idx;
-            self.occupied[s >> 6] |= 1u64 << (s & 63);
-        } else {
-            self.slab[self.tails[s] as usize].next = idx;
-        }
-        self.tails[s] = idx;
+        let key = self.slab[idx as usize].key;
+        let tail = self.tails[s];
         self.wheel_len += 1;
+        if tail == NIL {
+            self.heads[s] = idx;
+            self.tails[s] = idx;
+            self.occupied[s >> 6] |= 1u64 << (s & 63);
+            return;
+        }
+        if self.slab[tail as usize].key <= key {
+            self.slab[tail as usize].next = idx;
+            self.tails[s] = idx;
+            return;
+        }
+        let head = self.heads[s];
+        if key < self.slab[head as usize].key {
+            self.slab[idx as usize].next = head;
+            self.heads[s] = idx;
+            return;
+        }
+        // Insert after the last entry whose key is <= ours (stable for
+        // equal keys, though the world never issues duplicates).
+        let mut cur = head;
+        loop {
+            let next = self.slab[cur as usize].next;
+            if next == NIL || key < self.slab[next as usize].key {
+                self.slab[idx as usize].next = next;
+                self.slab[cur as usize].next = idx;
+                return;
+            }
+            cur = next;
+        }
     }
 
     /// Wheel drained but events remain: advance the window to the earliest
     /// overflow event and pull everything inside the new horizon in.
-    /// Entries arrive in `(at, seq)` heap order, so slot FIFOs stay sorted.
+    /// Entries arrive in `(at, key)` heap order, so slot lists stay sorted
+    /// via the append fast path.
     fn refill_from_overflow(&mut self) {
         let start = self.overflow.peek().expect("count > 0, wheel empty").at;
         self.wheel_start = start;
@@ -321,7 +351,7 @@ impl EventQueue {
                 e.next = NIL;
                 self.overflow.push(HeapEntry {
                     at: e.at,
-                    seq: e.seq,
+                    key: e.key,
                     slot: idx,
                 });
                 idx = next;
@@ -374,18 +404,19 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(30, timer(0, 0));
-        q.schedule(10, timer(0, 1));
-        q.schedule(20, timer(0, 2));
+        q.schedule(30, 0, timer(0, 0));
+        q.schedule(10, 1, timer(0, 1));
+        q.schedule(20, 2, timer(0, 2));
         let order: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.at).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 
     #[test]
-    fn ties_break_in_schedule_order() {
+    fn ties_break_in_key_order_not_insertion_order() {
+        // Schedule with descending keys; pops must come back ascending.
         let mut q = EventQueue::new();
-        for tag in 0..50 {
-            q.schedule(100, timer(0, tag));
+        for tag in 0..50u64 {
+            q.schedule(100, 49 - tag, timer(0, tag));
         }
         let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -393,15 +424,36 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(tags, (0..50).collect::<Vec<_>>());
+        assert_eq!(tags, (0..50).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_keys_from_two_schedulers_sort_within_a_slot() {
+        // Node 7 appends keys 700..705, then node 3 inserts 300..305
+        // into the same microsecond: pop order is key order, and the
+        // mid-list insertion path is exercised.
+        let mut q = EventQueue::new();
+        for i in 0..6u64 {
+            q.schedule(42, 700 + i, timer(7, i));
+        }
+        for i in 0..6u64 {
+            q.schedule(42, 300 + i, timer(3, i));
+        }
+        q.schedule(42, 500, timer(5, 0));
+        let keys: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        assert_eq!(keys, want);
+        assert_eq!(keys[0], 300);
+        assert_eq!(*keys.last().unwrap(), 705);
     }
 
     #[test]
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
-        q.schedule(7, timer(1, 0));
-        q.schedule(3, timer(1, 1));
+        q.schedule(7, 0, timer(1, 0));
+        q.schedule(3, 1, timer(1, 1));
         assert_eq!(q.peek_time(), Some(3));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
@@ -412,11 +464,11 @@ mod tests {
     #[test]
     fn interleaved_schedule_and_pop_stays_ordered() {
         let mut q = EventQueue::new();
-        q.schedule(5, timer(0, 0));
-        q.schedule(1, timer(0, 1));
+        q.schedule(5, 0, timer(0, 0));
+        q.schedule(1, 1, timer(0, 1));
         assert_eq!(q.pop().unwrap().at, 1);
-        q.schedule(2, timer(0, 2));
-        q.schedule(4, timer(0, 3));
+        q.schedule(2, 2, timer(0, 2));
+        q.schedule(4, 3, timer(0, 3));
         assert_eq!(q.pop().unwrap().at, 2);
         assert_eq!(q.pop().unwrap().at, 4);
         assert_eq!(q.pop().unwrap().at, 5);
@@ -430,20 +482,21 @@ mod tests {
         let mut q = EventQueue::new();
         let times: Vec<SimTime> = (0..10).map(|i| i * 100_000).rev().collect();
         for (tag, &t) in times.iter().enumerate() {
-            q.schedule(t, timer(0, tag as u64));
+            q.schedule(t, tag as u64, timer(0, tag as u64));
         }
         let order: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.at).collect();
         assert_eq!(order, (0..10).map(|i| i * 100_000).collect::<Vec<_>>());
     }
 
     #[test]
-    fn ties_across_the_horizon_break_in_schedule_order() {
+    fn ties_across_the_horizon_break_in_key_order() {
         // Two events at the same far-future instant, plus a near event;
-        // the far pair must migrate and still fire in schedule order.
+        // the far pair must migrate and still fire in key order even
+        // though the larger key was scheduled first.
         let mut q = EventQueue::new();
-        q.schedule(1_000_000, timer(0, 10));
-        q.schedule(5, timer(0, 0));
-        q.schedule(1_000_000, timer(0, 11));
+        q.schedule(1_000_000, 11, timer(0, 11));
+        q.schedule(5, 0, timer(0, 0));
+        q.schedule(1_000_000, 10, timer(0, 10));
         assert_eq!(q.pop().unwrap().at, 5);
         let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -459,9 +512,9 @@ mod tests {
         // First event anchors the window at t=50_000; a later event at
         // t=10 lands before the base and must still pop first.
         let mut q = EventQueue::new();
-        q.schedule(50_000, timer(0, 0));
-        q.schedule(10, timer(0, 1));
-        q.schedule(200_000, timer(0, 2));
+        q.schedule(50_000, 0, timer(0, 0));
+        q.schedule(10, 1, timer(0, 1));
+        q.schedule(200_000, 2, timer(0, 2));
         let order: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.at).collect();
         assert_eq!(order, vec![10, 50_000, 200_000]);
     }
@@ -469,11 +522,11 @@ mod tests {
     #[test]
     fn draining_and_reusing_the_queue_reanchors_the_window() {
         let mut q = EventQueue::new();
-        q.schedule(100, timer(0, 0));
+        q.schedule(100, 0, timer(0, 0));
         assert_eq!(q.pop().unwrap().at, 100);
         assert!(q.pop().is_none());
         // Far later than the first window; must re-anchor, not overflow.
-        q.schedule(10_000_000, timer(0, 1));
+        q.schedule(10_000_000, 1, timer(0, 1));
         assert_eq!(q.peek_time(), Some(10_000_000));
         assert_eq!(q.pop().unwrap().at, 10_000_000);
     }

@@ -22,8 +22,12 @@
 //!   and the metrics ledger ([`metrics`]).
 //!
 //! Determinism: a run is a pure function of its seed. Events with equal
-//! timestamps fire in schedule order; per-node RNG streams are split from
-//! the world seed so adding a node never perturbs another node's stream.
+//! timestamps fire in ascending *causal-key* order (`node << 32 |
+//! per-node counter` — see [`event`]); per-node RNG streams are split
+//! from the world seed so adding a node never perturbs another node's
+//! stream. Because tie-breaking depends only on who scheduled what, the
+//! sharded parallel kernel ([`sharded`]) reproduces the single-threaded
+//! schedule bit for bit on conforming workloads.
 //!
 //! Observability: the world can carry a [`wmsn_trace::TraceSink`]
 //! (installed via [`world::World::set_trace_sink`]) that receives a
@@ -31,24 +35,31 @@
 //! installed every hook is a single branch on an `Option` — tracing is
 //! zero-cost when disabled.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the sharded kernel's `Send` wrapper is
+// the one audited exception (see `sharded::cell`); everything else in
+// the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;
 pub mod event;
+pub mod host;
 pub mod medium;
 pub mod metrics;
 pub mod node;
 pub mod packet;
 pub mod phy;
+pub mod sharded;
 pub mod time;
 pub mod world;
 
 pub use energy::EnergyModel;
+pub use host::SimHost;
 pub use medium::{CollisionModel, MediumConfig};
 pub use metrics::{Metrics, RoundSnapshot};
 pub use node::{Behavior, Ctx, NodeConfig, NodeState};
 pub use packet::{Packet, PacketKind};
 pub use phy::{PhyProfile, Tier};
+pub use sharded::ShardedWorld;
 pub use time::{SimTime, MICROS_PER_SEC};
 pub use world::{World, WorldConfig};

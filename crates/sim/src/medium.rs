@@ -36,6 +36,18 @@ pub struct MediumConfig {
     /// 802.15.4/802.11 MACs the paper assumes; meaningful only together
     /// with [`CollisionModel::ReceiverOverlap`].
     pub csma: bool,
+    /// On an otherwise-ideal medium (`loss_prob == 0`, no collisions), a
+    /// unicast frame can only ever be *processed* by its link destination
+    /// and by promiscuous eavesdroppers — every other in-range radio
+    /// address-filters it without observable effect (no energy charge, no
+    /// counter, no trace line). With this flag the simulator skips
+    /// scheduling those no-op deliveries entirely, which collapses the
+    /// dominant cost of dense unicast workloads (a 40-neighbour fan-out
+    /// becomes 1 event). Metrics and traces are bit-identical either way;
+    /// only the event-queue throughput statistics differ. Ignored when
+    /// loss or collisions are enabled, where non-addressed receptions
+    /// consume medium randomness and collision windows.
+    pub unicast_fast_path: bool,
 }
 
 impl Default for MediumConfig {
@@ -44,6 +56,7 @@ impl Default for MediumConfig {
             loss_prob: 0.0,
             collisions: CollisionModel::None,
             csma: false,
+            unicast_fast_path: true,
         }
     }
 }
@@ -131,6 +144,7 @@ mod tests {
         let m = MediumConfig::default();
         assert_eq!(m.loss_prob, 0.0);
         assert_eq!(m.collisions, CollisionModel::None);
+        assert!(m.unicast_fast_path);
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct Metrics {
     pub originated: u64,
     /// Completed deliveries.
     pub deliveries: Vec<Delivery>,
+    /// Causal key of the event that produced each delivery (parallel to
+    /// `deliveries`). The sharded kernel merges per-shard delivery
+    /// ledgers by `(delivered_at, key)` to recover the exact order the
+    /// single-threaded reference records them in; single-world callers
+    /// can ignore this.
+    pub delivery_keys: Vec<u64>,
     /// Time of first sensor death, if any — the paper's network lifetime.
     pub first_death: Option<SimTime>,
     /// Node that died first.
@@ -205,8 +211,16 @@ impl Metrics {
     /// Record a completed delivery, feeding the latency and hop-count
     /// histograms alongside the delivery ledger.
     pub fn record_delivery(&mut self, d: Delivery) {
+        self.record_delivery_keyed(d, 0);
+    }
+
+    /// [`Metrics::record_delivery`] with an explicit causal key — what
+    /// [`crate::node::Ctx::record_delivery`] uses so sharded runs can
+    /// merge delivery ledgers deterministically.
+    pub fn record_delivery_keyed(&mut self, d: Delivery, key: u64) {
         self.latency_hist.record(d.latency());
         self.hops_hist.record(d.hops as u64);
+        self.delivery_keys.push(key);
         self.deliveries.push(d);
     }
 

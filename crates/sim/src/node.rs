@@ -193,8 +193,10 @@ impl Ctx<'_> {
     /// `tag` to [`Behavior::on_timer`].
     pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
         let at = self.core.now + delay;
+        let key = self.core.next_key(self.node);
         self.core.queue.schedule(
             at,
+            key,
             crate::event::EventKind::Timer {
                 node: self.node,
                 tag,
@@ -228,7 +230,8 @@ impl Ctx<'_> {
             hops,
         };
         let latency_us = d.latency();
-        self.core.metrics.record_delivery(d);
+        let key = self.core.exec_key;
+        self.core.metrics.record_delivery_keyed(d, key);
         if self.trace_enabled() {
             self.trace(wmsn_trace::TraceEvent::Deliver {
                 t: self.core.now,

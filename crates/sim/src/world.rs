@@ -65,6 +65,34 @@ impl WorldConfig {
     }
 }
 
+/// Cross-shard routing state installed by the sharded kernel
+/// ([`crate::sharded::ShardedWorld`]). When present, deliveries whose
+/// receiver lives on another shard are diverted into `outbox` instead of
+/// the local queue; the coordinator routes them between supersteps.
+pub(crate) struct ShardState {
+    /// Owning shard per node index.
+    pub(crate) owner: Vec<u16>,
+    /// This world's shard id.
+    pub(crate) me: u16,
+    /// Deliveries bound for nodes owned by other shards.
+    pub(crate) outbox: Vec<RemoteEvent>,
+}
+
+/// A `Deliver` event crossing a shard boundary. Carries the packet by
+/// fields (payload as `Arc`, not `Rc`) so the coordinator can move it
+/// between shard threads; the receiving shard rebuilds the `Rc<Packet>`.
+pub(crate) struct RemoteEvent {
+    pub(crate) at: SimTime,
+    pub(crate) key: u64,
+    pub(crate) to: NodeId,
+    pub(crate) seq: u64,
+    pub(crate) src: NodeId,
+    pub(crate) link_dst: Option<NodeId>,
+    pub(crate) tier: Tier,
+    pub(crate) kind: PacketKind,
+    pub(crate) payload: std::sync::Arc<[u8]>,
+}
+
 /// Everything except the behaviours (so a behaviour can borrow this
 /// mutably while it runs).
 pub struct WorldCore {
@@ -75,7 +103,27 @@ pub struct WorldCore {
     pub(crate) metrics: Metrics,
     pub(crate) node_rngs: Vec<SplitMix64>,
     medium_rng: SplitMix64,
-    next_packet_seq: u64,
+    /// Per-node packet sequence counters: a packet's `seq` is
+    /// `(src << 32) | counter`, so the sequence stream a node emits
+    /// depends only on that node's own transmissions — never on global
+    /// interleaving — which is what lets shard-local transmits mint the
+    /// same seqs the single-threaded reference would.
+    packet_seqs: Vec<u32>,
+    /// Per-node causal-key counters: an event scheduled by node `n`
+    /// carries key `(n << 32) | counter` and same-time events fire in
+    /// ascending key order (see [`crate::event`]). Tie-breaking is a
+    /// property of *who scheduled what*, identical under any sharding.
+    sched_counters: Vec<u32>,
+    /// Counter for driver-phase keys (prefix `0xFFFF_FFFF`, sorting
+    /// after every node-minted key at an equal timestamp).
+    pub(crate) driver_counter: u64,
+    /// Causal key of the currently executing event or driver entry —
+    /// stamped onto trace lines and delivery records so per-shard
+    /// streams merge back into reference emission order.
+    pub(crate) exec_key: u64,
+    /// Cross-shard routing state; `None` on the single-threaded
+    /// reference path (see [`crate::sharded`]).
+    pub(crate) shard: Option<ShardState>,
     /// In-flight transmissions for carrier sensing, bucketed per tier by
     /// grid cell so `channel_busy` scans only the 3×3 block around the
     /// sender instead of every transmission in the field.
@@ -198,8 +246,38 @@ impl WorldCore {
     #[inline]
     pub(crate) fn emit(&mut self, ev: TraceEvent) {
         if let Some(sink) = self.trace.as_deref_mut() {
-            sink.record(&ev);
+            sink.record_keyed(&ev, self.now, self.exec_key);
         }
+    }
+
+    /// Mint the next causal key for an event scheduled by `node`.
+    #[inline]
+    pub(crate) fn next_key(&mut self, node: NodeId) -> u64 {
+        let c = &mut self.sched_counters[node.index()];
+        let key = ((node.0 as u64) << 32) | *c as u64;
+        *c += 1;
+        key
+    }
+
+    /// Mint the next packet sequence number for a frame sent by `src`.
+    #[inline]
+    fn next_seq(&mut self, src: NodeId) -> u64 {
+        let c = &mut self.packet_seqs[src.index()];
+        let seq = ((src.0 as u64) << 32) | *c as u64;
+        *c += 1;
+        seq
+    }
+
+    /// Stamp a fresh driver-phase key as the executing key. Called at
+    /// every external entry point (node start, `with_behavior`, moves,
+    /// kills, …) so trace lines emitted outside the event loop still
+    /// carry a deterministic merge position. The `0xFFFF_FFFF` prefix
+    /// sorts after every node-minted key at an equal timestamp, matching
+    /// the fact that driver calls happen after `run_until` returns.
+    #[inline]
+    pub(crate) fn begin_driver_op(&mut self) {
+        self.exec_key = (0xFFFF_FFFFu64 << 32) | self.driver_counter;
+        self.driver_counter += 1;
     }
 
     fn phy(&self, tier: Tier) -> &PhyProfile {
@@ -350,6 +428,15 @@ impl WorldCore {
         }
         if !survived {
             state.alive = false;
+            // A battery death would desynchronise the replicated
+            // liveness flags the shards share — the parallel kernel is
+            // gated to death-free workloads and must fail loudly, not
+            // silently diverge, if that contract is broken.
+            assert!(
+                self.shard.is_none(),
+                "node {node:?} died mid-run under sharded execution; \
+                 the parallel kernel requires death-free workloads"
+            );
             if state.role == NodeRole::Sensor && self.metrics.first_death.is_none() {
                 self.metrics.first_death = Some(self.now);
                 self.metrics.first_death_node = Some(node);
@@ -444,8 +531,10 @@ impl WorldCore {
                 });
             }
             let at = self.now + backoff;
+            let key = self.next_key(src);
             self.queue.schedule(
                 at,
+                key,
                 EventKind::Retransmit {
                     src,
                     link_dst,
@@ -457,8 +546,7 @@ impl WorldCore {
             );
             return true; // queued, will go out after backoff
         }
-        let seq = self.next_packet_seq;
-        self.next_packet_seq += 1;
+        let seq = self.next_seq(src);
         let packet = Packet {
             seq,
             src,
@@ -506,11 +594,22 @@ impl WorldCore {
         self.ensure_adjacency(tier);
         let packet = Rc::new(packet);
         let use_collisions = self.cfg.medium.collisions == CollisionModel::ReceiverOverlap;
+        // On an ideal medium a non-addressed, non-promiscuous receiver's
+        // delivery is a pure no-op (the address filter precedes every
+        // observable effect in `resolve_delivery`), so skip scheduling it.
+        let fast_unicast = link_dst.is_some()
+            && self.cfg.medium.unicast_fast_path
+            && self.cfg.medium.loss_prob == 0.0
+            && !use_collisions;
         let cache = self.adjacency[ti].take().expect("just built");
         if let Some(slot) = cache.slot.get(src.index()).copied().flatten() {
+            let mut remote_payload: Option<std::sync::Arc<[u8]>> = None;
             for &s in &cache.adj[slot] {
                 let rx = cache.members[s];
                 if !self.nodes[rx.index()].alive {
+                    continue;
+                }
+                if fast_unicast && link_dst != Some(rx) && !self.nodes[rx.index()].promiscuous {
                     continue;
                 }
                 if use_collisions {
@@ -518,8 +617,29 @@ impl WorldCore {
                     // collisions are resolved at delivery time.
                     self.collisions[ti].register(rx, self.now, tx_end);
                 }
+                let key = self.next_key(src);
+                if let Some(sh) = self.shard.as_mut() {
+                    if sh.owner[rx.index()] != sh.me {
+                        let payload = remote_payload
+                            .get_or_insert_with(|| std::sync::Arc::from(&packet.payload[..]))
+                            .clone();
+                        sh.outbox.push(RemoteEvent {
+                            at: arrival,
+                            key,
+                            to: rx,
+                            seq,
+                            src,
+                            link_dst,
+                            tier,
+                            kind,
+                            payload,
+                        });
+                        continue;
+                    }
+                }
                 self.queue.schedule(
                     arrival,
+                    key,
                     EventKind::Deliver {
                         to: rx,
                         packet: Rc::clone(&packet),
@@ -582,8 +702,7 @@ impl WorldCore {
                 return false;
             }
         }
-        let seq = self.next_packet_seq;
-        self.next_packet_seq += 1;
+        let seq = self.next_seq(src);
         let packet = Packet {
             seq,
             src,
@@ -639,11 +758,41 @@ impl WorldCore {
         // deterministic id-order delivery schedule of a linear scan.
         slots.sort_unstable();
         let packet = Rc::new(packet);
+        let fast_unicast = link_dst.is_some()
+            && self.cfg.medium.unicast_fast_path
+            && self.cfg.medium.loss_prob == 0.0
+            && self.cfg.medium.collisions != CollisionModel::ReceiverOverlap;
+        let mut remote_payload: Option<std::sync::Arc<[u8]>> = None;
         for &t in &slots {
+            let rx = cache.members[t];
+            if fast_unicast && link_dst != Some(rx) && !self.nodes[rx.index()].promiscuous {
+                continue;
+            }
+            let key = self.next_key(src);
+            if let Some(sh) = self.shard.as_mut() {
+                if sh.owner[rx.index()] != sh.me {
+                    let payload = remote_payload
+                        .get_or_insert_with(|| std::sync::Arc::from(&packet.payload[..]))
+                        .clone();
+                    sh.outbox.push(RemoteEvent {
+                        at: arrival,
+                        key,
+                        to: rx,
+                        seq,
+                        src,
+                        link_dst,
+                        tier,
+                        kind,
+                        payload,
+                    });
+                    continue;
+                }
+            }
             self.queue.schedule(
                 arrival,
+                key,
                 EventKind::Deliver {
-                    to: cache.members[t],
+                    to: rx,
                     packet: Rc::clone(&packet),
                 },
             );
@@ -736,9 +885,9 @@ impl WorldCore {
 
 /// The simulation world.
 pub struct World {
-    core: WorldCore,
-    behaviors: Vec<Option<Box<dyn Behavior>>>,
-    started: bool,
+    pub(crate) core: WorldCore,
+    pub(crate) behaviors: Vec<Option<Box<dyn Behavior>>>,
+    pub(crate) started: bool,
 }
 
 impl World {
@@ -758,7 +907,11 @@ impl World {
                 metrics: Metrics::default(),
                 node_rngs: Vec::new(),
                 medium_rng,
-                next_packet_seq: 0,
+                packet_seqs: Vec::new(),
+                sched_counters: Vec::new(),
+                driver_counter: 0,
+                exec_key: 0,
+                shard: None,
                 active_tx,
                 adjacency: [None, None],
                 collisions: [CollisionTracker::new(), CollisionTracker::new()],
@@ -784,6 +937,8 @@ impl World {
         });
         let rng = SplitMix64::new(self.core.cfg.seed).split(0x4E0D_E000 + id.0 as u64);
         self.core.node_rngs.push(rng);
+        self.core.packet_seqs.push(0);
+        self.core.sched_counters.push(0);
         self.core.metrics.energy_consumed.push(0.0);
         self.core.metrics.node_tx.push(0);
         self.behaviors.push(Some(behavior));
@@ -799,8 +954,97 @@ impl World {
         self.started = true;
         for i in 0..self.behaviors.len() {
             let id = NodeId::from_index(i);
-            self.dispatch(id, |b, ctx| b.on_start(ctx));
+            self.start_node(id);
         }
+    }
+
+    /// Dispatch one node's `on_start` under a fresh driver key. The
+    /// sharded kernel calls this per node (in global id order, on the
+    /// owning shard) instead of [`World::start`].
+    pub(crate) fn start_node(&mut self, id: NodeId) {
+        self.core.begin_driver_op();
+        self.dispatch(id, |b, ctx| b.on_start(ctx));
+    }
+
+    /// Build an empty-queue replica of this world for one shard of the
+    /// parallel kernel: same config, node table and per-node RNG /
+    /// counter streams — but no behaviours, no pending events, fresh
+    /// metrics (per-node vectors zeroed at full length so shard metrics
+    /// sum element-wise) and no trace sink. Only valid before `start`.
+    pub(crate) fn clone_shell(&self) -> World {
+        let n = self.core.nodes.len();
+        World {
+            core: WorldCore {
+                cfg: self.core.cfg.clone(),
+                nodes: self.core.nodes.clone(),
+                queue: EventQueue::new(),
+                now: self.core.now,
+                metrics: Metrics {
+                    energy_consumed: vec![0.0; n],
+                    node_tx: vec![0; n],
+                    ..Metrics::default()
+                },
+                node_rngs: self.core.node_rngs.clone(),
+                medium_rng: self.core.medium_rng.clone(),
+                packet_seqs: self.core.packet_seqs.clone(),
+                sched_counters: self.core.sched_counters.clone(),
+                driver_counter: self.core.driver_counter,
+                exec_key: 0,
+                shard: None,
+                active_tx: [
+                    TxBuckets::new(self.core.cfg.sensor_phy.range_m),
+                    TxBuckets::new(self.core.cfg.mesh_phy.range_m),
+                ],
+                adjacency: [None, None],
+                collisions: [CollisionTracker::new(), CollisionTracker::new()],
+                ranged_scratch: Vec::new(),
+                frame_scratch: Vec::new(),
+                trace: None,
+            },
+            behaviors: (0..n).map(|_| None).collect(),
+            started: false,
+        }
+    }
+
+    /// Install cross-shard routing state (see [`ShardState`]).
+    pub(crate) fn install_shard_state(&mut self, owner: Vec<u16>, me: u16) {
+        self.core.shard = Some(ShardState {
+            owner,
+            me,
+            outbox: Vec::new(),
+        });
+    }
+
+    /// Drain deliveries bound for other shards, accumulated during the
+    /// last run window.
+    pub(crate) fn drain_shard_outbox(&mut self, into: &mut Vec<RemoteEvent>) {
+        if let Some(sh) = self.core.shard.as_mut() {
+            into.append(&mut sh.outbox);
+        }
+    }
+
+    /// Schedule a shard-crossing delivery received from another shard.
+    /// The packet is rebuilt locally (`Arc` payload copied into a fresh
+    /// `Rc`), carrying the exact `(at, key)` the sending shard minted —
+    /// so it fires in the same global order the unsharded run would use.
+    pub(crate) fn inject_remote(&mut self, e: RemoteEvent) {
+        let packet = std::rc::Rc::new(Packet {
+            seq: e.seq,
+            src: e.src,
+            link_dst: e.link_dst,
+            tier: e.tier,
+            kind: e.kind,
+            payload: std::rc::Rc::from(&e.payload[..]),
+        });
+        self.core
+            .queue
+            .schedule(e.at, e.key, EventKind::Deliver { to: e.to, packet });
+    }
+
+    /// Earliest pending event time, if any (the sharded coordinator's
+    /// window input).
+    pub(crate) fn peek_event_time(&mut self) -> Option<SimTime> {
+        self.core.queue.peek_time()
     }
 
     fn dispatch<R>(
@@ -829,6 +1073,7 @@ impl World {
             }
             let ev = self.core.queue.pop().expect("peeked");
             self.core.now = ev.at;
+            self.core.exec_key = ev.key;
             match ev.kind {
                 EventKind::Deliver { to, packet } => {
                     if self.core.resolve_delivery(to, &packet) {
@@ -924,12 +1169,20 @@ impl World {
     /// adjacency caches incrementally: only the moved node's row, the
     /// rows referencing it and its grid bucket are touched.
     pub fn set_position(&mut self, id: NodeId, pos: wmsn_util::Point) {
+        self.core.begin_driver_op();
+        self.set_position_inner(id, pos, true);
+    }
+
+    /// [`World::set_position`] body; `emit = false` suppresses the trace
+    /// line (the sharded kernel replicates moves to every shard but only
+    /// the owner records them).
+    pub(crate) fn set_position_inner(&mut self, id: NodeId, pos: wmsn_util::Point, emit: bool) {
         let old_pos = self.core.nodes[id.index()].pos;
         self.core.nodes[id.index()].pos = pos;
         for ti in 0..2 {
             self.core.update_adjacency_for_move(ti, id, old_pos);
         }
-        if self.core.trace.is_some() {
+        if emit && self.core.trace.is_some() {
             self.core.emit(TraceEvent::NodeMove {
                 t: self.core.now,
                 node: id,
@@ -942,6 +1195,7 @@ impl World {
     /// Put a node's radio in promiscuous mode (adversaries eavesdropping
     /// unicast traffic).
     pub fn set_promiscuous(&mut self, id: NodeId, on: bool) {
+        self.core.begin_driver_op();
         self.core.nodes[id.index()].promiscuous = on;
     }
 
@@ -950,8 +1204,15 @@ impl World {
     /// this records no death and is freely reversible with
     /// [`World::wake`].
     pub fn sleep(&mut self, id: NodeId) {
+        self.core.begin_driver_op();
+        self.sleep_inner(id, true);
+    }
+
+    /// [`World::sleep`] body with trace-emission control (see
+    /// [`World::set_position_inner`]).
+    pub(crate) fn sleep_inner(&mut self, id: NodeId, emit: bool) {
         self.core.nodes[id.index()].alive = false;
-        if self.core.trace.is_some() {
+        if emit && self.core.trace.is_some() {
             self.core.emit(TraceEvent::NodeSleep {
                 t: self.core.now,
                 node: id,
@@ -961,10 +1222,17 @@ impl World {
 
     /// Wake a sleeping node (no-op if its battery is spent).
     pub fn wake(&mut self, id: NodeId) {
+        self.core.begin_driver_op();
+        self.wake_inner(id, true);
+    }
+
+    /// [`World::wake`] / [`World::revive`] body with trace-emission
+    /// control (see [`World::set_position_inner`]).
+    pub(crate) fn wake_inner(&mut self, id: NodeId, emit: bool) {
         let state = &mut self.core.nodes[id.index()];
         if state.battery.alive() {
             state.alive = true;
-            if self.core.trace.is_some() {
+            if emit && self.core.trace.is_some() {
                 self.core.emit(TraceEvent::NodeWake {
                     t: self.core.now,
                     node: id,
@@ -975,6 +1243,13 @@ impl World {
 
     /// Kill a node (fault injection / captured-node experiments).
     pub fn kill(&mut self, id: NodeId) {
+        self.core.begin_driver_op();
+        self.kill_inner(id, true);
+    }
+
+    /// [`World::kill`] body with trace-emission control (see
+    /// [`World::set_position_inner`]).
+    pub(crate) fn kill_inner(&mut self, id: NodeId, emit: bool) {
         let state = &mut self.core.nodes[id.index()];
         if state.alive {
             state.alive = false;
@@ -982,7 +1257,7 @@ impl World {
                 self.core.metrics.first_death = Some(self.core.now);
                 self.core.metrics.first_death_node = Some(id);
             }
-            if self.core.trace.is_some() {
+            if emit && self.core.trace.is_some() {
                 self.core.emit(TraceEvent::NodeKill {
                     t: self.core.now,
                     node: id,
@@ -993,16 +1268,8 @@ impl World {
 
     /// Revive a node (round-based protocols that model sleep).
     pub fn revive(&mut self, id: NodeId) {
-        let state = &mut self.core.nodes[id.index()];
-        if state.battery.alive() {
-            state.alive = true;
-            if self.core.trace.is_some() {
-                self.core.emit(TraceEvent::NodeWake {
-                    t: self.core.now,
-                    node: id,
-                });
-            }
-        }
+        self.core.begin_driver_op();
+        self.wake_inner(id, true);
     }
 
     /// Install a structured-trace sink. Every subsequent packet-
@@ -1053,6 +1320,16 @@ impl World {
         self.core.queue.peak_len()
     }
 
+    /// Toggle the unicast fast-path delivery optimisation.
+    ///
+    /// Benchmark hook: lets the perf harness time the legacy
+    /// full-medium delivery path against the fast path on the same
+    /// build. Flip it before handing the world to the sharded kernel —
+    /// shard shells clone the configuration at construction.
+    pub fn set_unicast_fast_path(&mut self, on: bool) {
+        self.core.cfg.medium.unicast_fast_path = on;
+    }
+
     /// Read the metrics ledger.
     pub fn metrics(&self) -> &Metrics {
         &self.core.metrics
@@ -1083,6 +1360,7 @@ impl World {
         f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
     ) -> Option<R> {
         self.start();
+        self.core.begin_driver_op();
         let mut behavior = self.behaviors[id.index()].take()?;
         let result = behavior.as_any_mut().downcast_mut::<T>().map(|typed| {
             let mut ctx = Ctx {
@@ -1376,6 +1654,7 @@ mod tests {
                     loss_prob: 0.3,
                     collisions: CollisionModel::None,
                     csma: false,
+                    ..MediumConfig::default()
                 },
                 ..WorldConfig::ideal(99)
             });
@@ -1403,6 +1682,7 @@ mod tests {
                 loss_prob: 0.5,
                 collisions: CollisionModel::None,
                 csma: false,
+                ..MediumConfig::default()
             },
             ..WorldConfig::ideal(7)
         });
@@ -1428,6 +1708,7 @@ mod tests {
                 loss_prob: 0.0,
                 collisions: CollisionModel::ReceiverOverlap,
                 csma: false,
+                ..MediumConfig::default()
             },
             ..WorldConfig::ideal(3)
         });
@@ -1452,6 +1733,7 @@ mod tests {
                     loss_prob: 0.0,
                     collisions: CollisionModel::ReceiverOverlap,
                     csma,
+                    ..MediumConfig::default()
                 },
                 ..WorldConfig::ideal(3)
             });

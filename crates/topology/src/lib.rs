@@ -32,12 +32,14 @@ pub mod movement;
 pub mod paper;
 pub mod placement;
 pub mod places;
+pub mod sharding;
 
 pub use connectivity::HopField;
 pub use deploy::Deployment;
 pub use movement::{MovementPolicy, MovementSchedule};
 pub use placement::PlacementAlgorithm;
 pub use places::FeasiblePlaces;
+pub use sharding::strip_shards;
 
 use wmsn_util::geom::unit_disk_adjacency;
 use wmsn_util::{Point, Rect};

@@ -1,0 +1,115 @@
+//! Spatial shard assignment for the parallel simulation kernel.
+//!
+//! The sharded kernel (`wmsn_sim::ShardedWorld`) is correct under *any*
+//! node→shard assignment — the conservative lookahead window carries
+//! the equivalence argument by itself. The assignment only decides how
+//! much traffic crosses shard boundaries (every crossing pays a mailbox
+//! round-trip through the coordinator), so a good assignment keeps
+//! radio neighbourhoods together.
+//!
+//! [`strip_shards`] cuts the field into vertical strips whose edges
+//! are aligned to the simulator's adjacency-grid cells (side = radio
+//! range): a node's potential receivers all lie within one cell of it,
+//! so only nodes in the single cell column beside a cut ever talk
+//! across it. Cut positions are chosen by node count, not width, so
+//! irregular deployments still balance.
+
+use wmsn_util::Point;
+
+/// Assign each position to one of `n_shards` vertical strips with
+/// cut lines on multiples of `range_m` (relative to the leftmost
+/// node), balanced by node count. Returns one shard id per position,
+/// each `< n_shards`; shards are numbered left to right.
+///
+/// Degenerate inputs degrade gracefully: zero shards are treated as
+/// one, and if there are fewer occupied grid columns than shards the
+/// surplus shards are simply left empty.
+pub fn strip_shards(positions: &[Point], range_m: f64, n_shards: usize) -> Vec<u16> {
+    let n_shards = n_shards.clamp(1, u16::MAX as usize);
+    if positions.is_empty() || n_shards == 1 {
+        return vec![0; positions.len()];
+    }
+    let cell = if range_m > 0.0 { range_m } else { 1.0 };
+    let min_x = positions.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let col = |p: &Point| ((p.x - min_x) / cell).floor().max(0.0) as usize;
+    let n_cols = positions.iter().map(col).max().unwrap_or(0) + 1;
+
+    let mut per_col = vec![0usize; n_cols];
+    for p in positions {
+        per_col[col(p)] += 1;
+    }
+    // Walk columns left to right, advancing to the next shard whenever
+    // the running total passes the next equal-count cut. Whole columns
+    // stay together so cuts land on grid-cell edges.
+    let total = positions.len();
+    let mut col_shard = vec![0u16; n_cols];
+    let mut shard = 0usize;
+    let mut seen = 0usize;
+    for (c, &count) in per_col.iter().enumerate() {
+        // Cut *before* this column if the previous ones already filled
+        // the current shard's quota (and shards remain to fill).
+        while shard + 1 < n_shards && seen * n_shards >= (shard + 1) * total {
+            shard += 1;
+        }
+        col_shard[c] = shard as u16;
+        seen += count;
+    }
+    positions.iter().map(|p| col_shard[col(p)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn strips_are_contiguous_and_balanced() {
+        let pts = line(100, 10.0);
+        let a = strip_shards(&pts, 25.0, 4);
+        assert_eq!(a.len(), 100);
+        // Non-decreasing left to right (contiguous strips).
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // All four shards used, each within a column (≤3 nodes) of
+        // perfect balance.
+        for s in 0..4u16 {
+            let count = a.iter().filter(|&&x| x == s).count();
+            assert!((22..=28).contains(&count), "shard {s} holds {count} of 100");
+        }
+    }
+
+    #[test]
+    fn cuts_align_to_grid_cells() {
+        let pts = line(60, 5.0);
+        let a = strip_shards(&pts, 25.0, 3);
+        // Nodes in the same 25 m column share a shard.
+        for (i, p) in pts.iter().enumerate() {
+            for (j, q) in pts.iter().enumerate() {
+                if (p.x / 25.0).floor() == (q.x / 25.0).floor() {
+                    assert_eq!(a[i], a[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(strip_shards(&[], 25.0, 4).is_empty());
+        assert_eq!(strip_shards(&line(5, 1.0), 25.0, 0), vec![0; 5]);
+        // One occupied column, many shards: everyone lands on shard 0.
+        let a = strip_shards(&line(10, 0.1), 25.0, 8);
+        assert_eq!(a, vec![0; 10]);
+        // More shards than columns: ids stay in range.
+        let a = strip_shards(&line(4, 30.0), 25.0, 8);
+        assert!(a.iter().all(|&s| s < 8));
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

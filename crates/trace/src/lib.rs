@@ -37,5 +37,7 @@ pub use event::{DropCause, TraceEvent, TraceKind, TraceTier};
 pub use hist::Histogram;
 pub use parse::{parse_line, Value};
 pub use replay::Replay;
-pub use sink::{BufferSink, CountingSink, JsonlSink, NullSink, TraceSink};
+pub use sink::{
+    merge_keyed_traces, BufferSink, CountingSink, JsonlSink, KeyedBufferSink, NullSink, TraceSink,
+};
 pub use structured::{log_error, log_record, record_line};

@@ -16,6 +16,9 @@
 //!   of the secure routing protocol (Figs. 4–6 of the paper).
 //! * [`seen`] — generation-stamped duplicate-suppression tables for flood
 //!   protocols (replacing per-packet `HashSet` probes on the hot path).
+//! * [`pool`] — scoped worker-pool helpers: index-ordered parallel
+//!   fan-out for seed sweeps and the bulk-synchronous loop driving the
+//!   sharded simulation kernel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod codec;
 pub mod geom;
 pub mod ids;
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod seen;
 pub mod stats;

@@ -1,0 +1,267 @@
+//! Scoped worker-pool helpers.
+//!
+//! Two parallel execution shapes recur in this workspace and both live
+//! here so they are written (and tested) exactly once:
+//!
+//! * [`parallel_chunked`] — embarrassingly parallel fan-out over an
+//!   index range with results collected in index order. Used by the
+//!   experiment seed sweeps (E17) where each item is an independent
+//!   simulation.
+//! * [`bsp_run`] — a bulk-synchronous-parallel loop over a set of
+//!   worker-owned states with a coordinator phase between supersteps.
+//!   Used by the sharded simulation kernel, where each state is one
+//!   spatial shard of the world and the coordinator routes boundary
+//!   traffic and computes the next conservative time window.
+//!
+//! Both helpers degrade to a plain serial loop when asked for a single
+//! worker (or when the input is trivially small), so callers get
+//! bit-identical behaviour with and without threads.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Run `f(i)` for every `i in 0..n_items` across up to `workers` scoped
+/// threads and collect the results in index order.
+///
+/// Work is chunked dynamically (an atomic cursor), so uneven item costs
+/// balance themselves; results land in their index's slot, so ordering
+/// is independent of scheduling. With `workers <= 1` or fewer than two
+/// items the loop runs inline on the caller's thread.
+pub fn parallel_chunked<T, F>(n_items: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(n_items.max(1));
+    if workers <= 1 || n_items <= 1 {
+        return (0..n_items).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                let r = f(i);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n_items, || None);
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|x| x.expect("every item slot filled"))
+        .collect()
+}
+
+/// Bulk-synchronous-parallel loop: repeat `plan` → barrier → `step` on
+/// every state → barrier, until `plan` returns `false`.
+///
+/// * `states[i]` is owned by exactly one worker thread for the whole
+///   run; the coordinator never touches it. All cross-thread traffic
+///   goes through `mailboxes[i]`, whose lock is only ever contended at
+///   the barrier edges.
+/// * `plan` runs on the caller's thread between supersteps with every
+///   worker parked at a barrier, so it may lock any subset of mailboxes
+///   without deadlock. Returning `false` ends the loop.
+/// * `step(i, state, mailbox)` runs on the owning worker. A worker may
+///   own several states (they are chunked over `workers` threads).
+///
+/// With `workers <= 1` the whole loop runs inline on the caller's
+/// thread in state order — the serial reference the threaded path must
+/// match.
+pub fn bsp_run<S, M>(
+    states: &mut [S],
+    mailboxes: &[Mutex<M>],
+    workers: usize,
+    mut plan: impl FnMut(&[Mutex<M>]) -> bool,
+    step: impl Fn(usize, &mut S, &Mutex<M>) + Sync,
+) where
+    S: Send,
+    M: Send,
+{
+    assert_eq!(
+        states.len(),
+        mailboxes.len(),
+        "one mailbox per state required"
+    );
+    let workers = workers.min(states.len().max(1));
+    if workers <= 1 {
+        while plan(mailboxes) {
+            for (i, s) in states.iter_mut().enumerate() {
+                step(i, s, &mailboxes[i]);
+            }
+        }
+        return;
+    }
+    // Two barriers per superstep: `start` releases the workers into
+    // `step`, `done` hands control back to the coordinator. Both count
+    // the coordinator (caller's thread) as a participant.
+    let start = Barrier::new(workers + 1);
+    let done = Barrier::new(workers + 1);
+    let stop = AtomicBool::new(false);
+    // Panic protocol: every participant must keep meeting its barriers
+    // or the others deadlock, so a panicking worker parks its payload
+    // here, finishes the superstep handshake, and exits through the
+    // normal stop path; the coordinator re-raises after the scope
+    // joins. (`AssertUnwindSafe` is fine: the poisoned state never
+    // escapes — the whole loop unwinds.)
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    // Split `states` into one contiguous chunk per worker. Chunks are
+    // fixed for the whole run so each state has a stable owner thread.
+    let chunk = states.len().div_ceil(workers);
+    let step = &step;
+    std::thread::scope(|scope| {
+        let mut rest = states;
+        let mut base = 0usize;
+        for _ in 0..workers {
+            let take = chunk.min(rest.len());
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let (start, done, stop) = (&start, &done, &stop);
+            let (panicked, payload) = (&panicked, &payload);
+            scope.spawn(move || loop {
+                start.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for (k, s) in mine.iter_mut().enumerate() {
+                        step(base + k, s, &mailboxes[base + k]);
+                    }
+                })) {
+                    *payload.lock().unwrap() = Some(p);
+                    panicked.store(true, Ordering::Release);
+                }
+                done.wait();
+            });
+            base += take;
+        }
+        loop {
+            if panicked.load(Ordering::Acquire) || !plan(mailboxes) {
+                stop.store(true, Ordering::Release);
+                start.wait();
+                break;
+            }
+            start.wait();
+            done.wait();
+        }
+    });
+    if let Some(p) = payload.into_inner().unwrap() {
+        std::panic::resume_unwind(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_chunked_preserves_index_order() {
+        let got = parallel_chunked(100, 8, |i| i * i);
+        let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_chunked_serial_fallback_matches() {
+        let a = parallel_chunked(37, 1, |i| i + 1);
+        let b = parallel_chunked(37, 4, |i| i + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_chunked_handles_empty_and_single() {
+        assert!(parallel_chunked(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_chunked(1, 4, |i| i + 10), vec![10]);
+    }
+
+    /// Drive a tiny BSP computation: each superstep every state adds its
+    /// mailbox input to its accumulator and reports back; the
+    /// coordinator doubles the report into the next input.
+    fn run_bsp(workers: usize, states: usize, rounds: usize) -> Vec<u64> {
+        let mut accs = vec![0u64; states];
+        let boxes: Vec<Mutex<(u64, u64)>> =
+            (0..states).map(|i| Mutex::new((i as u64, 0))).collect();
+        let mut left = rounds;
+        bsp_run(
+            &mut accs,
+            &boxes,
+            workers,
+            |boxes| {
+                if left == 0 {
+                    return false;
+                }
+                left -= 1;
+                for b in boxes {
+                    let mut g = b.lock().unwrap();
+                    g.0 = g.1 * 2 + 1;
+                }
+                true
+            },
+            |_, acc, b| {
+                let mut g = b.lock().unwrap();
+                *acc += g.0;
+                g.1 = *acc;
+            },
+        );
+        accs
+    }
+
+    #[test]
+    fn bsp_threaded_matches_serial_reference() {
+        let serial = run_bsp(1, 5, 20);
+        for workers in [2, 3, 8] {
+            assert_eq!(run_bsp(workers, 5, 20), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn bsp_zero_rounds_runs_no_steps() {
+        let mut states = vec![0u64; 3];
+        let boxes: Vec<Mutex<()>> = (0..3).map(|_| Mutex::new(())).collect();
+        bsp_run(&mut states, &boxes, 4, |_| false, |_, s, _| *s += 1);
+        assert_eq!(states, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn bsp_more_workers_than_states_is_fine() {
+        assert_eq!(run_bsp(16, 2, 5), run_bsp(1, 2, 5));
+    }
+
+    #[test]
+    fn bsp_worker_panic_propagates_instead_of_deadlocking() {
+        let result = std::panic::catch_unwind(|| {
+            let mut states = vec![0u64; 4];
+            let boxes: Vec<Mutex<()>> = (0..4).map(|_| Mutex::new(())).collect();
+            let mut first = true;
+            bsp_run(
+                &mut states,
+                &boxes,
+                2,
+                |_| std::mem::take(&mut first),
+                |i, _, _| {
+                    if i == 3 {
+                        panic!("boom in worker");
+                    }
+                },
+            );
+        });
+        let p = result.expect_err("worker panic must surface on the caller");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom in worker");
+    }
+}

@@ -7,26 +7,21 @@
 //! `HashSet<(NodeId, u64)>`, which pays a hash + probe on the hottest
 //! branch in the simulator: *dropping an already-seen flood copy*.
 //!
-//! [`SeenTable`] replaces the hash set with a dense, generation-stamped
-//! array indexed by originator id. Each slot tracks the highest sequence
-//! seen plus a 64-wide membership bitmap below it, which is exact for
-//! every realistic arrival pattern: per-origin sequences are issued
-//! monotonically, and stale copies (late deliveries, replay attacks)
-//! trail the newest flood by far less than 64 sequence numbers.
-//! Clearing is O(1) — the generation stamp is bumped and stale slots
-//! are recognised lazily.
-//!
-//! Out-of-range originator ids (forged identities larger than any dense
-//! deployment) spill to an exact hash-set overflow so adversarial input
-//! cannot force a huge allocation.
+//! [`SeenTable`] stores one compact slot per originator — the highest
+//! sequence seen plus a 64-wide membership bitmap below it, which is
+//! exact for every realistic arrival pattern: per-origin sequences are
+//! issued monotonically, and stale copies (late deliveries, replay
+//! attacks) trail the newest flood by far less than 64 sequence
+//! numbers. Slots live in a small open-addressed table keyed by
+//! originator id (deterministic Fibonacci hashing, linear probing), so
+//! a node's table is sized by the *distinct originators it has heard*,
+//! not by the deployment's id space — at n = 100k every node hears a
+//! few dozen flood sources, and a dense origin-indexed array would cost
+//! O(n) memory per node (O(n²) across the field) and blow the cache on
+//! the hottest lookup. Clearing is O(1): the generation stamp is
+//! bumped and stale slots are dropped lazily at the next growth.
 
-use std::collections::HashSet;
-
-/// Originator ids below this are tracked in the dense array; anything
-/// larger (necessarily a forged id — deployments are orders of magnitude
-/// smaller) falls back to the exact overflow set.
-const DENSE_LIMIT: usize = 1 << 16;
-
+/// One originator's duplicate-suppression state.
 #[derive(Clone, Copy, Debug, Default)]
 struct Slot {
     /// Generation this slot was last written in; mismatches mean empty.
@@ -38,18 +33,25 @@ struct Slot {
     bits: u64,
 }
 
-/// Dense generation-stamped `(originator, sequence)` membership table.
+/// Compact generation-stamped `(originator, sequence)` membership table.
 ///
 /// Semantics match a `HashSet<(u32, u64)>` for monotone-per-origin
 /// sequences with bounded reordering: a sequence more than 63 behind the
 /// newest one inserted for that origin is conservatively reported as
 /// already seen (such frames are ancient replays; treating them as
-/// duplicates is the safe direction for duplicate suppression).
+/// duplicates is the safe direction for duplicate suppression). This
+/// holds for any `u32` originator, including forged identities — an
+/// adversary inventing ids costs one slot per distinct id, never a
+/// large allocation.
 #[derive(Clone, Debug)]
 pub struct SeenTable {
     gen: u64,
+    /// `origin + 1` per table slot; 0 = never used. Stale keys (older
+    /// generation) stay until the next growth rehash.
+    keys: Vec<u64>,
     slots: Vec<Slot>,
-    overflow: HashSet<(u32, u64)>,
+    /// Occupied table slots, live or stale — drives growth.
+    used: usize,
 }
 
 impl Default for SeenTable {
@@ -58,53 +60,92 @@ impl Default for SeenTable {
     }
 }
 
+/// Fibonacci multiplier (2^64 / φ) — a deterministic, well-mixing hash
+/// for the near-sequential node ids that dominate real origins.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
 impl SeenTable {
     /// Empty table.
     pub fn new() -> Self {
         SeenTable {
             gen: 1,
+            keys: Vec::new(),
             slots: Vec::new(),
-            overflow: HashSet::new(),
+            used: 0,
         }
     }
 
     /// O(1) clear: forget every recorded pair.
     pub fn clear(&mut self) {
         self.gen += 1;
-        self.overflow.clear();
+    }
+
+    /// Home slot of `origin` for the current capacity.
+    #[inline]
+    fn home(&self, origin: u32) -> usize {
+        let mask = self.keys.len() - 1;
+        ((u64::from(origin) + 1).wrapping_mul(HASH_MUL) >> 32) as usize & mask
     }
 
     /// Whether `(origin, seq)` has been recorded since the last clear.
     #[inline]
     pub fn contains(&self, origin: u32, seq: u64) -> bool {
-        let idx = origin as usize;
-        if idx >= DENSE_LIMIT {
-            return self.overflow.contains(&(origin, seq));
-        }
-        let Some(slot) = self.slots.get(idx) else {
-            return false;
-        };
-        if slot.gen != self.gen || seq > slot.max {
+        if self.keys.is_empty() {
             return false;
         }
-        let back = slot.max - seq;
-        // Ancient sequences below the bitmap window count as seen.
-        back >= 64 || slot.bits & (1u64 << back) != 0
+        let key = u64::from(origin) + 1;
+        let mask = self.keys.len() - 1;
+        let mut i = self.home(origin);
+        loop {
+            let k = self.keys[i];
+            if k == 0 {
+                return false;
+            }
+            if k == key {
+                let slot = &self.slots[i];
+                if slot.gen != self.gen || seq > slot.max {
+                    return false;
+                }
+                let back = slot.max - seq;
+                // Ancient sequences below the bitmap window count as seen.
+                return back >= 64 || slot.bits & (1u64 << back) != 0;
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// Record `(origin, seq)`; returns `true` if it was newly inserted
     /// (mirrors `HashSet::insert`).
     pub fn insert(&mut self, origin: u32, seq: u64) -> bool {
-        let idx = origin as usize;
-        if idx >= DENSE_LIMIT {
-            return self.overflow.insert((origin, seq));
+        // Keep at least one slot in four vacant so probes stay short;
+        // growth rehashes live entries only, dropping stale generations.
+        if self.keys.is_empty() || (self.used + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
         }
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, Slot::default());
-        }
+        let key = u64::from(origin) + 1;
+        let mask = self.keys.len() - 1;
         let gen = self.gen;
-        let slot = &mut self.slots[idx];
+        let mut i = self.home(origin);
+        loop {
+            let k = self.keys[i];
+            if k == 0 {
+                self.keys[i] = key;
+                self.slots[i] = Slot {
+                    gen,
+                    max: seq,
+                    bits: 1,
+                };
+                self.used += 1;
+                return true;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        let slot = &mut self.slots[i];
         if slot.gen != gen {
+            // Stale slot from a cleared generation: reclaim in place.
             *slot = Slot {
                 gen,
                 max: seq,
@@ -129,6 +170,29 @@ impl SeenTable {
         }
         slot.bits |= mask;
         true
+    }
+
+    /// Double the table (min 8 slots) and rehash, keeping only the
+    /// current generation's entries. Deterministic: reinsertion walks
+    /// the old table in slot order.
+    fn grow(&mut self) {
+        let cap = (self.keys.len() * 2).max(8);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![Slot::default(); cap]);
+        self.used = 0;
+        let mask = cap - 1;
+        for (k, s) in old_keys.into_iter().zip(old_slots) {
+            if k == 0 || s.gen != self.gen {
+                continue;
+            }
+            let mut i = ((k.wrapping_mul(HASH_MUL)) >> 32) as usize & mask;
+            while self.keys[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.slots[i] = s;
+            self.used += 1;
+        }
     }
 }
 
@@ -182,7 +246,7 @@ mod tests {
     fn clear_forgets_everything_cheaply() {
         let mut t = SeenTable::new();
         t.insert(2, 5);
-        t.insert(70_000, 5); // overflow path
+        t.insert(70_000, 5);
         t.clear();
         assert!(!t.contains(2, 5));
         assert!(!t.contains(70_000, 5));
@@ -191,12 +255,13 @@ mod tests {
     }
 
     #[test]
-    fn forged_huge_ids_use_the_exact_overflow() {
+    fn forged_huge_ids_cost_one_slot_each() {
         let mut t = SeenTable::new();
         assert!(t.insert(u32::MAX, 3));
         assert!(t.contains(u32::MAX, 3));
         assert!(!t.insert(u32::MAX, 3));
-        // Arbitrary (non-monotone) sequences stay exact in overflow.
+        // Nearby (bounded-reorder) sequences stay exact for forged ids
+        // too — they share the windowed slot semantics.
         assert!(t.insert(u32::MAX, 1));
         assert!(t.contains(u32::MAX, 1));
     }
@@ -209,5 +274,34 @@ mod tests {
         assert!(t.contains(5, 100));
         assert!(t.contains(5, 0), "below-window is treated as seen");
         assert!(!t.contains(5, 101));
+    }
+
+    #[test]
+    fn many_origins_grow_and_rehash_without_loss() {
+        let mut t = SeenTable::new();
+        for o in 0..5_000u32 {
+            assert!(t.insert(o * 37, u64::from(o)));
+        }
+        for o in 0..5_000u32 {
+            assert!(t.contains(o * 37, u64::from(o)), "origin {o}");
+            assert!(!t.insert(o * 37, u64::from(o)));
+        }
+    }
+
+    #[test]
+    fn stale_generations_are_dropped_on_growth() {
+        let mut t = SeenTable::new();
+        for round in 0..50u64 {
+            for o in 0..100u32 {
+                assert!(t.insert(o, round), "round {round} origin {o}");
+            }
+            t.clear();
+        }
+        // Capacity is bounded by live entries, not by generation count.
+        assert!(
+            t.keys.len() <= 512,
+            "capacity {} grew unbounded",
+            t.keys.len()
+        );
     }
 }

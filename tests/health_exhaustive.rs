@@ -89,6 +89,9 @@ fn every_metrics_field_has_a_declared_monitor_mapping() {
         originated: _,
         // Mirrored online: GatewayStats::delivers + dedup (Deliver).
         deliveries: _,
+        // Kernel bookkeeping for the sharded merge (delivery order),
+        // invisible on the trace wire; not a monitor input.
+        delivery_keys: _,
         // Forecast, not observation: the monitor's energy_depletion
         // detector predicts this before it happens (Energy slope).
         first_death: _,
