@@ -40,11 +40,12 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use wmsn_core::experiments::{
-    e17_seed_sweep, e9_event_stats, e9_event_stats_monitored, e9_large, e9_scalability,
+    e17_seed_sweep, e9_event_stats, e9_event_stats_monitored, e9_event_stats_monitored_ring,
+    e9_large, e9_large_monitored, e9_large_monitored_inline, e9_scalability,
 };
 use wmsn_core::params::ParallelConfig;
 use wmsn_routing::wire::{rreq_append_forward, RoutingMsg};
-use wmsn_trace::{log_error, log_record};
+use wmsn_trace::{log_error, log_record, RingStats};
 use wmsn_util::json::Json;
 use wmsn_util::NodeId;
 
@@ -87,6 +88,10 @@ fn bench_threads() -> usize {
 /// re-timing affordable while still flooding every shard seam.
 const N100K_SOURCES: usize = 3;
 
+/// Un-timed statistics run for ring-pipeline kernels: `(events
+/// processed, peak queue depth, ring telemetry)`.
+type RingStatsFn = fn() -> (u64, usize, RingStats);
+
 struct Kernel {
     name: &'static str,
     desc: &'static str,
@@ -99,6 +104,11 @@ struct Kernel {
     /// Optional event-loop statistics: `(events processed, peak queue
     /// depth)` for one un-timed run of the same kernel.
     event_stats: Option<fn() -> (u64, usize)>,
+    /// For ring-pipeline kernels: one un-timed run returning the
+    /// event-loop statistics *plus* the ring's backpressure telemetry
+    /// (frames written/dropped, blocked-µs, peak occupancy). Supersedes
+    /// `event_stats` when present.
+    ring_stats: Option<RingStatsFn>,
 }
 
 const KERNELS: &[Kernel] = &[
@@ -108,6 +118,7 @@ const KERNELS: &[Kernel] = &[
         run: || e9_scalability(&[800], 17, false).len(),
         baseline: None,
         event_stats: None,
+        ring_stats: None,
     },
     Kernel {
         name: "e9_n800_sim",
@@ -115,13 +126,15 @@ const KERNELS: &[Kernel] = &[
         run: || e9_scalability(&[800], 17, true).len(),
         baseline: None,
         event_stats: Some(|| e9_event_stats(800, 17)),
+        ring_stats: None,
     },
     Kernel {
         name: "e9_n800_sim_monitored",
-        desc: "E9 n=800 SPR rounds with the health monitor installed as trace sink (monitor-enabled row; e9_n800_sim above is the one-branch disabled cost)",
-        run: || e9_event_stats_monitored(800, 17).0 as usize,
-        baseline: None,
-        event_stats: Some(|| e9_event_stats_monitored(800, 17)),
+        desc: "E9 n=800 SPR rounds monitored through the ring pipeline: the sim thread copies TraceEvent frames into a bounded SPSC ring and the health monitor's detector bank runs on the drain thread (monitor-enabled row; e9_n800_sim above is the one-branch disabled cost, which this change leaves untouched); built-in baseline is the pre-ring inline pipeline (monitor installed directly as the trace sink). NOTE: on a single-core host the drain thread cannot overlap the sim thread, so the enabled cost here is an upper bound — on multi-core hosts the detector work runs concurrently with the simulation",
+        run: || e9_event_stats_monitored_ring(800, 17).0 as usize,
+        baseline: Some(|| e9_event_stats_monitored(800, 17).0 as usize),
+        event_stats: None,
+        ring_stats: Some(|| e9_event_stats_monitored_ring(800, 17)),
     },
     Kernel {
         name: "e9_n100k_sim",
@@ -147,6 +160,32 @@ const KERNELS: &[Kernel] = &[
             );
             (s.events, s.peak_queue_depth)
         }),
+        ring_stats: None,
+    },
+    Kernel {
+        name: "e9_n100k_sim_monitored",
+        desc: "E9 large: the n=100k sharded round with full health monitoring — per-shard ring pipelines buffer (at,key,event) frames off the sim threads, then one monitor consumes the causally merged stream (deterministic, kernel-independent verdicts); built-in baseline is the best pre-ring monitored configuration: the single-threaded reference kernel with the monitor inline as its trace sink (the sharded kernel cannot host an inline monitor, and a JSONL pipe at this scale is off the chart — this row did not exist before the ring pipeline)",
+        run: || {
+            e9_large_monitored(
+                100_000,
+                17,
+                N100K_SOURCES,
+                Some(ParallelConfig::per_thread(bench_threads())),
+            )
+            .0
+            .events as usize
+        },
+        baseline: Some(|| e9_large_monitored_inline(100_000, 17, N100K_SOURCES).events as usize),
+        event_stats: None,
+        ring_stats: Some(|| {
+            let (s, r, _alerts) = e9_large_monitored(
+                100_000,
+                17,
+                N100K_SOURCES,
+                Some(ParallelConfig::per_thread(bench_threads())),
+            );
+            (s.events, s.peak_queue_depth, r)
+        }),
     },
     Kernel {
         name: "e17_sweep_8seeds",
@@ -157,6 +196,7 @@ const KERNELS: &[Kernel] = &[
         },
         baseline: None,
         event_stats: None,
+        ring_stats: None,
     },
     Kernel {
         name: "flood_forward",
@@ -164,6 +204,7 @@ const KERNELS: &[Kernel] = &[
         run: flood_forward_kernel,
         baseline: None,
         event_stats: None,
+        ring_stats: None,
     },
 ];
 
@@ -222,14 +263,24 @@ fn extract_string(doc: &str, key: &str) -> Option<String> {
 }
 
 /// `--check`: re-time the simulated E9 kernels (the n=800 reference
-/// round and the n=100k sharded round) and fail (exit 1) if any
-/// regressed more than 25% against the committed `BENCH_hotpath.json`
-/// baseline — the CI smoke gate for the simulator hot path. A kernel
-/// absent from the baseline fails the gate (exit 2) rather than
-/// passing silently.
+/// round — unmonitored and monitored-through-the-ring — and the
+/// n=100k sharded round) and fail (exit 1) if any regressed more than
+/// 25% against the committed `BENCH_hotpath.json` baseline — the CI
+/// smoke gate for the simulator hot path. A kernel absent from the
+/// baseline fails the gate (exit 2) rather than passing silently.
 fn run_check(reps: usize) -> ! {
-    const CHECK_KERNELS: &[&str] = &["e9_n800_sim", "e9_n100k_sim"];
-    const MAX_RATIO: f64 = 1.25;
+    // Per-kernel regression tolerance. The plain sim rows get the
+    // standard 25%. The ring-hosted monitored row runs a drain thread
+    // next to a ~0.1s workload, and on a single-core host its wall
+    // clock is dominated by scheduler placement — ±30% rep-to-rep is
+    // normal — so it gets a looser gate: the row exists to catch
+    // step-change regressions (a stalled ring, an accidental inline
+    // fallback), not scheduling jitter.
+    const CHECK_KERNELS: &[(&str, f64)] = &[
+        ("e9_n800_sim", 1.25),
+        ("e9_n800_sim_monitored", 1.6),
+        ("e9_n100k_sim", 1.25),
+    ];
     let doc = match std::fs::read_to_string("BENCH_hotpath.json") {
         Ok(doc) => doc,
         Err(e) => {
@@ -244,7 +295,7 @@ fn run_check(reps: usize) -> ! {
         }
     };
     let mut failed = false;
-    for name in CHECK_KERNELS {
+    for (name, max_ratio) in CHECK_KERNELS {
         let Some(baseline_s) = extract_kernel_f64(&doc, name, "after_s") else {
             log_error(
                 "hotpath_check_error",
@@ -265,10 +316,10 @@ fn run_check(reps: usize) -> ! {
                 ("baseline_s", Json::Num(baseline_s)),
                 ("now_s", Json::Num(now_s)),
                 ("ratio", Json::Num(ratio)),
-                ("max_ratio", Json::Num(MAX_RATIO)),
+                ("max_ratio", Json::Num(*max_ratio)),
             ],
         );
-        if ratio > MAX_RATIO {
+        if ratio > *max_ratio {
             failed = true;
             log_error(
                 "hotpath_check_failed",
@@ -423,7 +474,18 @@ fn main() {
                 if k.name.contains("n100k") {
                     pairs.push(("threads", Json::from(threads)));
                 }
-                if let Some(stats) = k.event_stats {
+                if let Some(stats) = k.ring_stats {
+                    let (events, peak, ring) = stats();
+                    pairs.push(("events", Json::from(events)));
+                    pairs.push(("events_per_sec", Json::Num(events as f64 / after_s)));
+                    pairs.push(("peak_queue_depth", Json::from(peak)));
+                    pairs.push(("ring_frames_written", Json::from(ring.frames_written)));
+                    pairs.push(("ring_frames_dropped", Json::from(ring.frames_dropped)));
+                    pairs.push(("ring_blocked_us", Json::from(ring.blocked_us)));
+                    pairs.push(("ring_peak_chunks", Json::from(ring.peak_chunks)));
+                    pairs.push(("ring_capacity_chunks", Json::from(ring.capacity_chunks)));
+                    pairs.push(("ring_chunk_frames", Json::from(ring.chunk_frames)));
+                } else if let Some(stats) = k.event_stats {
                     let (events, peak) = stats();
                     pairs.push(("events", Json::from(events)));
                     pairs.push(("events_per_sec", Json::Num(events as f64 / after_s)));

@@ -1,20 +1,29 @@
 //! `wmsn-trace` — record and interrogate simulator trace files.
 //!
 //! Trace-driven debugging for the WMSN simulator: record a small
-//! experiment with the JSONL sink installed, then replay the file to
+//! experiment with a file sink installed, then replay the capture to
 //! answer "show the path of msg N", "why was packet X dropped", and
 //! "what is node K's energy timeline".
 //!
 //! ```text
-//! wmsn-trace record  <out.jsonl> [seed] [rounds]   # run E1 (SPR, 40 sensors) traced
-//! wmsn-trace summary <trace.jsonl>                 # event counts; exits 1 on parse errors
-//! wmsn-trace path    <trace.jsonl> <origin> <msg_id>
-//! wmsn-trace drop    <trace.jsonl> <seq>
-//! wmsn-trace energy  <trace.jsonl> <node>
-//! wmsn-trace health  <trace.jsonl>                 # run the health monitor offline
-//! wmsn-trace alerts  <trace.jsonl>                 # just the alert JSONL stream
-//! wmsn-trace top     <trace.jsonl> [k]             # k busiest nodes by tx (default 10)
+//! wmsn-trace record  <out> [seed] [rounds] [--bin]  # run E1 (SPR, 40 sensors) traced
+//! wmsn-trace summary <trace>                        # event counts; exits 1 on parse errors
+//! wmsn-trace path    <trace> <origin> <msg_id>
+//! wmsn-trace drop    <trace> <seq>
+//! wmsn-trace energy  <trace> <node>
+//! wmsn-trace health  <trace>                        # run the health monitor offline
+//! wmsn-trace alerts  <trace>                        # just the alert JSONL stream
+//! wmsn-trace top     <trace> [k]                    # k busiest nodes by tx (default 10)
+//! wmsn-trace convert <in> <out>                     # bin→jsonl or jsonl→bin (by input format)
 //! ```
+//!
+//! Every query accepts **either format**: the input is sniffed by its
+//! first bytes (binary captures open with the `WMSNTRB` magic; JSONL
+//! opens with `{`), so traces recorded through the ring pipeline's
+//! binary sink work everywhere a JSONL file does. `convert` translates
+//! between the two — bin→jsonl output is byte-identical to what the
+//! live `JsonlSink` writes (pinned by the golden test), jsonl→bin
+//! stamps `at = t, key = 0` since JSONL carries no causal keys.
 //!
 //! `health`/`alerts`/`top` replay the recorded trace through the same
 //! `wmsn_health::HealthMonitor` the simulator installs online, so an
@@ -25,26 +34,71 @@
 //! the CI step relies on.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use wmsn_core::builder::build_spr;
 use wmsn_core::drivers::SprDriver;
 use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
 use wmsn_health::{HealthConfig, HealthMonitor};
-use wmsn_trace::{log_error, log_record, JsonlSink, Replay, TraceEvent};
+use wmsn_trace::frame::write_header;
+use wmsn_trace::{
+    encode_frame, is_binary_capture, log_error, log_record, read_binary_trace, BinarySink,
+    JsonlSink, Replay, TraceEvent, TraceSink,
+};
 use wmsn_util::json::Json;
 
 fn usage() -> ! {
     println!(
-        "usage: wmsn-trace record  <out.jsonl> [seed] [rounds]\n\
-         \x20      wmsn-trace summary <trace.jsonl>\n\
-         \x20      wmsn-trace path    <trace.jsonl> <origin> <msg_id>\n\
-         \x20      wmsn-trace drop    <trace.jsonl> <seq>\n\
-         \x20      wmsn-trace energy  <trace.jsonl> <node>\n\
-         \x20      wmsn-trace health  <trace.jsonl>\n\
-         \x20      wmsn-trace alerts  <trace.jsonl>\n\
-         \x20      wmsn-trace top     <trace.jsonl> [k]"
+        "usage: wmsn-trace record  <out> [seed] [rounds] [--bin]\n\
+         \x20      wmsn-trace summary <trace>\n\
+         \x20      wmsn-trace path    <trace> <origin> <msg_id>\n\
+         \x20      wmsn-trace drop    <trace> <seq>\n\
+         \x20      wmsn-trace energy  <trace> <node>\n\
+         \x20      wmsn-trace health  <trace>\n\
+         \x20      wmsn-trace alerts  <trace>\n\
+         \x20      wmsn-trace top     <trace> [k]\n\
+         \x20      wmsn-trace convert <in> <out>\n\
+         (<trace> may be JSONL or a binary capture; the format is sniffed)"
     );
     std::process::exit(2);
+}
+
+fn die(path: &str, error: String) -> ! {
+    log_error(
+        "trace_error",
+        vec![
+            ("path", Json::from(path.to_string())),
+            ("error", Json::from(error)),
+        ],
+    );
+    std::process::exit(1);
+}
+
+/// Whether the file at `path` is a binary trace capture (by magic).
+fn sniff_binary(path: &str) -> bool {
+    let mut head = [0u8; 8];
+    let Ok(mut f) = File::open(path) else {
+        return false; // let the real open report the error
+    };
+    match f.read(&mut head) {
+        Ok(n) => is_binary_capture(&head[..n]),
+        Err(_) => false,
+    }
+}
+
+/// Decode a binary capture into events (exits non-zero on corruption).
+fn read_binary_events(path: &str) -> Vec<TraceEvent> {
+    let file = File::open(path).unwrap_or_else(|e| die(path, e.to_string()));
+    let frames = read_binary_trace(BufReader::new(file)).unwrap_or_else(|e| {
+        log_error(
+            "trace_parse_error",
+            vec![
+                ("path", Json::from(path.to_string())),
+                ("error", Json::from(e)),
+            ],
+        );
+        std::process::exit(1);
+    });
+    frames.into_iter().map(|(ev, _, _)| ev).collect()
 }
 
 fn parse_u64(s: &str, what: &'static str) -> u64 {
@@ -61,16 +115,10 @@ fn parse_u64(s: &str, what: &'static str) -> u64 {
 }
 
 fn load(path: &str) -> Replay {
-    let file = File::open(path).unwrap_or_else(|e| {
-        log_error(
-            "trace_error",
-            vec![
-                ("path", Json::from(path.to_string())),
-                ("error", Json::from(e.to_string())),
-            ],
-        );
-        std::process::exit(1);
-    });
+    if sniff_binary(path) {
+        return Replay::from_events(&read_binary_events(path));
+    }
+    let file = File::open(path).unwrap_or_else(|e| die(path, e.to_string()));
     Replay::from_reader(BufReader::new(file)).unwrap_or_else(|e| {
         log_error(
             "trace_parse_error",
@@ -84,18 +132,10 @@ fn load(path: &str) -> Replay {
 }
 
 /// Run the E1 kernel (SPR over 40 uniformly deployed sensors, three
-/// gateways) with a JSONL file sink installed, for `rounds` rounds.
-fn record(out: &str, seed: u64, rounds: u32) {
-    let file = File::create(out).unwrap_or_else(|e| {
-        log_error(
-            "trace_error",
-            vec![
-                ("path", Json::from(out.to_string())),
-                ("error", Json::from(e.to_string())),
-            ],
-        );
-        std::process::exit(1);
-    });
+/// gateways) with a file sink installed, for `rounds` rounds. `binary`
+/// selects the fixed-frame binary sink over JSONL.
+fn record(out: &str, seed: u64, rounds: u32, binary: bool) {
+    let file = File::create(out).unwrap_or_else(|e| die(out, e.to_string()));
     let field = FieldParams::default_uniform(40, seed);
     let scen = build_spr(
         &field,
@@ -103,10 +143,12 @@ fn record(out: &str, seed: u64, rounds: u32) {
         TrafficParams::default(),
     );
     let mut driver = SprDriver::new(scen);
-    driver
-        .scenario
-        .world
-        .set_trace_sink(Box::new(JsonlSink::new(BufWriter::new(file))));
+    let sink: Box<dyn TraceSink> = if binary {
+        Box::new(BinarySink::new(BufWriter::new(file)))
+    } else {
+        Box::new(JsonlSink::new(BufWriter::new(file)))
+    };
+    driver.scenario.world.set_trace_sink(sink);
     for _ in 0..rounds {
         driver.run_round();
     }
@@ -115,21 +157,93 @@ fn record(out: &str, seed: u64, rounds: u32) {
         .world
         .take_trace_sink()
         .expect("sink was installed");
-    let lines = sink
-        .as_any()
-        .downcast_ref::<JsonlSink<BufWriter<File>>>()
-        .map(JsonlSink::lines_written)
-        .unwrap_or(0);
+    let lines = if binary {
+        sink.as_any()
+            .downcast_ref::<BinarySink<BufWriter<File>>>()
+            .map(BinarySink::frames_written)
+            .unwrap_or(0)
+    } else {
+        sink.as_any()
+            .downcast_ref::<JsonlSink<BufWriter<File>>>()
+            .map(JsonlSink::lines_written)
+            .unwrap_or(0)
+    };
     let m = driver.scenario.world.metrics();
     log_record(
         "trace_written",
         vec![
             ("path", Json::from(out.to_string())),
+            (
+                "format",
+                Json::from(if binary { "binary" } else { "jsonl" }),
+            ),
             ("seed", Json::from(seed)),
             ("rounds", Json::from(u64::from(rounds))),
             ("lines", Json::from(lines)),
             ("originated", Json::from(m.originated)),
             ("delivered", Json::from(m.unique_deliveries())),
+        ],
+    );
+}
+
+/// Translate between the two capture formats, direction chosen by the
+/// input's sniffed format. bin→jsonl renders each decoded frame through
+/// `TraceEvent::to_json`, producing bytes identical to a live
+/// `JsonlSink` over the same events; jsonl→bin stamps `at = t, key = 0`
+/// (JSONL carries no causal keys).
+fn convert(input: &str, out: &str) {
+    let to_jsonl = sniff_binary(input);
+    let mut events = 0u64;
+    if to_jsonl {
+        let decoded = read_binary_events(input);
+        let file = File::create(out).unwrap_or_else(|e| die(out, e.to_string()));
+        let mut w = BufWriter::new(file);
+        for ev in &decoded {
+            writeln!(w, "{}", ev.to_json()).unwrap_or_else(|e| die(out, e.to_string()));
+        }
+        w.flush().unwrap_or_else(|e| die(out, e.to_string()));
+        events = decoded.len() as u64;
+    } else {
+        let file = File::open(input).unwrap_or_else(|e| die(input, e.to_string()));
+        let dst = File::create(out).unwrap_or_else(|e| die(out, e.to_string()));
+        let mut w = BufWriter::new(dst);
+        write_header(&mut w).unwrap_or_else(|e| die(out, e.to_string()));
+        for (lineno, line) in BufReader::new(file).lines().enumerate() {
+            let line = line.unwrap_or_else(|e| die(input, e.to_string()));
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = TraceEvent::from_json_line(&line).unwrap_or_else(|e| {
+                log_error(
+                    "trace_parse_error",
+                    vec![
+                        ("path", Json::from(input.to_string())),
+                        ("line", Json::from((lineno + 1) as u64)),
+                        ("error", Json::from(e)),
+                    ],
+                );
+                std::process::exit(1);
+            });
+            w.write_all(&encode_frame(&ev, ev.t(), 0))
+                .unwrap_or_else(|e| die(out, e.to_string()));
+            events += 1;
+        }
+        w.flush().unwrap_or_else(|e| die(out, e.to_string()));
+    }
+    log_record(
+        "trace_converted",
+        vec![
+            ("input", Json::from(input.to_string())),
+            ("output", Json::from(out.to_string())),
+            (
+                "direction",
+                Json::from(if to_jsonl {
+                    "bin_to_jsonl"
+                } else {
+                    "jsonl_to_bin"
+                }),
+            ),
+            ("events", Json::from(events)),
         ],
     );
 }
@@ -236,31 +350,23 @@ fn energy_query(path: &str, node: u64) {
     }
 }
 
-/// Stream a recorded trace through the health monitor, line by line —
+/// Stream a recorded trace through the health monitor, event by event —
 /// the offline twin of installing the monitor as the world's sink.
+/// Accepts either capture format: the detector bank sees the same
+/// event sequence whichever sink recorded it.
 fn monitor_file(path: &str) -> HealthMonitor {
-    let file = File::open(path).unwrap_or_else(|e| {
-        log_error(
-            "trace_error",
-            vec![
-                ("path", Json::from(path.to_string())),
-                ("error", Json::from(e.to_string())),
-            ],
-        );
-        std::process::exit(1);
-    });
+    if sniff_binary(path) {
+        let mut monitor = HealthMonitor::with_config(HealthConfig::default());
+        for ev in read_binary_events(path) {
+            monitor.observe(&ev);
+        }
+        monitor.finalize();
+        return monitor;
+    }
+    let file = File::open(path).unwrap_or_else(|e| die(path, e.to_string()));
     let mut monitor = HealthMonitor::with_config(HealthConfig::default());
     for (lineno, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.unwrap_or_else(|e| {
-            log_error(
-                "trace_error",
-                vec![
-                    ("path", Json::from(path.to_string())),
-                    ("error", Json::from(e.to_string())),
-                ],
-            );
-            std::process::exit(1);
-        });
+        let line = line.unwrap_or_else(|e| die(path, e.to_string()));
         if line.trim().is_empty() {
             continue;
         }
@@ -358,10 +464,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") => {
-            let Some(out) = args.get(1) else { usage() };
-            let seed = args.get(2).map_or(11, |s| parse_u64(s, "seed"));
-            let rounds = args.get(3).map_or(1, |s| parse_u64(s, "rounds")) as u32;
-            record(out, seed, rounds);
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let binary = rest.iter().any(|s| s.as_str() == "--bin");
+            rest.retain(|s| s.as_str() != "--bin");
+            let Some(out) = rest.first() else { usage() };
+            let seed = rest.get(1).map_or(11, |s| parse_u64(s, "seed"));
+            let rounds = rest.get(2).map_or(1, |s| parse_u64(s, "rounds")) as u32;
+            record(out, seed, rounds, binary);
         }
         Some("summary") => {
             let Some(path) = args.get(1) else { usage() };
@@ -397,6 +506,12 @@ fn main() {
             let Some(path) = args.get(1) else { usage() };
             let k = args.get(2).map_or(10, |s| parse_u64(s, "k")) as usize;
             top(path, k);
+        }
+        Some("convert") => {
+            let (Some(input), Some(out)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            convert(input, out);
         }
         _ => usage(),
     }

@@ -1936,6 +1936,185 @@ pub fn e9_event_stats_monitored(n: usize, seed: u64) -> (u64, usize) {
     (events, peak)
 }
 
+/// [`e9_event_stats_monitored`] through the ring pipeline: the monitor
+/// sits downstream of a [`wmsn_trace::RingSink`], so the sim thread
+/// only copies `TraceEvent` frames into the ring and the detector bank
+/// runs on the drain thread. Same workload, same events, same monitor
+/// state at the end (the take-time flush barrier guarantees it) —
+/// the wall-time delta against [`e9_event_stats`] is what monitoring
+/// costs *the simulation thread* under this pipeline. Also returns the
+/// aggregate ring telemetry (counters summed over the two gateway
+/// configurations, peak occupancy maxed).
+pub fn e9_event_stats_monitored_ring(n: usize, seed: u64) -> (u64, usize, wmsn_trace::RingStats) {
+    let density = 0.02;
+    let mut events = 0u64;
+    let mut peak = 0usize;
+    let mut agg = wmsn_trace::RingStats::default();
+    for scaled in [false, true] {
+        let m = if scaled { (n / 50).max(2) } else { 1 };
+        let field = FieldParams {
+            battery_j: 10.0,
+            ..FieldParams::constant_density(n, density, seed)
+        };
+        let grid = ((m as f64).sqrt().ceil() as usize).max(2);
+        let gw = GatewayParams {
+            m,
+            place_grid: (grid, grid),
+            ..GatewayParams::default_three()
+        };
+        let mut d = SprDriver::new(build_spr(&field, &gw, TrafficParams::default()));
+        d.scenario.world.set_trace_sink(wmsn_trace::RingSink::boxed(
+            wmsn_trace::RingConfig::default(),
+            vec![Box::new(wmsn_health::HealthMonitor::with_config(
+                wmsn_health::HealthConfig::default(),
+            ))],
+        ));
+        d.run_round();
+        events += d.scenario.world.events_processed();
+        peak = peak.max(d.scenario.world.peak_queue_depth());
+        // take_trace_sink flushes — for a RingSink that is the barrier,
+        // so the drain-side monitor is complete before the sink drops.
+        let mut sink = d
+            .scenario
+            .world
+            .take_trace_sink()
+            .expect("ring sink installed");
+        let ring = sink
+            .as_any_mut()
+            .downcast_mut::<wmsn_trace::RingSink>()
+            .expect("the installed sink is the ring");
+        let s = ring.stats();
+        agg.frames_written += s.frames_written;
+        agg.frames_dropped += s.frames_dropped;
+        agg.blocked_us += s.blocked_us;
+        agg.peak_chunks = agg.peak_chunks.max(s.peak_chunks);
+        agg.capacity_chunks = s.capacity_chunks;
+        agg.chunk_frames = s.chunk_frames;
+    }
+    (events, peak, agg)
+}
+
+/// [`run_attack_cell_monitored`] through the ring pipeline: the blind
+/// monitor is fed from the drain thread instead of inline. The returned
+/// monitor is finalized after the flush barrier — the same point in
+/// the event stream where the inline variant's take-time flush
+/// finalizes it — so its alert stream is byte-identical to inline
+/// mode's (pinned by the `trace_pipeline` integration test).
+pub fn run_attack_cell_monitored_ring(
+    protocol: TargetProtocol,
+    attack: Attack,
+    seed: u64,
+    cfg: wmsn_health::HealthConfig,
+) -> (
+    AttackOutcome,
+    wmsn_health::HealthMonitor,
+    wmsn_trace::RingStats,
+) {
+    let ring = wmsn_trace::RingSink::boxed(
+        wmsn_trace::RingConfig::default(),
+        vec![Box::new(wmsn_health::HealthMonitor::with_config(cfg))],
+    );
+    let (outcome, sink) = run_attack_cell_traced(protocol, attack, seed, Some(ring));
+    let mut sink = sink.expect("sink survives the run");
+    let ring = sink
+        .as_any_mut()
+        .downcast_mut::<wmsn_trace::RingSink>()
+        .expect("the installed sink is the ring");
+    let stats = ring.stats();
+    let monitor = ring
+        .with_sink_mut::<wmsn_health::HealthMonitor, _>(|m| {
+            m.finalize();
+            m.clone()
+        })
+        .expect("the ring drains into the monitor");
+    (outcome, monitor, stats)
+}
+
+/// Inline-monitored large round on the reference kernel: the
+/// [`wmsn_health::HealthMonitor`] installed directly as the world's
+/// trace sink, so every `observe()` runs on the simulation thread —
+/// the best monitored configuration available before the ring
+/// pipeline (the sharded kernel cannot host an inline monitor: its
+/// detectors need the causally merged stream). The bench times this as
+/// the `e9_n100k_sim_monitored` row's built-in baseline.
+pub fn e9_large_monitored_inline(n: usize, seed: u64, sources: usize) -> E9LargeSummary {
+    let (mut scen, base) = e9_large_scenario(n, seed);
+    scen.world.set_unicast_fast_path(true);
+    scen.world.set_trace_sink(wmsn_health::HealthMonitor::boxed(
+        wmsn_health::HealthConfig::default(),
+    ));
+    e9_large_round(&mut scen, base, sources)
+}
+
+/// Monitored large-scale round: the sharded kernel with one ring
+/// pipeline per shard buffering `(at, key, event)` frames off the
+/// simulation threads, then a single [`wmsn_health::HealthMonitor`]
+/// consuming the causally merged stream. The merge order is the
+/// reference emission order, so the monitor's verdicts are
+/// deterministic and kernel-independent — the detector bank never has
+/// to reason about shard interleaving. With `parallel = None` the
+/// reference kernel runs with one ring draining straight into the
+/// monitor (no merge step needed: a single stream is already in
+/// order).
+///
+/// Returns the round summary, the aggregate ring telemetry and the
+/// total alerts the monitor raised.
+pub fn e9_large_monitored(
+    n: usize,
+    seed: u64,
+    sources: usize,
+    parallel: Option<ParallelConfig>,
+) -> (E9LargeSummary, wmsn_trace::RingStats, u64) {
+    let (mut scen, base) = e9_large_scenario(n, seed);
+    scen.world.set_unicast_fast_path(true);
+    match parallel {
+        None => {
+            scen.world.set_trace_sink(wmsn_trace::RingSink::boxed(
+                wmsn_trace::RingConfig::default(),
+                vec![Box::new(wmsn_health::HealthMonitor::with_config(
+                    wmsn_health::HealthConfig::default(),
+                ))],
+            ));
+            let summary = e9_large_round(&mut scen, base, sources);
+            let mut sink = scen.world.take_trace_sink().expect("ring sink installed");
+            let ring = sink
+                .as_any_mut()
+                .downcast_mut::<wmsn_trace::RingSink>()
+                .expect("the installed sink is the ring");
+            let stats = ring.stats();
+            let alerts = ring
+                .with_sink_mut::<wmsn_health::HealthMonitor, _>(|m| {
+                    m.finalize();
+                    m.alerts().len() as u64
+                })
+                .expect("the ring drains into the monitor");
+            (summary, stats, alerts)
+        }
+        Some(p) => {
+            let mut positions = scen.sensor_positions.clone();
+            positions.extend_from_slice(&scen.gateway_positions);
+            positions.push(scen.world.node(base).pos);
+            let assignment = strip_shards(&positions, scen.range_m, p.shards);
+            let mut scen = scen.map_world(|w| ShardedWorld::from_world(w, assignment, p.threads));
+            scen.world
+                .install_ring_sinks(wmsn_trace::RingConfig::default());
+            let summary = e9_large_round(&mut scen, base, sources);
+            let (frames, stats) = scen
+                .world
+                .finish_ring_frames()
+                .expect("ring sinks installed");
+            let mut monitor =
+                wmsn_health::HealthMonitor::with_config(wmsn_health::HealthConfig::default());
+            // One streamed pass in the merged causal order: the monitor
+            // only needs the order, not a materialised gigabyte-scale
+            // merged Vec.
+            wmsn_trace::merge_keyed_events_with(frames, |ev| monitor.observe(ev));
+            monitor.finalize();
+            (summary, stats, monitor.alerts().len() as u64)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,7 +68,8 @@ use crate::node::{Ctx, NodeState};
 use crate::time::SimTime;
 use crate::world::{RemoteEvent, World};
 use std::sync::Mutex;
-use wmsn_trace::KeyedBufferSink;
+use wmsn_trace::ring::{merge_keyed_events, FrameBufferSink, RingConfig, RingSink, RingStats};
+use wmsn_trace::{KeyedBufferSink, TraceEvent};
 use wmsn_util::pool::bsp_run;
 use wmsn_util::{NodeId, NodeRole, Point};
 
@@ -518,6 +519,68 @@ impl ShardedWorld {
             });
         }
         Some(wmsn_trace::merge_keyed_traces(sinks))
+    }
+
+    /// Install one ring pipeline per shard: each shard's hot path only
+    /// copies `TraceEvent` frames into its own bounded ring, and a
+    /// per-shard drain thread buffers them (with their causal `(at,
+    /// key)` stamps) off the simulation threads. Retrieve the merged
+    /// stream with [`ShardedWorld::finish_ring_sinks`].
+    ///
+    /// Rings are strictly per-shard — a shard's world is the sole
+    /// producer on its ring — so the SPSC discipline holds no matter
+    /// which pool worker executes the shard in a given window.
+    pub fn install_ring_sinks(&mut self, cfg: RingConfig) {
+        for cell in &mut self.shards {
+            cell.0
+                .set_trace_sink(RingSink::boxed(cfg, vec![Box::new(FrameBufferSink::new())]));
+        }
+    }
+
+    /// Stop the per-shard ring pipelines and merge their frames by
+    /// `(at, key, capture index)` — the same total order
+    /// [`ShardedWorld::take_merged_trace`] uses for JSONL — into the
+    /// exact event sequence a single-threaded traced run emits, plus
+    /// aggregate ring telemetry (counters summed, peak occupancy
+    /// maxed). `None` if [`ShardedWorld::install_ring_sinks`] was never
+    /// called.
+    pub fn finish_ring_sinks(&mut self) -> Option<(Vec<TraceEvent>, RingStats)> {
+        let (frames, agg) = self.finish_ring_frames()?;
+        Some((merge_keyed_events(frames), agg))
+    }
+
+    /// Like [`ShardedWorld::finish_ring_sinks`], but hand back the raw
+    /// per-shard `(at, key, event)` captures without merging. Callers
+    /// that only need one ordered pass over the merged stream — feeding
+    /// a detector bank, serialising to a file — should pass these to
+    /// `wmsn_trace::merge_keyed_events_with` instead of materialising
+    /// the merged `Vec` (a gigabyte of fresh pages at n=100k).
+    #[allow(clippy::type_complexity)]
+    pub fn finish_ring_frames(&mut self) -> Option<(Vec<Vec<(u64, u64, TraceEvent)>>, RingStats)> {
+        let mut shard_frames = Vec::with_capacity(self.shards.len());
+        let mut agg = RingStats::default();
+        for cell in &mut self.shards {
+            // take_trace_sink flushes, which for a RingSink is the
+            // barrier: the drain has delivered everything on return.
+            let mut sink = cell.0.take_trace_sink()?;
+            let ring = sink
+                .as_any_mut()
+                .downcast_mut::<RingSink>()
+                .expect("install_ring_sinks installs RingSink");
+            let entries = ring
+                .with_sink_mut::<FrameBufferSink, _>(|b| std::mem::take(&mut b.entries))
+                .expect("ring drains into FrameBufferSink");
+            let s = ring.stats();
+            agg.frames_written += s.frames_written;
+            agg.frames_dropped += s.frames_dropped;
+            agg.blocked_us += s.blocked_us;
+            agg.peak_chunks = agg.peak_chunks.max(s.peak_chunks);
+            agg.capacity_chunks = s.capacity_chunks;
+            agg.chunk_frames = s.chunk_frames;
+            shard_frames.push(entries);
+            // Dropping the sink closes the ring and joins its drain.
+        }
+        Some((shard_frames, agg))
     }
 
     /// Total events processed across all shards. **Not** equivalent to

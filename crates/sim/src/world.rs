@@ -1292,6 +1292,21 @@ impl World {
         self.core.trace.is_some()
     }
 
+    /// Flush the installed trace sink in place (no-op when tracing is
+    /// disabled). For buffered sinks this drains buffers; for the ring
+    /// pipeline (`wmsn_trace::RingSink`) it is the **flush barrier**:
+    /// on return the drain thread has delivered every event emitted so
+    /// far, so a subsequent [`World::trace_sink_as_mut`] /
+    /// `RingSink::with_sink_mut` read observes exactly the inline-mode
+    /// state. Drivers call this at `run_until` boundaries; the world
+    /// never flushes mid-run on its own (some sinks treat a downstream
+    /// flush as end-of-trace finalisation).
+    pub fn flush_trace(&mut self) {
+        if let Some(sink) = self.core.trace.as_deref_mut() {
+            sink.flush();
+        }
+    }
+
     /// Borrow the installed trace sink downcast to a concrete type —
     /// `None` if no sink is installed or it is a different type. Lets
     /// online consumers (e.g. a health monitor) be interrogated

@@ -27,16 +27,26 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod frame;
 pub mod hist;
 pub mod parse;
 pub mod replay;
+pub mod ring;
 pub mod sink;
 pub mod structured;
 
 pub use event::{DropCause, TraceEvent, TraceKind, TraceTier};
+pub use frame::{
+    decode_frame, encode_frame, is_binary_capture, read_binary_trace, BinarySink, FRAME_LEN,
+    FRAME_MAGIC, FRAME_VERSION,
+};
 pub use hist::Histogram;
 pub use parse::{parse_line, Value};
 pub use replay::Replay;
+pub use ring::{
+    merge_keyed_events, merge_keyed_events_with, BackpressurePolicy, FrameBufferSink, RingConfig,
+    RingSink, RingStats,
+};
 pub use sink::{
     merge_keyed_traces, BufferSink, CountingSink, JsonlSink, KeyedBufferSink, NullSink, TraceSink,
 };

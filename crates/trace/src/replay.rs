@@ -5,6 +5,7 @@
 //! kept in the library so the queries are unit-testable and usable
 //! from experiments directly.
 
+use crate::event::TraceEvent;
 use crate::parse::{get, parse_line, Record, Value};
 use std::collections::BTreeMap;
 use std::io::BufRead;
@@ -62,6 +63,18 @@ impl Replay {
     /// Parse an in-memory JSONL string.
     pub fn from_jsonl(s: &str) -> Result<Replay, String> {
         Self::from_reader(s.as_bytes())
+    }
+
+    /// Build a replay directly from decoded events (e.g. a binary
+    /// capture). Each event is routed through its canonical JSONL
+    /// rendering, so every query answers exactly as it would on the
+    /// converted file.
+    pub fn from_events(events: &[TraceEvent]) -> Replay {
+        let records = events
+            .iter()
+            .map(|ev| parse_line(&ev.to_json().to_string()).expect("canonical event JSON parses"))
+            .collect();
+        Replay { records }
     }
 
     /// Number of events loaded.
