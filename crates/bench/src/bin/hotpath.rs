@@ -45,7 +45,7 @@ use wmsn_core::experiments::{
 };
 use wmsn_core::params::ParallelConfig;
 use wmsn_routing::wire::{rreq_append_forward, RoutingMsg};
-use wmsn_trace::{log_error, log_record, RingStats};
+use wmsn_trace::{log_error, log_record, CaptureStats, RingStats};
 use wmsn_util::json::Json;
 use wmsn_util::NodeId;
 
@@ -89,8 +89,39 @@ fn bench_threads() -> usize {
 const N100K_SOURCES: usize = 3;
 
 /// Un-timed statistics run for ring-pipeline kernels: `(events
-/// processed, peak queue depth, ring telemetry)`.
-type RingStatsFn = fn() -> (u64, usize, RingStats);
+/// processed, peak queue depth, ring telemetry, capture telemetry for
+/// kernels that stream their trace to disk)`.
+type RingStatsFn = fn() -> (u64, usize, RingStats, Option<CaptureStats>);
+
+/// The monitored n=100k round with its trace streamed to per-shard
+/// segmented capture files in a scratch directory (deleted afterwards)
+/// instead of buffered in memory — the configuration the
+/// `e9_n100k_sim_monitored` row times.
+fn n100k_monitored_captured() -> (
+    wmsn_core::experiments::E9LargeSummary,
+    RingStats,
+    u64,
+    CaptureStats,
+) {
+    let dir = std::env::temp_dir().join(format!(
+        "wmsn-hotpath-capture-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    std::fs::create_dir_all(&dir).expect("create capture scratch dir");
+    let (s, r, alerts, cap) = e9_large_monitored(
+        100_000,
+        17,
+        N100K_SOURCES,
+        Some(ParallelConfig::per_thread(bench_threads())),
+        Some(&dir),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (s, r, alerts, cap.expect("capture telemetry"))
+}
 
 struct Kernel {
     name: &'static str,
@@ -134,7 +165,10 @@ const KERNELS: &[Kernel] = &[
         run: || e9_event_stats_monitored_ring(800, 17).0 as usize,
         baseline: Some(|| e9_event_stats_monitored(800, 17).0 as usize),
         event_stats: None,
-        ring_stats: Some(|| e9_event_stats_monitored_ring(800, 17)),
+        ring_stats: Some(|| {
+            let (events, peak, ring) = e9_event_stats_monitored_ring(800, 17);
+            (events, peak, ring, None)
+        }),
     },
     Kernel {
         name: "e9_n100k_sim",
@@ -164,27 +198,13 @@ const KERNELS: &[Kernel] = &[
     },
     Kernel {
         name: "e9_n100k_sim_monitored",
-        desc: "E9 large: the n=100k sharded round with full health monitoring — per-shard ring pipelines buffer (at,key,event) frames off the sim threads, then one monitor consumes the causally merged stream (deterministic, kernel-independent verdicts); built-in baseline is the best pre-ring monitored configuration: the single-threaded reference kernel with the monitor inline as its trace sink (the sharded kernel cannot host an inline monitor, and a JSONL pipe at this scale is off the chart — this row did not exist before the ring pipeline)",
-        run: || {
-            e9_large_monitored(
-                100_000,
-                17,
-                N100K_SOURCES,
-                Some(ParallelConfig::per_thread(bench_threads())),
-            )
-            .0
-            .events as usize
-        },
+        desc: "E9 large: the n=100k sharded round with full health monitoring and disk-streamed captures — per-shard ring pipelines hand (at,key,event) frames to per-shard CaptureSinks whose drain threads encode and write segmented capture files, then one monitor consumes the k-way merged on-disk stream (same causal order as the in-memory merge: deterministic, kernel-independent verdicts) with one segment per shard resident instead of every frame; built-in baseline is the best pre-ring monitored configuration: the single-threaded reference kernel with the monitor inline as its trace sink (the sharded kernel cannot host an inline monitor, and a JSONL pipe at this scale is off the chart — this row did not exist before the ring pipeline)",
+        run: || n100k_monitored_captured().0.events as usize,
         baseline: Some(|| e9_large_monitored_inline(100_000, 17, N100K_SOURCES).events as usize),
         event_stats: None,
         ring_stats: Some(|| {
-            let (s, r, _alerts) = e9_large_monitored(
-                100_000,
-                17,
-                N100K_SOURCES,
-                Some(ParallelConfig::per_thread(bench_threads())),
-            );
-            (s.events, s.peak_queue_depth, r)
+            let (s, r, _alerts, cap) = n100k_monitored_captured();
+            (s.events, s.peak_queue_depth, r, Some(cap))
         }),
     },
     Kernel {
@@ -475,7 +495,7 @@ fn main() {
                     pairs.push(("threads", Json::from(threads)));
                 }
                 if let Some(stats) = k.ring_stats {
-                    let (events, peak, ring) = stats();
+                    let (events, peak, ring, capture) = stats();
                     pairs.push(("events", Json::from(events)));
                     pairs.push(("events_per_sec", Json::Num(events as f64 / after_s)));
                     pairs.push(("peak_queue_depth", Json::from(peak)));
@@ -485,6 +505,19 @@ fn main() {
                     pairs.push(("ring_peak_chunks", Json::from(ring.peak_chunks)));
                     pairs.push(("ring_capacity_chunks", Json::from(ring.capacity_chunks)));
                     pairs.push(("ring_chunk_frames", Json::from(ring.chunk_frames)));
+                    if let Some(cap) = capture {
+                        pairs.push(("capture_bytes_written", Json::from(cap.bytes)));
+                        pairs.push(("capture_segments", Json::from(cap.segments)));
+                        pairs.push(("capture_frames", Json::from(cap.frames)));
+                        pairs.push(("capture_frames_dropped", Json::from(cap.frames_dropped)));
+                        // Effective write rate over the whole timed
+                        // round (sim + encode + write + merge), not a
+                        // raw disk number.
+                        pairs.push((
+                            "capture_write_mb_per_s",
+                            Json::Num(cap.bytes as f64 / 1e6 / after_s),
+                        ));
+                    }
                 } else if let Some(stats) = k.event_stats {
                     let (events, peak) = stats();
                     pairs.push(("events", Json::from(events)));

@@ -6,7 +6,7 @@
 //! "what is node K's energy timeline".
 //!
 //! ```text
-//! wmsn-trace record  <out> [seed] [rounds] [--bin]  # run E1 (SPR, 40 sensors) traced
+//! wmsn-trace record  <out> [seed] [rounds] [--bin|--seg]  # run E1 (SPR, 40 sensors) traced
 //! wmsn-trace summary <trace>                        # event counts; exits 1 on parse errors
 //! wmsn-trace path    <trace> <origin> <msg_id>
 //! wmsn-trace drop    <trace> <seq>
@@ -14,25 +14,37 @@
 //! wmsn-trace health  <trace>                        # run the health monitor offline
 //! wmsn-trace alerts  <trace>                        # just the alert JSONL stream
 //! wmsn-trace top     <trace> [k]                    # k busiest nodes by tx (default 10)
-//! wmsn-trace convert <in> <out>                     # bin→jsonl or jsonl→bin (by input format)
+//! wmsn-trace index   <capture>                      # segment directory of a segmented capture
+//! wmsn-trace pack    <in> <out> [segment_frames]    # jsonl/flat-bin → segmented capture
+//! wmsn-trace convert <in> <out>                     # bin/segmented→jsonl or jsonl→bin
 //! ```
 //!
-//! Every query accepts **either format**: the input is sniffed by its
-//! first bytes (binary captures open with the `WMSNTRB` magic; JSONL
-//! opens with `{`), so traces recorded through the ring pipeline's
-//! binary sink work everywhere a JSONL file does. `convert` translates
-//! between the two — bin→jsonl output is byte-identical to what the
-//! live `JsonlSink` writes (pinned by the golden test), jsonl→bin
-//! stamps `at = t, key = 0` since JSONL carries no causal keys.
+//! Every query accepts **any of the three formats**: the input is
+//! sniffed by its first bytes (flat binary captures open with the
+//! `WMSNTRB` magic, segmented captures with `WMSNTRS`, JSONL with `{`).
+//! JSONL and flat binary replay through the in-memory [`Replay`];
+//! segmented captures answer through the streaming scan layer in
+//! `wmsn_trace::capture` — segment-at-a-time decode with index-driven
+//! segment skipping, so a query over a multi-gigabyte capture holds one
+//! segment in memory. Both paths print identical records byte for byte
+//! (pinned in CI by the streaming-vs-in-memory parity step).
 //!
-//! `health`/`alerts`/`top` replay the recorded trace through the same
+//! A segmented capture whose trailer records `frames_dropped > 0` was
+//! recorded through a ring under `DropNewest` backpressure — the file
+//! is a *sample* of the trace stream, not a transcript — so every
+//! command that opens one prints a `capture_dropped_frames` warning on
+//! stderr first.
+//!
+//! `health`/`alerts`/`top` stream the recorded trace through the same
 //! `wmsn_health::HealthMonitor` the simulator installs online, so an
 //! offline fingerprint matches the live one byte for byte.
 //!
-//! All output is structured records (one flat JSON object per line);
-//! malformed traces and missing messages exit non-zero, which is what
-//! the CI step relies on.
+//! All output is structured records (one flat JSON object per line).
+//! Malformed traces and missing messages exit non-zero through one
+//! helper (`die_load`) that always reports the path plus the JSONL line
+//! or byte offset of the failure — which is what the CI step relies on.
 
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use wmsn_core::builder::build_spr;
@@ -40,15 +52,18 @@ use wmsn_core::drivers::SprDriver;
 use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
 use wmsn_health::{HealthConfig, HealthMonitor};
 use wmsn_trace::frame::write_header;
+use wmsn_trace::replay::MessagePath;
 use wmsn_trace::{
-    encode_frame, is_binary_capture, log_error, log_record, read_binary_trace, BinarySink,
-    JsonlSink, Replay, TraceEvent, TraceSink,
+    capture_counts, capture_drops_of_seq, capture_energy_of, capture_path_of, encode_frame,
+    is_binary_capture, is_segmented_capture, log_error, log_record, tag_name, BinarySink,
+    BinaryTraceReader, CaptureConfig, CaptureReader, CaptureSink, JsonlSink, Replay, ScanFilter,
+    TraceEvent, TraceSink, DEFAULT_SEGMENT_FRAMES, TAG_COUNT,
 };
 use wmsn_util::json::Json;
 
 fn usage() -> ! {
     println!(
-        "usage: wmsn-trace record  <out> [seed] [rounds] [--bin]\n\
+        "usage: wmsn-trace record  <out> [seed] [rounds] [--bin|--seg]\n\
          \x20      wmsn-trace summary <trace>\n\
          \x20      wmsn-trace path    <trace> <origin> <msg_id>\n\
          \x20      wmsn-trace drop    <trace> <seq>\n\
@@ -56,49 +71,110 @@ fn usage() -> ! {
          \x20      wmsn-trace health  <trace>\n\
          \x20      wmsn-trace alerts  <trace>\n\
          \x20      wmsn-trace top     <trace> [k]\n\
+         \x20      wmsn-trace index   <capture>\n\
+         \x20      wmsn-trace pack    <in> <out> [segment_frames]\n\
          \x20      wmsn-trace convert <in> <out>\n\
-         (<trace> may be JSONL or a binary capture; the format is sniffed)"
+         (<trace> may be JSONL, a flat binary capture or a segmented\n\
+         \x20capture; the format is sniffed)"
     );
     std::process::exit(2);
 }
 
-fn die(path: &str, error: String) -> ! {
-    log_error(
-        "trace_error",
-        vec![
-            ("path", Json::from(path.to_string())),
-            ("error", Json::from(error)),
-        ],
-    );
+/// The one load/IO-error exit path: every failure to open, read, parse
+/// or write a trace reports the same record shape — path, the JSONL
+/// `line` or byte `offset` of the failure when known, and the error —
+/// then exits 1.
+fn die_load(path: &str, line: Option<u64>, offset: Option<u64>, error: String) -> ! {
+    let mut fields = vec![("path", Json::from(path.to_string()))];
+    if let Some(l) = line {
+        fields.push(("line", Json::from(l)));
+    }
+    if let Some(o) = offset {
+        fields.push(("offset", Json::from(o)));
+    }
+    fields.push(("error", Json::from(error)));
+    log_error("trace_load_error", fields);
     std::process::exit(1);
 }
 
-/// Whether the file at `path` is a binary trace capture (by magic).
-fn sniff_binary(path: &str) -> bool {
+/// Trace file formats the CLI understands, sniffed from the first
+/// bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Format {
+    Jsonl,
+    Binary,
+    Segmented,
+}
+
+fn sniff(path: &str) -> Format {
     let mut head = [0u8; 8];
     let Ok(mut f) = File::open(path) else {
-        return false; // let the real open report the error
+        return Format::Jsonl; // let the real open report the error
     };
-    match f.read(&mut head) {
-        Ok(n) => is_binary_capture(&head[..n]),
-        Err(_) => false,
+    let n = f.read(&mut head).unwrap_or(0);
+    if is_segmented_capture(&head[..n]) {
+        Format::Segmented
+    } else if is_binary_capture(&head[..n]) {
+        Format::Binary
+    } else {
+        Format::Jsonl
     }
 }
 
-/// Decode a binary capture into events (exits non-zero on corruption).
-fn read_binary_events(path: &str) -> Vec<TraceEvent> {
-    let file = File::open(path).unwrap_or_else(|e| die(path, e.to_string()));
-    let frames = read_binary_trace(BufReader::new(file)).unwrap_or_else(|e| {
+/// Open a segmented capture, validating footer and directory. If the
+/// trailer records ring drops, warn on stderr before any query output:
+/// the capture is a partial sample and must never be silently trusted.
+fn open_capture(path: &str) -> CaptureReader<BufReader<File>> {
+    let r = CaptureReader::open(path).unwrap_or_else(|e| die_load(path, None, None, e));
+    if r.frames_dropped() > 0 {
         log_error(
-            "trace_parse_error",
+            "capture_dropped_frames",
             vec![
                 ("path", Json::from(path.to_string())),
-                ("error", Json::from(e)),
+                ("frames_dropped", Json::from(r.frames_dropped())),
+                ("frames", Json::from(r.frames())),
+                (
+                    "warning",
+                    Json::from(
+                        "capture was recorded with ring backpressure drops; \
+                         query answers reflect a partial trace",
+                    ),
+                ),
             ],
         );
-        std::process::exit(1);
-    });
-    frames.into_iter().map(|(ev, _, _)| ev).collect()
+    }
+    r
+}
+
+/// Stream the frames of a flat binary capture, reporting the byte
+/// offset of any corrupt frame.
+fn for_each_binary_event(path: &str, mut f: impl FnMut(TraceEvent, u64, u64)) {
+    let file = File::open(path).unwrap_or_else(|e| die_load(path, None, None, e.to_string()));
+    let mut r = BinaryTraceReader::new(BufReader::new(file))
+        .unwrap_or_else(|e| die_load(path, None, Some(0), e));
+    loop {
+        match r.next_frame() {
+            Ok(Some((ev, at, key))) => f(ev, at, key),
+            Ok(None) => return,
+            Err(e) => die_load(path, None, Some(r.byte_offset()), e),
+        }
+    }
+}
+
+/// Stream the events of a JSONL trace, reporting the 1-based line
+/// number of any malformed line.
+fn for_each_jsonl_event(path: &str, mut f: impl FnMut(TraceEvent)) {
+    let file = File::open(path).unwrap_or_else(|e| die_load(path, None, None, e.to_string()));
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line =
+            line.unwrap_or_else(|e| die_load(path, Some(lineno as u64 + 1), None, e.to_string()));
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::from_json_line(&line)
+            .unwrap_or_else(|e| die_load(path, Some(lineno as u64 + 1), None, e));
+        f(ev);
+    }
 }
 
 fn parse_u64(s: &str, what: &'static str) -> u64 {
@@ -114,28 +190,23 @@ fn parse_u64(s: &str, what: &'static str) -> u64 {
     })
 }
 
+/// Load a JSONL or flat-binary trace fully into the in-memory replay
+/// engine. Segmented captures never come through here — their queries
+/// stream (see the module docs).
 fn load(path: &str) -> Replay {
-    if sniff_binary(path) {
-        return Replay::from_events(&read_binary_events(path));
+    let mut events = Vec::new();
+    match sniff(path) {
+        Format::Binary => for_each_binary_event(path, |ev, _, _| events.push(ev)),
+        _ => for_each_jsonl_event(path, |ev| events.push(ev)),
     }
-    let file = File::open(path).unwrap_or_else(|e| die(path, e.to_string()));
-    Replay::from_reader(BufReader::new(file)).unwrap_or_else(|e| {
-        log_error(
-            "trace_parse_error",
-            vec![
-                ("path", Json::from(path.to_string())),
-                ("error", Json::from(e)),
-            ],
-        );
-        std::process::exit(1);
-    })
+    Replay::from_events(&events)
 }
 
 /// Run the E1 kernel (SPR over 40 uniformly deployed sensors, three
-/// gateways) with a file sink installed, for `rounds` rounds. `binary`
-/// selects the fixed-frame binary sink over JSONL.
-fn record(out: &str, seed: u64, rounds: u32, binary: bool) {
-    let file = File::create(out).unwrap_or_else(|e| die(out, e.to_string()));
+/// gateways) with a file sink installed, for `rounds` rounds. `format`
+/// selects JSONL, the flat fixed-frame binary sink, or the segmented
+/// capture sink.
+fn record(out: &str, seed: u64, rounds: u32, format: Format) {
     let field = FieldParams::default_uniform(40, seed);
     let scen = build_spr(
         &field,
@@ -143,30 +214,50 @@ fn record(out: &str, seed: u64, rounds: u32, binary: bool) {
         TrafficParams::default(),
     );
     let mut driver = SprDriver::new(scen);
-    let sink: Box<dyn TraceSink> = if binary {
-        Box::new(BinarySink::new(BufWriter::new(file)))
-    } else {
-        Box::new(JsonlSink::new(BufWriter::new(file)))
+    let sink: Box<dyn TraceSink> = match format {
+        Format::Jsonl => {
+            let file =
+                File::create(out).unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+            Box::new(JsonlSink::new(BufWriter::new(file)))
+        }
+        Format::Binary => {
+            let file =
+                File::create(out).unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+            Box::new(BinarySink::new(BufWriter::new(file)))
+        }
+        Format::Segmented => Box::new(
+            CaptureSink::create(out, CaptureConfig::default())
+                .unwrap_or_else(|e| die_load(out, None, None, e.to_string())),
+        ),
     };
     driver.scenario.world.set_trace_sink(sink);
     for _ in 0..rounds {
         driver.run_round();
     }
-    let sink = driver
+    let mut sink = driver
         .scenario
         .world
         .take_trace_sink()
         .expect("sink was installed");
-    let lines = if binary {
-        sink.as_any()
-            .downcast_ref::<BinarySink<BufWriter<File>>>()
-            .map(BinarySink::frames_written)
-            .unwrap_or(0)
-    } else {
-        sink.as_any()
+    let lines = match format {
+        Format::Jsonl => sink
+            .as_any()
             .downcast_ref::<JsonlSink<BufWriter<File>>>()
             .map(JsonlSink::lines_written)
-            .unwrap_or(0)
+            .unwrap_or(0),
+        Format::Binary => sink
+            .as_any()
+            .downcast_ref::<BinarySink<BufWriter<File>>>()
+            .map(BinarySink::frames_written)
+            .unwrap_or(0),
+        Format::Segmented => {
+            let cap = sink
+                .as_any_mut()
+                .downcast_mut::<CaptureSink>()
+                .and_then(CaptureSink::finalize)
+                .unwrap_or_else(|| die_load(out, None, None, "capture write failed".into()));
+            cap.frames
+        }
     };
     let m = driver.scenario.world.metrics();
     log_record(
@@ -175,7 +266,11 @@ fn record(out: &str, seed: u64, rounds: u32, binary: bool) {
             ("path", Json::from(out.to_string())),
             (
                 "format",
-                Json::from(if binary { "binary" } else { "jsonl" }),
+                Json::from(match format {
+                    Format::Jsonl => "jsonl",
+                    Format::Binary => "binary",
+                    Format::Segmented => "segmented",
+                }),
             ),
             ("seed", Json::from(seed)),
             ("rounds", Json::from(u64::from(rounds))),
@@ -186,49 +281,126 @@ fn record(out: &str, seed: u64, rounds: u32, binary: bool) {
     );
 }
 
-/// Translate between the two capture formats, direction chosen by the
-/// input's sniffed format. bin→jsonl renders each decoded frame through
-/// `TraceEvent::to_json`, producing bytes identical to a live
-/// `JsonlSink` over the same events; jsonl→bin stamps `at = t, key = 0`
-/// (JSONL carries no causal keys).
-fn convert(input: &str, out: &str) {
-    let to_jsonl = sniff_binary(input);
-    let mut events = 0u64;
-    if to_jsonl {
-        let decoded = read_binary_events(input);
-        let file = File::create(out).unwrap_or_else(|e| die(out, e.to_string()));
-        let mut w = BufWriter::new(file);
-        for ev in &decoded {
-            writeln!(w, "{}", ev.to_json()).unwrap_or_else(|e| die(out, e.to_string()));
-        }
-        w.flush().unwrap_or_else(|e| die(out, e.to_string()));
-        events = decoded.len() as u64;
-    } else {
-        let file = File::open(input).unwrap_or_else(|e| die(input, e.to_string()));
-        let dst = File::create(out).unwrap_or_else(|e| die(out, e.to_string()));
-        let mut w = BufWriter::new(dst);
-        write_header(&mut w).unwrap_or_else(|e| die(out, e.to_string()));
-        for (lineno, line) in BufReader::new(file).lines().enumerate() {
-            let line = line.unwrap_or_else(|e| die(input, e.to_string()));
-            if line.trim().is_empty() {
-                continue;
+/// Repack a JSONL or flat-binary trace into a segmented capture. Flat
+/// binary frames keep their causal `(at, key)` stamps; JSONL carries no
+/// causal keys, so events are stamped `at = t, key = 0` (exactly as
+/// `convert` does in the jsonl→bin direction).
+fn pack(input: &str, out: &str, segment_frames: usize) {
+    let file = File::create(out).unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+    let mut w =
+        wmsn_trace::CaptureWriter::new(BufWriter::new(file), CaptureConfig { segment_frames })
+            .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+    match sniff(input) {
+        Format::Segmented => die_load(
+            input,
+            None,
+            None,
+            "input is already a segmented capture".into(),
+        ),
+        Format::Binary => for_each_binary_event(input, |ev, at, key| {
+            w.push(&ev, at, key)
+                .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+        }),
+        Format::Jsonl => for_each_jsonl_event(input, |ev| {
+            w.push(&ev, ev.t(), 0)
+                .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+        }),
+    }
+    let (_, stats) = w
+        .finish()
+        .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+    log_record(
+        "trace_packed",
+        vec![
+            ("input", Json::from(input.to_string())),
+            ("output", Json::from(out.to_string())),
+            ("frames", Json::from(stats.frames)),
+            ("segments", Json::from(stats.segments)),
+            ("segment_frames", Json::from(segment_frames)),
+            ("bytes", Json::from(stats.bytes)),
+        ],
+    );
+}
+
+/// Print the segment directory of a segmented capture: one record per
+/// segment with its byte offset, frame count, `at` range and per-kind
+/// counts — the index the streaming queries prune with.
+fn index(path: &str) {
+    let r = open_capture(path);
+    log_record(
+        "capture_index",
+        vec![
+            ("path", Json::from(path.to_string())),
+            ("frames", Json::from(r.frames())),
+            ("segments", Json::from(r.segments().len())),
+            ("bytes", Json::from(r.bytes())),
+            ("frames_dropped", Json::from(r.frames_dropped())),
+        ],
+    );
+    for (i, seg) in r.segments().iter().enumerate() {
+        let mut kinds = Vec::new();
+        for t in 1..=TAG_COUNT as u8 {
+            let n = seg.count_of_tag(t);
+            if n > 0 {
+                kinds.push((tag_name(t).expect("tag in range"), Json::from(n)));
             }
-            let ev = TraceEvent::from_json_line(&line).unwrap_or_else(|e| {
-                log_error(
-                    "trace_parse_error",
-                    vec![
-                        ("path", Json::from(input.to_string())),
-                        ("line", Json::from((lineno + 1) as u64)),
-                        ("error", Json::from(e)),
-                    ],
-                );
-                std::process::exit(1);
-            });
-            w.write_all(&encode_frame(&ev, ev.t(), 0))
-                .unwrap_or_else(|e| die(out, e.to_string()));
-            events += 1;
         }
-        w.flush().unwrap_or_else(|e| die(out, e.to_string()));
+        log_record(
+            "capture_segment",
+            vec![
+                ("segment", Json::from(i)),
+                ("offset", Json::from(seg.offset)),
+                ("frames", Json::from(u64::from(seg.frames))),
+                ("at_min", Json::from(seg.at_min)),
+                ("at_max", Json::from(seg.at_max)),
+                ("counts", Json::obj(kinds)),
+            ],
+        );
+    }
+}
+
+/// Translate between capture formats, direction chosen by the input's
+/// sniffed format. bin→jsonl and segmented→jsonl render each decoded
+/// frame through `TraceEvent::to_json`, producing bytes identical to a
+/// live `JsonlSink` over the same events; jsonl→bin stamps `at = t,
+/// key = 0` (JSONL carries no causal keys).
+fn convert(input: &str, out: &str) {
+    let from = sniff(input);
+    let mut events = 0u64;
+    match from {
+        Format::Binary | Format::Segmented => {
+            let file =
+                File::create(out).unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+            let mut w = BufWriter::new(file);
+            let mut emit = |ev: &TraceEvent| {
+                writeln!(w, "{}", ev.to_json())
+                    .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+                events += 1;
+            };
+            match from {
+                Format::Binary => for_each_binary_event(input, |ev, _, _| emit(&ev)),
+                _ => {
+                    let mut r = open_capture(input);
+                    r.scan(&ScanFilter::all(), |ev, _, _| emit(ev))
+                        .unwrap_or_else(|e| die_load(input, None, None, e));
+                }
+            }
+            w.flush()
+                .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+        }
+        Format::Jsonl => {
+            let dst =
+                File::create(out).unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+            let mut w = BufWriter::new(dst);
+            write_header(&mut w).unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+            for_each_jsonl_event(input, |ev| {
+                w.write_all(&encode_frame(&ev, ev.t(), 0))
+                    .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+                events += 1;
+            });
+            w.flush()
+                .unwrap_or_else(|e| die_load(out, None, None, e.to_string()));
+        }
     }
     log_record(
         "trace_converted",
@@ -237,10 +409,10 @@ fn convert(input: &str, out: &str) {
             ("output", Json::from(out.to_string())),
             (
                 "direction",
-                Json::from(if to_jsonl {
-                    "bin_to_jsonl"
-                } else {
-                    "jsonl_to_bin"
+                Json::from(match from {
+                    Format::Binary => "bin_to_jsonl",
+                    Format::Segmented => "segmented_to_jsonl",
+                    Format::Jsonl => "jsonl_to_bin",
                 }),
             ),
             ("events", Json::from(events)),
@@ -248,16 +420,19 @@ fn convert(input: &str, out: &str) {
     );
 }
 
-fn summary(path: &str) {
-    let r = load(path);
+// Query printing is shared between the in-memory `Replay` path and the
+// streaming capture path so the two are byte-identical by construction
+// (and verified byte-for-byte by the CI parity step).
+
+fn print_summary(path: &str, events: u64, counts: BTreeMap<String, u64>) {
     log_record(
         "trace_summary",
         vec![
             ("path", Json::from(path.to_string())),
-            ("events", Json::from(r.len())),
+            ("events", Json::from(events)),
         ],
     );
-    for (ev, n) in r.counts() {
+    for (ev, n) in counts {
         log_record(
             "trace_count",
             vec![("ev", Json::from(ev)), ("count", Json::from(n))],
@@ -265,9 +440,21 @@ fn summary(path: &str) {
     }
 }
 
-fn path_query(path: &str, origin: u64, msg_id: u64) {
-    let r = load(path);
-    let Some(p) = r.path_of(origin, msg_id) else {
+fn summary(path: &str) {
+    match sniff(path) {
+        Format::Segmented => {
+            let r = open_capture(path);
+            print_summary(path, r.frames(), capture_counts(&r));
+        }
+        _ => {
+            let r = load(path);
+            print_summary(path, r.len() as u64, r.counts());
+        }
+    }
+}
+
+fn print_path(origin: u64, msg_id: u64, found: Option<MessagePath>) {
+    let Some(p) = found else {
         log_error(
             "trace_error",
             vec![
@@ -309,9 +496,26 @@ fn path_query(path: &str, origin: u64, msg_id: u64) {
     }
 }
 
+fn path_query(path: &str, origin: u64, msg_id: u64) {
+    let found = match sniff(path) {
+        Format::Segmented => {
+            let mut r = open_capture(path);
+            capture_path_of(&mut r, origin, msg_id)
+                .unwrap_or_else(|e| die_load(path, None, None, e))
+        }
+        _ => load(path).path_of(origin, msg_id),
+    };
+    print_path(origin, msg_id, found);
+}
+
 fn drop_query(path: &str, seq: u64) {
-    let r = load(path);
-    let drops = r.drops_of_seq(seq);
+    let drops = match sniff(path) {
+        Format::Segmented => {
+            let mut r = open_capture(path);
+            capture_drops_of_seq(&mut r, seq).unwrap_or_else(|e| die_load(path, None, None, e))
+        }
+        _ => load(path).drops_of_seq(seq),
+    };
     log_record(
         "drop_summary",
         vec![("seq", Json::from(seq)), ("drops", Json::from(drops.len()))],
@@ -329,8 +533,13 @@ fn drop_query(path: &str, seq: u64) {
 }
 
 fn energy_query(path: &str, node: u64) {
-    let r = load(path);
-    let timeline = r.energy_of(node);
+    let timeline = match sniff(path) {
+        Format::Segmented => {
+            let mut r = open_capture(path);
+            capture_energy_of(&mut r, node).unwrap_or_else(|e| die_load(path, None, None, e))
+        }
+        _ => load(path).energy_of(node),
+    };
     log_record(
         "energy_summary",
         vec![
@@ -352,36 +561,20 @@ fn energy_query(path: &str, node: u64) {
 
 /// Stream a recorded trace through the health monitor, event by event —
 /// the offline twin of installing the monitor as the world's sink.
-/// Accepts either capture format: the detector bank sees the same
-/// event sequence whichever sink recorded it.
+/// Accepts all three capture formats; the detector bank sees the same
+/// event sequence whichever sink recorded it, and no format ever
+/// materialises the full event list (segmented captures stream one
+/// segment at a time).
 fn monitor_file(path: &str) -> HealthMonitor {
-    if sniff_binary(path) {
-        let mut monitor = HealthMonitor::with_config(HealthConfig::default());
-        for ev in read_binary_events(path) {
-            monitor.observe(&ev);
-        }
-        monitor.finalize();
-        return monitor;
-    }
-    let file = File::open(path).unwrap_or_else(|e| die(path, e.to_string()));
     let mut monitor = HealthMonitor::with_config(HealthConfig::default());
-    for (lineno, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.unwrap_or_else(|e| die(path, e.to_string()));
-        if line.trim().is_empty() {
-            continue;
+    match sniff(path) {
+        Format::Segmented => {
+            let mut r = open_capture(path);
+            r.scan(&ScanFilter::all(), |ev, _, _| monitor.observe(ev))
+                .unwrap_or_else(|e| die_load(path, None, None, e));
         }
-        let ev = TraceEvent::from_json_line(&line).unwrap_or_else(|e| {
-            log_error(
-                "trace_parse_error",
-                vec![
-                    ("path", Json::from(path.to_string())),
-                    ("line", Json::from((lineno + 1) as u64)),
-                    ("error", Json::from(e)),
-                ],
-            );
-            std::process::exit(1);
-        });
-        monitor.observe(&ev);
+        Format::Binary => for_each_binary_event(path, |ev, _, _| monitor.observe(&ev)),
+        Format::Jsonl => for_each_jsonl_event(path, |ev| monitor.observe(&ev)),
     }
     monitor.finalize();
     monitor
@@ -465,12 +658,18 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("record") => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
-            let binary = rest.iter().any(|s| s.as_str() == "--bin");
-            rest.retain(|s| s.as_str() != "--bin");
+            let mut format = Format::Jsonl;
+            if rest.iter().any(|s| s.as_str() == "--bin") {
+                format = Format::Binary;
+            }
+            if rest.iter().any(|s| s.as_str() == "--seg") {
+                format = Format::Segmented;
+            }
+            rest.retain(|s| s.as_str() != "--bin" && s.as_str() != "--seg");
             let Some(out) = rest.first() else { usage() };
             let seed = rest.get(1).map_or(11, |s| parse_u64(s, "seed"));
             let rounds = rest.get(2).map_or(1, |s| parse_u64(s, "rounds")) as u32;
-            record(out, seed, rounds, binary);
+            record(out, seed, rounds, format);
         }
         Some("summary") => {
             let Some(path) = args.get(1) else { usage() };
@@ -506,6 +705,22 @@ fn main() {
             let Some(path) = args.get(1) else { usage() };
             let k = args.get(2).map_or(10, |s| parse_u64(s, "k")) as usize;
             top(path, k);
+        }
+        Some("index") => {
+            let Some(path) = args.get(1) else { usage() };
+            index(path);
+        }
+        Some("pack") => {
+            let (Some(input), Some(out)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let seg = args
+                .get(3)
+                .map_or(DEFAULT_SEGMENT_FRAMES, |s| {
+                    parse_u64(s, "segment_frames") as usize
+                })
+                .max(1);
+            pack(input, out, seg);
         }
         Some("convert") => {
             let (Some(input), Some(out)) = (args.get(1), args.get(2)) else {

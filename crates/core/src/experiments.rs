@@ -2057,23 +2057,51 @@ pub fn e9_large_monitored_inline(n: usize, seed: u64, sources: usize) -> E9Large
 /// monitor (no merge step needed: a single stream is already in
 /// order).
 ///
-/// Returns the round summary, the aggregate ring telemetry and the
-/// total alerts the monitor raised.
+/// With `capture_dir = Some(dir)` the trace stream is additionally (or,
+/// on the sharded kernel, *instead of* being buffered in memory)
+/// streamed to segmented capture files under `dir`: the reference
+/// kernel's single ring drains into the monitor and a
+/// [`wmsn_trace::CaptureSink`] side by side (`capture.wcap`), while the
+/// sharded kernel writes one `shard-<i>.wcap` per shard from its drain
+/// threads and the monitor consumes the k-way
+/// [`wmsn_trace::merge_captures_with`] merge of those files — same
+/// causal order as the in-memory merge, so the alert stream is
+/// unchanged, but peak memory drops from every-frame-resident to one
+/// segment per shard.
+///
+/// Returns the round summary, the aggregate ring telemetry, the total
+/// alerts the monitor raised, and the capture telemetry when a
+/// `capture_dir` was given.
 pub fn e9_large_monitored(
     n: usize,
     seed: u64,
     sources: usize,
     parallel: Option<ParallelConfig>,
-) -> (E9LargeSummary, wmsn_trace::RingStats, u64) {
+    capture_dir: Option<&std::path::Path>,
+) -> (
+    E9LargeSummary,
+    wmsn_trace::RingStats,
+    u64,
+    Option<wmsn_trace::CaptureStats>,
+) {
     let (mut scen, base) = e9_large_scenario(n, seed);
     scen.world.set_unicast_fast_path(true);
     match parallel {
         None => {
+            let mut sinks: Vec<Box<dyn wmsn_trace::TraceSink + Send>> = vec![Box::new(
+                wmsn_health::HealthMonitor::with_config(wmsn_health::HealthConfig::default()),
+            )];
+            if let Some(dir) = capture_dir {
+                let sink = wmsn_trace::CaptureSink::create(
+                    dir.join("capture.wcap"),
+                    wmsn_trace::CaptureConfig::default(),
+                )
+                .expect("create capture file");
+                sinks.push(Box::new(sink));
+            }
             scen.world.set_trace_sink(wmsn_trace::RingSink::boxed(
                 wmsn_trace::RingConfig::default(),
-                vec![Box::new(wmsn_health::HealthMonitor::with_config(
-                    wmsn_health::HealthConfig::default(),
-                ))],
+                sinks,
             ));
             let summary = e9_large_round(&mut scen, base, sources);
             let mut sink = scen.world.take_trace_sink().expect("ring sink installed");
@@ -2088,7 +2116,15 @@ pub fn e9_large_monitored(
                     m.alerts().len() as u64
                 })
                 .expect("the ring drains into the monitor");
-            (summary, stats, alerts)
+            let cap = capture_dir.map(|_| {
+                ring.with_sink_mut::<wmsn_trace::CaptureSink, _>(|c| {
+                    c.set_frames_dropped(stats.frames_dropped);
+                    c.finalize()
+                })
+                .expect("the ring drains into the capture sink")
+                .expect("capture finalizes cleanly")
+            });
+            (summary, stats, alerts, cap)
         }
         Some(p) => {
             let mut positions = scen.sensor_positions.clone();
@@ -2096,21 +2132,48 @@ pub fn e9_large_monitored(
             positions.push(scen.world.node(base).pos);
             let assignment = strip_shards(&positions, scen.range_m, p.shards);
             let mut scen = scen.map_world(|w| ShardedWorld::from_world(w, assignment, p.threads));
-            scen.world
-                .install_ring_sinks(wmsn_trace::RingConfig::default());
-            let summary = e9_large_round(&mut scen, base, sources);
-            let (frames, stats) = scen
-                .world
-                .finish_ring_frames()
-                .expect("ring sinks installed");
             let mut monitor =
                 wmsn_health::HealthMonitor::with_config(wmsn_health::HealthConfig::default());
-            // One streamed pass in the merged causal order: the monitor
-            // only needs the order, not a materialised gigabyte-scale
-            // merged Vec.
-            wmsn_trace::merge_keyed_events_with(frames, |ev| monitor.observe(ev));
-            monitor.finalize();
-            (summary, stats, monitor.alerts().len() as u64)
+            if let Some(dir) = capture_dir {
+                let paths = scen
+                    .world
+                    .install_capture_sinks(
+                        wmsn_trace::RingConfig::default(),
+                        wmsn_trace::CaptureConfig::default(),
+                        dir,
+                    )
+                    .expect("create per-shard capture files");
+                let summary = e9_large_round(&mut scen, base, sources);
+                let (stats, cap) = scen
+                    .world
+                    .finish_capture_sinks()
+                    .expect("capture sinks installed and finalized");
+                // One streamed pass over the k-way merge of the shard
+                // captures, in the same causal order the in-memory
+                // merge produces: one segment per shard resident.
+                let mut cursors: Vec<_> = paths
+                    .iter()
+                    .map(|p| wmsn_trace::CaptureCursor::open(p).expect("open shard capture"))
+                    .collect();
+                wmsn_trace::merge_captures_with(&mut cursors, |ev| monitor.observe(ev))
+                    .expect("merge shard captures");
+                monitor.finalize();
+                (summary, stats, monitor.alerts().len() as u64, Some(cap))
+            } else {
+                scen.world
+                    .install_ring_sinks(wmsn_trace::RingConfig::default());
+                let summary = e9_large_round(&mut scen, base, sources);
+                let (frames, stats) = scen
+                    .world
+                    .finish_ring_frames()
+                    .expect("ring sinks installed");
+                // One streamed pass in the merged causal order: the monitor
+                // only needs the order, not a materialised gigabyte-scale
+                // merged Vec.
+                wmsn_trace::merge_keyed_events_with(frames, |ev| monitor.observe(ev));
+                monitor.finalize();
+                (summary, stats, monitor.alerts().len() as u64, None)
+            }
         }
     }
 }

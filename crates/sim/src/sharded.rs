@@ -68,6 +68,7 @@ use crate::node::{Ctx, NodeState};
 use crate::time::SimTime;
 use crate::world::{RemoteEvent, World};
 use std::sync::Mutex;
+use wmsn_trace::capture::{CaptureConfig, CaptureSink, CaptureStats};
 use wmsn_trace::ring::{merge_keyed_events, FrameBufferSink, RingConfig, RingSink, RingStats};
 use wmsn_trace::{KeyedBufferSink, TraceEvent};
 use wmsn_util::pool::bsp_run;
@@ -547,6 +548,69 @@ impl ShardedWorld {
     pub fn finish_ring_sinks(&mut self) -> Option<(Vec<TraceEvent>, RingStats)> {
         let (frames, agg) = self.finish_ring_frames()?;
         Some((merge_keyed_events(frames), agg))
+    }
+
+    /// Install one ring pipeline per shard draining into a
+    /// [`wmsn_trace::CaptureSink`] that streams the shard's frames to a
+    /// segmented capture file `shard-<i>.wcap` under `dir` — the
+    /// disk-backed variant of [`ShardedWorld::install_ring_sinks`]:
+    /// same per-shard SPSC discipline, but frames land on disk (encoded
+    /// and written on the drain thread) instead of accumulating in
+    /// memory. Returns the per-shard capture paths, in shard order;
+    /// merge them after the run with `wmsn_trace::merge_captures_with`.
+    pub fn install_capture_sinks(
+        &mut self,
+        cfg: RingConfig,
+        capture_cfg: CaptureConfig,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut paths = Vec::with_capacity(self.shards.len());
+        for (i, cell) in self.shards.iter_mut().enumerate() {
+            let path = dir.join(format!("shard-{i}.wcap"));
+            let sink = CaptureSink::create(&path, capture_cfg)?;
+            cell.0
+                .set_trace_sink(RingSink::boxed(cfg, vec![Box::new(sink)]));
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Stop the per-shard capture pipelines: barrier each ring, record
+    /// its drop count in the capture trailer, finalize the footer, and
+    /// return aggregate ring telemetry plus aggregate capture telemetry
+    /// (frames/segments/bytes summed). `None` if
+    /// [`ShardedWorld::install_capture_sinks`] was never called or any
+    /// capture hit a write error (its file is untrustworthy).
+    pub fn finish_capture_sinks(&mut self) -> Option<(RingStats, CaptureStats)> {
+        let mut agg = RingStats::default();
+        let mut cap = CaptureStats::default();
+        for cell in &mut self.shards {
+            // take_trace_sink flushes, which for a RingSink is the
+            // barrier: the drain has delivered everything on return.
+            let mut sink = cell.0.take_trace_sink()?;
+            let ring = sink
+                .as_any_mut()
+                .downcast_mut::<RingSink>()
+                .expect("install_capture_sinks installs RingSink");
+            let s = ring.stats();
+            let shard_cap = ring.with_sink_mut::<CaptureSink, _>(|c| {
+                c.set_frames_dropped(s.frames_dropped);
+                c.finalize()
+            })?;
+            let shard_cap = shard_cap?;
+            agg.frames_written += s.frames_written;
+            agg.frames_dropped += s.frames_dropped;
+            agg.blocked_us += s.blocked_us;
+            agg.peak_chunks = agg.peak_chunks.max(s.peak_chunks);
+            agg.capacity_chunks = s.capacity_chunks;
+            agg.chunk_frames = s.chunk_frames;
+            cap.frames += shard_cap.frames;
+            cap.segments += shard_cap.segments;
+            cap.bytes += shard_cap.bytes;
+            cap.frames_dropped += shard_cap.frames_dropped;
+            // Dropping the sink closes the ring and joins its drain.
+        }
+        Some((agg, cap))
     }
 
     /// Like [`ShardedWorld::finish_ring_sinks`], but hand back the raw

@@ -1,0 +1,1408 @@
+//! Disk-backed segmented trace captures with a block index.
+//!
+//! The flat binary capture (see [`crate::frame`]) is just header +
+//! frames: reading *anything* out of it means decoding every frame, and
+//! the only practical consumer pattern at n=100k scale —
+//! [`crate::frame::read_binary_trace`] — materialises tens of millions
+//! of events in memory. This module is the scale-ready form: the same
+//! 64-byte frames, grouped into fixed-size **segments**, with a
+//! per-segment index entry and a footer that lets a reader seek — so
+//! queries run in O(one segment) memory and skip whole segments the
+//! index proves irrelevant.
+//!
+//! # File layout (version 1, little-endian)
+//!
+//! ```text
+//! header   16 B   CAPTURE_MAGIC (8) · version u32 · frame_len u32
+//! segment  N×64 B back-to-back frames (frame codec identical to the
+//!                 flat capture — PR 7's encode/decode is reused as-is)
+//! ...             (last segment may hold fewer than segment_frames)
+//! directory       one SEGMENT_ENTRY_LEN-byte entry per segment:
+//!                   offset u64 · frames u32 · at_min u64 · at_max u64
+//!                   · kind_counts [u32; TAG_COUNT] · node_filter [u8; 32]
+//! trailer  48 B   dir_offset u64 · segments u64 · frames u64
+//!                 · frames_dropped u64 · reserved u64 · TRAILER_MAGIC (8)
+//! ```
+//!
+//! The trailer is fixed-size and *last*, so a reader opens a capture by
+//! reading the final 48 bytes, seeking to the directory, and loading
+//! `segments × 128` bytes of index — never the data. Because the
+//! directory and trailer are written only by [`CaptureWriter::finish`],
+//! a capture that was cut off mid-write fails validation loudly instead
+//! of silently truncating a forensic record. The writer is append-only
+//! (no seeks), so it can sit behind a `BufWriter` on the ring pipeline's
+//! drain thread.
+//!
+//! # The index is a pruner, not an oracle
+//!
+//! Each entry carries the segment's `at` range, exact per-kind event
+//! counts, and a 256-bit bloom filter over every node id its events
+//! mention. [`CaptureReader::scan`] skips a segment only when the index
+//! *proves* no frame can match ([`ScanFilter`]); within a scanned
+//! segment every frame is still checked exactly, so query answers are
+//! identical to a full decode — the index only buys speed, never
+//! changes results.
+//!
+//! # Dropped frames are part of the record
+//!
+//! The ring pipeline can discard frames under
+//! [`crate::BackpressurePolicy::DropNewest`]. A capture recorded that
+//! way is a *sample*, not a transcript — so the drop count rides in the
+//! trailer ([`CaptureWriter::set_frames_dropped`]) and `wmsn-trace`
+//! warns on stderr before answering queries from such a file.
+
+use crate::event::TraceEvent;
+use crate::frame::{
+    decode_frame, encode_frame, event_tag, tag_name, FRAME_LEN, FRAME_VERSION, TAG_COUNT,
+};
+use crate::replay::{DropRecord, MessagePath, PathHop};
+use crate::sink::TraceSink;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use wmsn_util::NodeId;
+
+/// Magic bytes opening a segmented trace capture (`S` = segmented; the
+/// flat capture uses `WMSNTRB\0`).
+pub const CAPTURE_MAGIC: [u8; 8] = *b"WMSNTRS\0";
+/// Magic bytes closing the capture trailer.
+pub const TRAILER_MAGIC: [u8; 8] = *b"WMSNTRF\0";
+/// Size of the capture header, bytes (same shape as the flat capture:
+/// magic, version, frame length).
+pub const CAPTURE_HEADER_LEN: usize = 16;
+/// Size of one segment-directory entry, bytes.
+pub const SEGMENT_ENTRY_LEN: usize = 128;
+/// Size of the capture trailer, bytes.
+pub const TRAILER_LEN: usize = 48;
+/// Size of the per-segment node-membership bloom filter, bytes (256
+/// bits, 2 hash positions per id).
+pub const NODE_FILTER_LEN: usize = 32;
+/// Default frames per segment: 8192 × 64 B = 512 KiB of data per
+/// segment — the unit of both read buffering and index granularity.
+pub const DEFAULT_SEGMENT_FRAMES: usize = 8192;
+
+/// Tuning for a capture writer.
+#[derive(Clone, Copy, Debug)]
+pub struct CaptureConfig {
+    /// Frames per segment (the last segment may be shorter). Larger
+    /// segments mean fewer index entries but coarser skipping and a
+    /// bigger per-segment read buffer.
+    pub segment_frames: usize,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig {
+            segment_frames: DEFAULT_SEGMENT_FRAMES,
+        }
+    }
+}
+
+/// Final telemetry of one finished capture.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaptureStats {
+    /// Frames written.
+    pub frames: u64,
+    /// Segments written.
+    pub segments: u64,
+    /// Total file size, bytes (header + data + directory + trailer).
+    pub bytes: u64,
+    /// Producer-side ring drops recorded in the trailer.
+    pub frames_dropped: u64,
+}
+
+/// One segment's directory entry: where it is, what it spans, and
+/// conservative membership summaries for index-driven skipping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Byte offset of the segment's first frame.
+    pub offset: u64,
+    /// Frames in the segment.
+    pub frames: u32,
+    /// Minimum causal `at` stamp of any frame in the segment.
+    pub at_min: u64,
+    /// Maximum causal `at` stamp of any frame in the segment.
+    pub at_max: u64,
+    /// Exact event count per wire tag (index `tag - 1`).
+    pub kind_counts: [u32; TAG_COUNT],
+    /// Bloom filter over every node id mentioned by any frame.
+    pub node_filter: [u8; NODE_FILTER_LEN],
+}
+
+impl SegmentMeta {
+    fn empty(offset: u64) -> SegmentMeta {
+        SegmentMeta {
+            offset,
+            frames: 0,
+            at_min: u64::MAX,
+            at_max: 0,
+            kind_counts: [0; TAG_COUNT],
+            node_filter: [0; NODE_FILTER_LEN],
+        }
+    }
+
+    /// Whether the segment *may* contain a frame mentioning `id`.
+    /// `false` is definitive (no false negatives); `true` is a maybe.
+    pub fn maybe_mentions(&self, id: NodeId) -> bool {
+        let (a, b) = filter_positions(id);
+        self.node_filter[a / 8] & (1 << (a % 8)) != 0
+            && self.node_filter[b / 8] & (1 << (b % 8)) != 0
+    }
+
+    /// Exact count of frames with wire tag `tag` (0 for unknown tags).
+    pub fn count_of_tag(&self, tag: u8) -> u64 {
+        match tag {
+            1..=17 => self.kind_counts[tag as usize - 1] as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// The two bloom bit positions (0..256) for a node id — a SplitMix64
+/// finalizer over the id, deterministic across platforms.
+fn filter_positions(id: NodeId) -> (usize, usize) {
+    let mut x = (id.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    ((x & 0xFF) as usize, ((x >> 8) & 0xFF) as usize)
+}
+
+fn filter_insert(filter: &mut [u8; NODE_FILTER_LEN], id: NodeId) {
+    let (a, b) = filter_positions(id);
+    filter[a / 8] |= 1 << (a % 8);
+    filter[b / 8] |= 1 << (b % 8);
+}
+
+/// Visit every node id an event mentions (sender, receiver, origin,
+/// next hop, gateway — whichever the variant carries). Exhaustive over
+/// the event enum so a new variant is a compile error here, not a
+/// silent index hole.
+fn visit_event_nodes(ev: &TraceEvent, mut f: impl FnMut(NodeId)) {
+    match *ev {
+        TraceEvent::TxStart { src, dst, .. } => {
+            f(src);
+            if let Some(d) = dst {
+                f(d);
+            }
+        }
+        TraceEvent::TxDefer { src, .. } | TraceEvent::TxGiveUp { src, .. } => f(src),
+        TraceEvent::Rx { node, .. } | TraceEvent::Drop { node, .. } => f(node),
+        TraceEvent::Forward {
+            node, origin, next, ..
+        } => {
+            f(node);
+            f(origin);
+            if let Some(n) = next {
+                f(n);
+            }
+        }
+        TraceEvent::Deliver { node, origin, .. } | TraceEvent::RreqFlood { node, origin, .. } => {
+            f(node);
+            f(origin);
+        }
+        TraceEvent::CacheReply {
+            node,
+            origin,
+            gateway,
+            ..
+        } => {
+            f(node);
+            f(origin);
+            f(gateway);
+        }
+        TraceEvent::RouteInstall { node, gateway, .. }
+        | TraceEvent::RouteSelect { node, gateway, .. } => {
+            f(node);
+            f(gateway);
+        }
+        TraceEvent::GatewayMove { gateway, .. } => f(gateway),
+        TraceEvent::NodeMove { node, .. }
+        | TraceEvent::NodeSleep { node, .. }
+        | TraceEvent::NodeWake { node, .. }
+        | TraceEvent::NodeKill { node, .. }
+        | TraceEvent::Energy { node, .. } => f(node),
+    }
+}
+
+/// Whether an event mentions `id` in any of its node fields.
+fn event_mentions(ev: &TraceEvent, id: NodeId) -> bool {
+    let mut hit = false;
+    visit_event_nodes(ev, |n| hit |= n == id);
+    hit
+}
+
+/// Whether `head` (the first bytes of a file) opens a segmented
+/// capture.
+pub fn is_segmented_capture(head: &[u8]) -> bool {
+    head.len() >= CAPTURE_MAGIC.len() && head[..CAPTURE_MAGIC.len()] == CAPTURE_MAGIC
+}
+
+// ------------------------------------------------------------ writer --
+
+/// Append-only segmented capture writer. Frames go straight to the
+/// writer as they arrive; the directory and trailer are written by
+/// [`CaptureWriter::finish`]. No seeking, so any `Write` works.
+#[derive(Debug)]
+pub struct CaptureWriter<W: Write> {
+    w: W,
+    segment_frames: usize,
+    pos: u64,
+    dir: Vec<SegmentMeta>,
+    cur: Option<SegmentMeta>,
+    frames: u64,
+    frames_dropped: u64,
+}
+
+impl<W: Write> CaptureWriter<W> {
+    /// Wrap a writer; the capture header is written immediately.
+    pub fn new(mut w: W, cfg: CaptureConfig) -> std::io::Result<CaptureWriter<W>> {
+        w.write_all(&CAPTURE_MAGIC)?;
+        w.write_all(&FRAME_VERSION.to_le_bytes())?;
+        w.write_all(&(FRAME_LEN as u32).to_le_bytes())?;
+        Ok(CaptureWriter {
+            w,
+            segment_frames: cfg.segment_frames.max(1),
+            pos: CAPTURE_HEADER_LEN as u64,
+            dir: Vec::new(),
+            cur: None,
+            frames: 0,
+            frames_dropped: 0,
+        })
+    }
+
+    /// Append one event (with its causal `(at, key)` stamp), sealing a
+    /// segment whenever the configured frame count fills.
+    pub fn push(&mut self, ev: &TraceEvent, at: u64, key: u64) -> std::io::Result<()> {
+        let frame = encode_frame(ev, at, key);
+        let pos = self.pos;
+        let cur = self.cur.get_or_insert_with(|| SegmentMeta::empty(pos));
+        cur.frames += 1;
+        cur.at_min = cur.at_min.min(at);
+        cur.at_max = cur.at_max.max(at);
+        cur.kind_counts[event_tag(ev) as usize - 1] += 1;
+        visit_event_nodes(ev, |n| filter_insert(&mut cur.node_filter, n));
+        let full = cur.frames as usize >= self.segment_frames;
+        self.w.write_all(&frame)?;
+        self.pos += FRAME_LEN as u64;
+        self.frames += 1;
+        if full {
+            self.seal();
+        }
+        Ok(())
+    }
+
+    fn seal(&mut self) {
+        if let Some(m) = self.cur.take() {
+            self.dir.push(m);
+        }
+    }
+
+    /// Record the producer-side drop count carried into the trailer
+    /// (see [`CaptureStats::frames_dropped`]).
+    pub fn set_frames_dropped(&mut self, n: u64) {
+        self.frames_dropped = n;
+    }
+
+    /// Frames written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flush buffered data frames (directory and trailer are only
+    /// written by [`CaptureWriter::finish`]).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+
+    /// Seal the partial segment, write the directory and trailer, flush,
+    /// and hand back the writer plus final telemetry.
+    pub fn finish(mut self) -> std::io::Result<(W, CaptureStats)> {
+        self.seal();
+        let dir_offset = self.pos;
+        let mut entry = [0u8; SEGMENT_ENTRY_LEN];
+        for m in &self.dir {
+            entry[0..8].copy_from_slice(&m.offset.to_le_bytes());
+            entry[8..12].copy_from_slice(&m.frames.to_le_bytes());
+            entry[12..20].copy_from_slice(&m.at_min.to_le_bytes());
+            entry[20..28].copy_from_slice(&m.at_max.to_le_bytes());
+            for (i, c) in m.kind_counts.iter().enumerate() {
+                entry[28 + 4 * i..32 + 4 * i].copy_from_slice(&c.to_le_bytes());
+            }
+            entry[96..128].copy_from_slice(&m.node_filter);
+            self.w.write_all(&entry)?;
+            self.pos += SEGMENT_ENTRY_LEN as u64;
+        }
+        self.w.write_all(&dir_offset.to_le_bytes())?;
+        self.w.write_all(&(self.dir.len() as u64).to_le_bytes())?;
+        self.w.write_all(&self.frames.to_le_bytes())?;
+        self.w.write_all(&self.frames_dropped.to_le_bytes())?;
+        self.w.write_all(&0u64.to_le_bytes())?;
+        self.w.write_all(&TRAILER_MAGIC)?;
+        self.pos += TRAILER_LEN as u64;
+        self.w.flush()?;
+        let stats = CaptureStats {
+            frames: self.frames,
+            segments: self.dir.len() as u64,
+            bytes: self.pos,
+            frames_dropped: self.frames_dropped,
+        };
+        Ok((self.w, stats))
+    }
+}
+
+/// File-backed capture sink, installable wherever a [`TraceSink`] goes
+/// (typically downstream of a `RingSink`, so the segment bookkeeping
+/// and disk writes run on the drain thread). Like every other sink,
+/// write errors are swallowed — tracing must never alter simulation
+/// behaviour — but a failed capture stops counting frames and
+/// [`CaptureSink::finalize`] reports `None`.
+#[derive(Debug)]
+pub struct CaptureSink {
+    w: Option<CaptureWriter<BufWriter<File>>>,
+    path: PathBuf,
+    failed: bool,
+    stats: Option<CaptureStats>,
+}
+
+impl CaptureSink {
+    /// Create (truncating) a capture file at `path`.
+    pub fn create(path: impl Into<PathBuf>, cfg: CaptureConfig) -> std::io::Result<CaptureSink> {
+        let path = path.into();
+        let w = CaptureWriter::new(BufWriter::new(File::create(&path)?), cfg)?;
+        Ok(CaptureSink {
+            w: Some(w),
+            path,
+            failed: false,
+            stats: None,
+        })
+    }
+
+    /// The capture file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Frames written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.w.as_ref().map_or(0, CaptureWriter::frames_written)
+    }
+
+    /// Record the producer-side ring drop count in the trailer.
+    pub fn set_frames_dropped(&mut self, n: u64) {
+        if let Some(w) = &mut self.w {
+            w.set_frames_dropped(n);
+        }
+    }
+
+    /// Write the directory and trailer (idempotent). `None` if any
+    /// write failed — the capture file is not trustworthy.
+    pub fn finalize(&mut self) -> Option<CaptureStats> {
+        if let Some(w) = self.w.take() {
+            match w.finish() {
+                Ok((_, stats)) if !self.failed => self.stats = Some(stats),
+                _ => self.failed = true,
+            }
+        }
+        self.stats
+    }
+}
+
+impl Drop for CaptureSink {
+    /// Best-effort footer on drop, so a capture is seekable even if the
+    /// owner forgot to finalize.
+    fn drop(&mut self) {
+        let _ = self.finalize();
+    }
+}
+
+impl TraceSink for CaptureSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.record_keyed(ev, ev.t(), 0);
+    }
+    fn record_keyed(&mut self, ev: &TraceEvent, at: u64, key: u64) {
+        if self.failed {
+            return;
+        }
+        if let Some(w) = &mut self.w {
+            if w.push(ev, at, key).is_err() {
+                self.failed = true;
+            }
+        }
+    }
+    fn flush(&mut self) {
+        if let Some(w) = &mut self.w {
+            let _ = w.flush();
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ------------------------------------------------------------ reader --
+
+/// Which frames a scan wants. Segment-level checks use the index
+/// (conservative: may admit a segment with no matches, never skips one
+/// with a match); frame-level checks are exact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanFilter {
+    at_range: Option<(u64, u64)>,
+    node: Option<NodeId>,
+    kind_mask: Option<u32>,
+}
+
+impl ScanFilter {
+    /// Match every frame.
+    pub fn all() -> ScanFilter {
+        ScanFilter::default()
+    }
+
+    /// Restrict to frames with causal stamp `lo <= at <= hi`.
+    pub fn with_at_range(mut self, lo: u64, hi: u64) -> ScanFilter {
+        self.at_range = Some((lo, hi));
+        self
+    }
+
+    /// Restrict to frames whose event mentions `node` in any field.
+    pub fn with_node(mut self, node: NodeId) -> ScanFilter {
+        self.node = Some(node);
+        self
+    }
+
+    /// Restrict to the named event kinds (names as in
+    /// [`TraceEvent::name`]; unknown names match nothing).
+    pub fn with_kind_names(mut self, names: &[&str]) -> ScanFilter {
+        let mut mask = 0u32;
+        for t in 1..=TAG_COUNT as u8 {
+            if tag_name(t).is_some_and(|n| names.contains(&n)) {
+                mask |= 1 << (t - 1);
+            }
+        }
+        self.kind_mask = Some(mask);
+        self
+    }
+
+    fn admits_segment(&self, m: &SegmentMeta) -> bool {
+        if let Some((lo, hi)) = self.at_range {
+            if m.at_max < lo || m.at_min > hi {
+                return false;
+            }
+        }
+        if let Some(n) = self.node {
+            if !m.maybe_mentions(n) {
+                return false;
+            }
+        }
+        if let Some(mask) = self.kind_mask {
+            let any = (0..TAG_COUNT).any(|i| mask & (1 << i) != 0 && m.kind_counts[i] > 0);
+            if !any {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn admits_frame(&self, ev: &TraceEvent, at: u64) -> bool {
+        if let Some((lo, hi)) = self.at_range {
+            if at < lo || at > hi {
+                return false;
+            }
+        }
+        if let Some(mask) = self.kind_mask {
+            if mask & (1 << (event_tag(ev) - 1)) == 0 {
+                return false;
+            }
+        }
+        if let Some(n) = self.node {
+            if !event_mentions(ev, n) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// What one scan did — the observable value of the index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Segments whose frames were decoded.
+    pub segments_scanned: u64,
+    /// Segments the index proved could not match.
+    pub segments_skipped: u64,
+    /// Frames decoded.
+    pub frames_decoded: u64,
+    /// Frames that matched the filter (= callback invocations).
+    pub frames_matched: u64,
+}
+
+/// Seekable reader over a segmented capture: validates the footer and
+/// directory up front, then serves index-driven segment-at-a-time
+/// scans. Peak memory is one segment's data plus the directory,
+/// independent of capture size.
+#[derive(Debug)]
+pub struct CaptureReader<R: Read + Seek> {
+    r: R,
+    dir: Vec<SegmentMeta>,
+    frames: u64,
+    frames_dropped: u64,
+    bytes: u64,
+    buf: Vec<u8>,
+}
+
+impl CaptureReader<BufReader<File>> {
+    /// Open a capture file.
+    pub fn open(path: impl AsRef<Path>) -> Result<CaptureReader<BufReader<File>>, String> {
+        let f = File::open(path.as_ref())
+            .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
+        CaptureReader::new(BufReader::new(f))
+    }
+}
+
+impl<R: Read + Seek> CaptureReader<R> {
+    /// Validate header, trailer and directory of a seekable capture.
+    pub fn new(mut r: R) -> Result<CaptureReader<R>, String> {
+        let mut head = [0u8; CAPTURE_HEADER_LEN];
+        r.read_exact(&mut head)
+            .map_err(|e| format!("short capture header: {e}"))?;
+        if head[0..8] != CAPTURE_MAGIC {
+            return Err("bad magic: not a segmented trace capture".into());
+        }
+        let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
+        if version != FRAME_VERSION {
+            return Err(format!(
+                "unsupported capture version {version} (expected {FRAME_VERSION})"
+            ));
+        }
+        let flen = u32::from_le_bytes(head[12..16].try_into().unwrap()) as usize;
+        if flen != FRAME_LEN {
+            return Err(format!(
+                "unsupported frame length {flen} (expected {FRAME_LEN})"
+            ));
+        }
+        let bytes = r
+            .seek(SeekFrom::End(0))
+            .map_err(|e| format!("seek error: {e}"))?;
+        if bytes < (CAPTURE_HEADER_LEN + TRAILER_LEN) as u64 {
+            return Err(format!(
+                "capture too short ({bytes} bytes): missing trailer (unfinished write?)"
+            ));
+        }
+        r.seek(SeekFrom::Start(bytes - TRAILER_LEN as u64))
+            .map_err(|e| format!("seek error: {e}"))?;
+        let mut tr = [0u8; TRAILER_LEN];
+        r.read_exact(&mut tr)
+            .map_err(|e| format!("short trailer: {e}"))?;
+        if tr[40..48] != TRAILER_MAGIC {
+            return Err("bad trailer magic: capture not finalized (unfinished write?)".into());
+        }
+        let dir_offset = u64::from_le_bytes(tr[0..8].try_into().unwrap());
+        let segments = u64::from_le_bytes(tr[8..16].try_into().unwrap());
+        let frames = u64::from_le_bytes(tr[16..24].try_into().unwrap());
+        let frames_dropped = u64::from_le_bytes(tr[24..32].try_into().unwrap());
+        let want_len = dir_offset
+            .checked_add(segments * SEGMENT_ENTRY_LEN as u64)
+            .and_then(|v| v.checked_add(TRAILER_LEN as u64));
+        if dir_offset < CAPTURE_HEADER_LEN as u64 || want_len != Some(bytes) {
+            return Err(format!(
+                "inconsistent trailer: dir_offset {dir_offset}, {segments} segments, file {bytes} bytes"
+            ));
+        }
+        r.seek(SeekFrom::Start(dir_offset))
+            .map_err(|e| format!("seek error: {e}"))?;
+        let mut dir = Vec::with_capacity(segments as usize);
+        let mut entry = [0u8; SEGMENT_ENTRY_LEN];
+        let mut expected_offset = CAPTURE_HEADER_LEN as u64;
+        let mut frame_sum = 0u64;
+        for i in 0..segments {
+            r.read_exact(&mut entry)
+                .map_err(|e| format!("short directory entry {i}: {e}"))?;
+            let mut kind_counts = [0u32; TAG_COUNT];
+            for (k, c) in kind_counts.iter_mut().enumerate() {
+                *c = u32::from_le_bytes(entry[28 + 4 * k..32 + 4 * k].try_into().unwrap());
+            }
+            let m = SegmentMeta {
+                offset: u64::from_le_bytes(entry[0..8].try_into().unwrap()),
+                frames: u32::from_le_bytes(entry[8..12].try_into().unwrap()),
+                at_min: u64::from_le_bytes(entry[12..20].try_into().unwrap()),
+                at_max: u64::from_le_bytes(entry[20..28].try_into().unwrap()),
+                kind_counts,
+                node_filter: entry[96..128].try_into().unwrap(),
+            };
+            if m.offset != expected_offset || m.frames == 0 {
+                return Err(format!(
+                    "corrupt directory: segment {i} at offset {} (expected {expected_offset}), {} frames",
+                    m.offset, m.frames
+                ));
+            }
+            expected_offset += m.frames as u64 * FRAME_LEN as u64;
+            frame_sum += m.frames as u64;
+            dir.push(m);
+        }
+        if expected_offset != dir_offset || frame_sum != frames {
+            return Err(format!(
+                "corrupt directory: data ends at {expected_offset} (directory at {dir_offset}), {frame_sum} frames indexed ({frames} in trailer)"
+            ));
+        }
+        Ok(CaptureReader {
+            r,
+            dir,
+            frames,
+            frames_dropped,
+            bytes,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The segment directory, in file order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.dir
+    }
+
+    /// Total frames in the capture.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Producer-side ring drops recorded at capture time. Non-zero
+    /// means the capture is an incomplete sample of the trace stream.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// Total file size, bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn load_segment(&mut self, idx: usize) -> Result<usize, String> {
+        let m = self.dir[idx];
+        self.r
+            .seek(SeekFrom::Start(m.offset))
+            .map_err(|e| format!("seek error: {e}"))?;
+        let need = m.frames as usize * FRAME_LEN;
+        self.buf.resize(need, 0);
+        self.r
+            .read_exact(&mut self.buf)
+            .map_err(|e| format!("segment {idx}: short read: {e}"))?;
+        Ok(m.frames as usize)
+    }
+
+    fn decode_loaded(&self, idx: usize, j: usize) -> Result<(TraceEvent, u64, u64), String> {
+        let b: &[u8; FRAME_LEN] = self.buf[j * FRAME_LEN..(j + 1) * FRAME_LEN]
+            .try_into()
+            .unwrap();
+        decode_frame(b).map_err(|e| format!("segment {idx} frame {j}: {e}"))
+    }
+
+    /// Visit every frame the filter admits, in file order, decoding one
+    /// segment at a time and skipping segments the index rules out.
+    pub fn scan<F: FnMut(&TraceEvent, u64, u64)>(
+        &mut self,
+        filter: &ScanFilter,
+        mut f: F,
+    ) -> Result<ScanStats, String> {
+        let mut stats = ScanStats::default();
+        for idx in 0..self.dir.len() {
+            if !filter.admits_segment(&self.dir[idx]) {
+                stats.segments_skipped += 1;
+                continue;
+            }
+            stats.segments_scanned += 1;
+            let frames = self.load_segment(idx)?;
+            for j in 0..frames {
+                let (ev, at, key) = self.decode_loaded(idx, j)?;
+                stats.frames_decoded += 1;
+                if filter.admits_frame(&ev, at) {
+                    stats.frames_matched += 1;
+                    f(&ev, at, key);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+// ----------------------------------------------------------- queries --
+
+/// Event counts by variant name — answered from the index alone (no
+/// frame is decoded). Identical to `Replay::counts` over the same
+/// events: the writer counts from the very events it encodes.
+pub fn capture_counts<R: Read + Seek>(r: &CaptureReader<R>) -> BTreeMap<String, u64> {
+    let mut totals = [0u64; TAG_COUNT];
+    for seg in r.segments() {
+        for (i, &c) in seg.kind_counts.iter().enumerate() {
+            totals[i] += c as u64;
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (i, &n) in totals.iter().enumerate() {
+        if n > 0 {
+            out.insert(tag_name(i as u8 + 1).expect("tag in range").to_string(), n);
+        }
+    }
+    out
+}
+
+/// Streaming twin of `Replay::path_of`: reconstruct the hop-by-hop path
+/// of message `(origin, msg_id)` scanning only segments that contain
+/// forward/deliver frames mentioning `origin`.
+pub fn capture_path_of<R: Read + Seek>(
+    r: &mut CaptureReader<R>,
+    origin: u64,
+    msg_id: u64,
+) -> Result<Option<MessagePath>, String> {
+    let Ok(origin_id) = u32::try_from(origin) else {
+        return Ok(None); // node ids are u32; a larger origin matches nothing
+    };
+    let filter = ScanFilter::all()
+        .with_kind_names(&["forward", "deliver"])
+        .with_node(NodeId(origin_id));
+    let mut path = MessagePath::default();
+    r.scan(&filter, |ev, _, _| match *ev {
+        TraceEvent::Forward {
+            t,
+            node,
+            origin: o,
+            msg_id: m,
+            next,
+            hops,
+        } if (o.0 as u64, m) == (origin, msg_id) => {
+            path.hops.push(PathHop {
+                t,
+                node: node.0 as u64,
+                next: next.map(|n| n.0 as u64),
+                hops: hops as u64,
+            });
+        }
+        TraceEvent::Deliver {
+            t,
+            node,
+            origin: o,
+            msg_id: m,
+            hops,
+            latency_us,
+        } if (o.0 as u64, m) == (origin, msg_id) && path.delivered.is_none() => {
+            path.delivered = Some((t, node.0 as u64, hops as u64, latency_us));
+        }
+        _ => {}
+    })?;
+    Ok(if path.hops.is_empty() && path.delivered.is_none() {
+        None
+    } else {
+        Some(path)
+    })
+}
+
+/// Streaming twin of `Replay::drops_of_seq`: every drop of frame `seq`,
+/// in file order, scanning only segments containing drop frames.
+pub fn capture_drops_of_seq<R: Read + Seek>(
+    r: &mut CaptureReader<R>,
+    seq: u64,
+) -> Result<Vec<DropRecord>, String> {
+    let filter = ScanFilter::all().with_kind_names(&["drop"]);
+    let mut out = Vec::new();
+    r.scan(&filter, |ev, _, _| {
+        if let TraceEvent::Drop {
+            t,
+            seq: s,
+            node,
+            cause,
+        } = *ev
+        {
+            if s == seq {
+                out.push((t, node.0 as u64, cause.as_str().to_string()));
+            }
+        }
+    })?;
+    Ok(out)
+}
+
+/// Streaming twin of `Replay::energy_of`: one node's cumulative energy
+/// timeline, scanning only segments containing energy frames that
+/// mention the node.
+pub fn capture_energy_of<R: Read + Seek>(
+    r: &mut CaptureReader<R>,
+    node: u64,
+) -> Result<Vec<(u64, f64)>, String> {
+    let Ok(node_id) = u32::try_from(node) else {
+        return Ok(Vec::new());
+    };
+    let filter = ScanFilter::all()
+        .with_kind_names(&["energy"])
+        .with_node(NodeId(node_id));
+    let mut out = Vec::new();
+    r.scan(&filter, |ev, _, _| {
+        if let TraceEvent::Energy {
+            t,
+            node: n,
+            consumed_j,
+        } = *ev
+        {
+            if n.0 as u64 == node {
+                out.push((t, consumed_j));
+            }
+        }
+    })?;
+    Ok(out)
+}
+
+// ------------------------------------------------------------- merge --
+
+/// Pull-style frame cursor over a capture, for k-way merging of
+/// per-shard captures. Yields frames in `(at, key)` order.
+///
+/// A shard's event loop is time-ordered, so its capture stream is
+/// `at`-monotone by construction (a regression is a hard error — the
+/// file is not a shard capture). Within one `at` microsecond, though,
+/// the shard wheel executes events in insertion order, not key order,
+/// so a shard stream can contain *key* inversions inside an equal-`at`
+/// run. The in-memory merge ([`crate::merge_keyed_events_with`])
+/// handles those with a sort-based fallback; the cursor does the
+/// bounded-memory equivalent — it buffers one equal-`at` run at a time
+/// and stably sorts it by key (capture order kept for equal keys),
+/// which reproduces the same `(at, key, capture order)` total order
+/// without ever sorting the full stream. Memory is one segment plus
+/// the current run.
+#[derive(Debug)]
+pub struct CaptureCursor<R: Read + Seek> {
+    reader: CaptureReader<R>,
+    seg_idx: usize,
+    frame_idx: usize,
+    /// The current equal-`at` run, key-sorted; front is the next frame.
+    run: std::collections::VecDeque<(TraceEvent, u64, u64)>,
+    /// First frame of the *next* run, read while delimiting this one.
+    pending: Option<(TraceEvent, u64, u64)>,
+    last_at: Option<u64>,
+}
+
+impl CaptureCursor<BufReader<File>> {
+    /// Open a capture file as a cursor.
+    pub fn open(path: impl AsRef<Path>) -> Result<CaptureCursor<BufReader<File>>, String> {
+        CaptureCursor::new(CaptureReader::open(path)?)
+    }
+}
+
+impl<R: Read + Seek> CaptureCursor<R> {
+    /// Position a cursor at the reader's first frame.
+    pub fn new(reader: CaptureReader<R>) -> Result<CaptureCursor<R>, String> {
+        let mut c = CaptureCursor {
+            reader,
+            seg_idx: 0,
+            frame_idx: 0,
+            run: std::collections::VecDeque::new(),
+            pending: None,
+            last_at: None,
+        };
+        c.refill()?;
+        Ok(c)
+    }
+
+    /// The underlying reader's trailer drop count.
+    pub fn frames_dropped(&self) -> u64 {
+        self.reader.frames_dropped()
+    }
+
+    /// Next frame in raw capture order, enforcing `at` monotonicity.
+    fn raw_next(&mut self) -> Result<Option<(TraceEvent, u64, u64)>, String> {
+        loop {
+            if self.seg_idx >= self.reader.segments().len() {
+                return Ok(None);
+            }
+            let frames = self.reader.segments()[self.seg_idx].frames as usize;
+            if self.frame_idx == 0 {
+                self.reader.load_segment(self.seg_idx)?;
+            }
+            if self.frame_idx < frames {
+                let decoded = self.reader.decode_loaded(self.seg_idx, self.frame_idx)?;
+                self.frame_idx += 1;
+                if self.last_at.is_some_and(|a| decoded.1 < a) {
+                    return Err(format!(
+                        "capture `at` not monotone at segment {} frame {}",
+                        self.seg_idx,
+                        self.frame_idx - 1
+                    ));
+                }
+                self.last_at = Some(decoded.1);
+                return Ok(Some(decoded));
+            }
+            self.seg_idx += 1;
+            self.frame_idx = 0;
+        }
+    }
+
+    /// Load the next equal-`at` run and key-sort it (no-op if one is
+    /// already buffered). Maintains the invariant that `run` is
+    /// non-empty unless the capture is exhausted.
+    fn refill(&mut self) -> Result<(), String> {
+        if !self.run.is_empty() {
+            return Ok(());
+        }
+        let first = match self.pending.take() {
+            Some(f) => f,
+            None => match self.raw_next()? {
+                Some(f) => f,
+                None => return Ok(()),
+            },
+        };
+        let at = first.1;
+        let mut run = vec![first];
+        loop {
+            match self.raw_next()? {
+                Some(f) if f.1 == at => run.push(f),
+                Some(f) => {
+                    self.pending = Some(f);
+                    break;
+                }
+                None => break,
+            }
+        }
+        // Stable: equal (at, key) frames keep capture order, matching
+        // the in-memory merge's (at, key, capture index) sort key.
+        run.sort_by_key(|f| f.2);
+        self.run = run.into();
+        Ok(())
+    }
+
+    /// The `(at, key)` of the next frame, if any (no I/O).
+    pub fn peek_pos(&self) -> Option<(u64, u64)> {
+        self.run.front().map(|&(_, at, key)| (at, key))
+    }
+
+    /// Consume and return the next frame; `Ok(None)` at end of capture.
+    #[allow(clippy::type_complexity)]
+    pub fn advance(&mut self) -> Result<Option<(TraceEvent, u64, u64)>, String> {
+        let cur = self.run.pop_front();
+        if cur.is_some() {
+            self.refill()?;
+        }
+        Ok(cur)
+    }
+}
+
+/// K-way merge of per-shard capture files into the `(at, key)` total
+/// order — the disk-backed twin of
+/// [`crate::ring::merge_keyed_events_with`], same order semantics
+/// (equal `(at, key)` never spans shards, so first-minimal-cursor-wins
+/// reproduces the reference emission order; each cursor key-sorts its
+/// equal-`at` runs, the bounded-memory twin of the in-memory merge's
+/// sort fallback). Memory is one segment plus one equal-`at` run per
+/// shard. Returns the merged frame count.
+pub fn merge_captures_with<R: Read + Seek, F: FnMut(&TraceEvent)>(
+    cursors: &mut [CaptureCursor<R>],
+    mut f: F,
+) -> Result<u64, String> {
+    let mut merged = 0u64;
+    loop {
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            if let Some((at, key)) = c.peek_pos() {
+                if best.is_none_or(|(ba, bk, _)| (at, key) < (ba, bk)) {
+                    best = Some((at, key, i));
+                }
+            }
+        }
+        let Some((_, _, i)) = best else {
+            return Ok(merged);
+        };
+        let (ev, _, _) = cursors[i].advance()?.expect("peeked frame exists");
+        f(&ev);
+        merged += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::tests::exhaustive_events;
+    use crate::replay::Replay;
+    use crate::ring::merge_keyed_events;
+    use std::io::Cursor;
+
+    /// A deterministic mixed stream: several copies of the exhaustive
+    /// event set with distinct, increasing `(at, key)` stamps.
+    fn stream(copies: usize) -> Vec<(TraceEvent, u64, u64)> {
+        let mut out = Vec::new();
+        let mut at = 0u64;
+        for c in 0..copies {
+            for (i, ev) in exhaustive_events().into_iter().enumerate() {
+                at += 1 + (i as u64 % 3);
+                out.push((ev, at, ((c as u64) << 32) | i as u64));
+            }
+        }
+        out
+    }
+
+    fn write_capture(frames: &[(TraceEvent, u64, u64)], segment_frames: usize) -> Vec<u8> {
+        let mut w =
+            CaptureWriter::new(Vec::new(), CaptureConfig { segment_frames }).expect("header");
+        for (ev, at, key) in frames {
+            w.push(ev, *at, *key).expect("push");
+        }
+        let (bytes, _) = w.finish().expect("finish");
+        bytes
+    }
+
+    #[test]
+    fn round_trips_through_segments_with_exact_index() {
+        let frames = stream(4);
+        let mut w =
+            CaptureWriter::new(Vec::new(), CaptureConfig { segment_frames: 7 }).expect("header");
+        for (ev, at, key) in &frames {
+            w.push(ev, *at, *key).expect("push");
+        }
+        w.set_frames_dropped(5);
+        let (bytes, stats) = w.finish().expect("finish");
+        assert_eq!(stats.frames, frames.len() as u64);
+        assert_eq!(stats.segments, frames.len().div_ceil(7) as u64);
+        assert_eq!(stats.bytes, bytes.len() as u64);
+        assert_eq!(stats.frames_dropped, 5);
+        assert!(is_segmented_capture(&bytes));
+        assert!(!crate::frame::is_binary_capture(&bytes));
+
+        let mut r = CaptureReader::new(Cursor::new(bytes)).expect("open");
+        assert_eq!(r.frames(), frames.len() as u64);
+        assert_eq!(r.frames_dropped(), 5);
+        assert_eq!(r.segments().len(), frames.len().div_ceil(7));
+        // Index invariants: at ranges and kind counts are exact, node
+        // filters have no false negatives.
+        let mut cursor = 0usize;
+        for seg in r.segments().to_vec() {
+            let slice = &frames[cursor..cursor + seg.frames as usize];
+            cursor += seg.frames as usize;
+            assert_eq!(seg.at_min, slice.iter().map(|f| f.1).min().unwrap());
+            assert_eq!(seg.at_max, slice.iter().map(|f| f.1).max().unwrap());
+            let mut counts = [0u32; TAG_COUNT];
+            for (ev, _, _) in slice {
+                counts[event_tag(ev) as usize - 1] += 1;
+                visit_event_nodes(ev, |n| assert!(seg.maybe_mentions(n), "false negative"));
+            }
+            assert_eq!(seg.kind_counts, counts);
+        }
+        assert_eq!(cursor, frames.len());
+        // Full scan reproduces every frame, stamps included, in order.
+        let mut got = Vec::new();
+        let s = r
+            .scan(&ScanFilter::all(), |ev, at, key| got.push((*ev, at, key)))
+            .expect("scan");
+        assert_eq!(got, frames);
+        assert_eq!(s.segments_skipped, 0);
+        assert_eq!(s.frames_matched, frames.len() as u64);
+    }
+
+    #[test]
+    fn empty_capture_round_trips() {
+        let bytes = write_capture(&[], 8);
+        assert_eq!(bytes.len(), CAPTURE_HEADER_LEN + TRAILER_LEN);
+        let mut r = CaptureReader::new(Cursor::new(bytes)).expect("open");
+        assert_eq!(r.frames(), 0);
+        let s = r
+            .scan(&ScanFilter::all(), |_, _, _| panic!())
+            .expect("scan");
+        assert_eq!(s, ScanStats::default());
+        assert!(capture_counts(&r).is_empty());
+    }
+
+    #[test]
+    fn filters_are_exact_and_skip_segments() {
+        // Kind-clustered stream: 20 Rx frames, then 20 Energy frames —
+        // with 8-frame segments the kind filter must skip whole
+        // segments on both sides.
+        let mut frames = Vec::new();
+        for i in 0..20u64 {
+            frames.push((
+                TraceEvent::Rx {
+                    t: i,
+                    seq: i,
+                    node: NodeId(1),
+                },
+                i,
+                i,
+            ));
+        }
+        for i in 20..40u64 {
+            frames.push((
+                TraceEvent::Energy {
+                    t: i,
+                    node: NodeId(2),
+                    consumed_j: i as f64,
+                },
+                i,
+                i,
+            ));
+        }
+        let bytes = write_capture(&frames, 8);
+        let mut r = CaptureReader::new(Cursor::new(bytes)).expect("open");
+
+        let mut got = 0u64;
+        let s = r
+            .scan(
+                &ScanFilter::all().with_kind_names(&["energy"]),
+                |ev, _, _| {
+                    assert!(matches!(ev, TraceEvent::Energy { .. }));
+                    got += 1;
+                },
+            )
+            .expect("scan");
+        assert_eq!(got, 20);
+        assert!(s.segments_skipped >= 2, "{s:?}");
+        assert!(s.frames_decoded < frames.len() as u64);
+
+        // Node filter: an id never mentioned skips everything.
+        let s = r
+            .scan(&ScanFilter::all().with_node(NodeId(777)), |_, _, _| {
+                panic!("node 777 never occurs")
+            })
+            .expect("scan");
+        assert_eq!(s.segments_scanned, 0);
+        assert_eq!(s.segments_skipped, 5);
+
+        // Time-range filter: only the covering segments are read.
+        let mut got = Vec::new();
+        let s = r
+            .scan(&ScanFilter::all().with_at_range(10, 12), |_, at, _| {
+                got.push(at)
+            })
+            .expect("scan");
+        assert_eq!(got, vec![10, 11, 12]);
+        assert!(s.segments_skipped >= 3, "{s:?}");
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_hard_errors() {
+        let frames = stream(2);
+        let bytes = write_capture(&frames, 8);
+        // Truncation (lost trailer byte).
+        let e = CaptureReader::new(Cursor::new(bytes[..bytes.len() - 1].to_vec())).unwrap_err();
+        assert!(e.contains("trailer") || e.contains("inconsistent"), "{e}");
+        // An unfinalized capture (data only, no footer).
+        let cut = CAPTURE_HEADER_LEN + 8 * FRAME_LEN;
+        let e = CaptureReader::new(Cursor::new(bytes[..cut].to_vec())).unwrap_err();
+        assert!(e.contains("trailer") || e.contains("short"), "{e}");
+        // Bad header magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'{';
+        assert!(CaptureReader::new(Cursor::new(bad)).is_err());
+        // Corrupt directory offset.
+        let mut bad = bytes.clone();
+        let dir_offset = u64::from_le_bytes(
+            bytes[bytes.len() - TRAILER_LEN..bytes.len() - TRAILER_LEN + 8]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        bad[dir_offset] ^= 0xFF;
+        let e = CaptureReader::new(Cursor::new(bad)).unwrap_err();
+        assert!(e.contains("corrupt directory"), "{e}");
+    }
+
+    #[test]
+    fn queries_match_replay_exactly() {
+        // A stream with real message structure on top of the
+        // exhaustive set: two messages, one delivered, plus drops and
+        // energy timelines.
+        let mut frames = stream(2);
+        let extra = [
+            TraceEvent::Forward {
+                t: 500,
+                node: NodeId(5),
+                origin: NodeId(5),
+                msg_id: 9,
+                next: Some(NodeId(3)),
+                hops: 1,
+            },
+            TraceEvent::Forward {
+                t: 510,
+                node: NodeId(3),
+                origin: NodeId(5),
+                msg_id: 9,
+                next: None,
+                hops: 2,
+            },
+            TraceEvent::Deliver {
+                t: 520,
+                node: NodeId(9),
+                origin: NodeId(5),
+                msg_id: 9,
+                hops: 2,
+                latency_us: 20,
+            },
+            TraceEvent::Drop {
+                t: 530,
+                seq: 42,
+                node: NodeId(7),
+                cause: crate::event::DropCause::Collision,
+            },
+            TraceEvent::Drop {
+                t: 531,
+                seq: 42,
+                node: NodeId(8),
+                cause: crate::event::DropCause::Loss,
+            },
+            TraceEvent::Energy {
+                t: 540,
+                node: NodeId(7),
+                consumed_j: 0.25,
+            },
+        ];
+        for (i, ev) in extra.into_iter().enumerate() {
+            frames.push((ev, 1000 + i as u64, i as u64));
+        }
+        let events: Vec<TraceEvent> = frames.iter().map(|f| f.0).collect();
+        let replay = Replay::from_events(&events);
+        let mut r = CaptureReader::new(Cursor::new(write_capture(&frames, 5))).expect("open");
+
+        assert_eq!(capture_counts(&r), replay.counts());
+        assert_eq!(r.frames() as usize, replay.len());
+        for (origin, msg_id) in [(5u64, 9u64), (5, 99), (1, 11), (123456, 1), (u64::MAX, 0)] {
+            assert_eq!(
+                capture_path_of(&mut r, origin, msg_id).expect("scan"),
+                replay.path_of(origin, msg_id),
+                "path {origin}/{msg_id}"
+            );
+        }
+        for seq in [42u64, 9, u64::MAX, 7] {
+            assert_eq!(
+                capture_drops_of_seq(&mut r, seq).expect("scan"),
+                replay.drops_of_seq(seq),
+                "drops {seq}"
+            );
+        }
+        for node in [7u64, 4, 2, 999, u64::MAX] {
+            assert_eq!(
+                capture_energy_of(&mut r, node).expect("scan"),
+                replay.energy_of(node),
+                "energy {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_merge_matches_in_memory_merge() {
+        // Split a causally-stamped stream across two "shards" by node
+        // parity — each shard's stream stays (at, key)-sorted — and
+        // check the disk merge equals the in-memory reference merge.
+        let frames = stream(3);
+        let (a, b): (Vec<_>, Vec<_>) = frames.iter().copied().partition(|(_, _, key)| key & 1 == 0);
+        let shards: Vec<Vec<(u64, u64, TraceEvent)>> = [&a, &b]
+            .iter()
+            .map(|s| s.iter().map(|&(ev, at, key)| (at, key, ev)).collect())
+            .collect();
+        let want = merge_keyed_events(shards);
+
+        let mut cursors: Vec<CaptureCursor<Cursor<Vec<u8>>>> = [&a, &b]
+            .iter()
+            .map(|s| {
+                CaptureCursor::new(
+                    CaptureReader::new(Cursor::new(write_capture(s, 4))).expect("open"),
+                )
+                .expect("cursor")
+            })
+            .collect();
+        let mut got = Vec::new();
+        let n = merge_captures_with(&mut cursors, |ev| got.push(*ev)).expect("merge");
+        assert_eq!(n as usize, want.len());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cursor_rejects_unsorted_captures() {
+        let frames = vec![
+            (
+                TraceEvent::Rx {
+                    t: 9,
+                    seq: 0,
+                    node: NodeId(1),
+                },
+                9,
+                0,
+            ),
+            (
+                TraceEvent::Rx {
+                    t: 3,
+                    seq: 1,
+                    node: NodeId(1),
+                },
+                3,
+                0,
+            ),
+        ];
+        let r = CaptureReader::new(Cursor::new(write_capture(&frames, 8))).expect("open");
+        let err = CaptureCursor::new(r).unwrap_err();
+        assert!(err.contains("`at` not monotone"), "{err}");
+    }
+
+    #[test]
+    fn cursor_key_sorts_equal_at_runs() {
+        // A shard wheel executes same-microsecond events in insertion
+        // order, so a shard capture can carry key inversions *within*
+        // an equal-`at` run. The cursor must heal those (yielding the
+        // same (at, key, capture order) total order the in-memory
+        // merge's sort fallback produces), while `at` regressions stay
+        // hard errors (previous test).
+        let rx = |t: u64, seq: u64| TraceEvent::Rx {
+            t,
+            seq,
+            node: NodeId(1),
+        };
+        // at=5 run arrives with keys 9, 2, 9 — unsorted, with a dup.
+        let frames = vec![
+            (rx(1, 0), 1, 7),
+            (rx(5, 1), 5, 9),
+            (rx(5, 2), 5, 2),
+            (rx(5, 3), 5, 9),
+            (rx(8, 4), 8, 1),
+        ];
+        let in_memory = merge_keyed_events(vec![frames
+            .iter()
+            .map(|&(ev, at, key)| (at, key, ev))
+            .collect()]);
+        let r = CaptureReader::new(Cursor::new(write_capture(&frames, 2))).expect("open");
+        let mut c = CaptureCursor::new(r).expect("cursor");
+        let mut got = Vec::new();
+        let mut last = None;
+        while let Some((ev, at, key)) = c.advance().expect("advance") {
+            assert!(last.is_none_or(|p| p <= (at, key)), "cursor output sorted");
+            last = Some((at, key));
+            got.push(ev);
+        }
+        assert_eq!(got, in_memory);
+        assert_eq!(
+            got.iter().map(|ev| ev.t()).collect::<Vec<_>>(),
+            vec![1, 5, 5, 5, 8]
+        );
+    }
+
+    #[test]
+    fn capture_sink_writes_a_valid_file() {
+        let dir = std::env::temp_dir().join(format!("wmsn-capture-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("test.wcap");
+        let frames = stream(2);
+        let mut sink =
+            CaptureSink::create(&path, CaptureConfig { segment_frames: 16 }).expect("create");
+        for (ev, at, key) in &frames {
+            sink.record_keyed(ev, *at, *key);
+        }
+        assert_eq!(sink.frames_written(), frames.len() as u64);
+        sink.set_frames_dropped(3);
+        let stats = sink.finalize().expect("finalize");
+        assert_eq!(sink.finalize().expect("idempotent").frames, stats.frames);
+        drop(sink);
+        let mut r = CaptureReader::open(&path).expect("open");
+        assert_eq!(r.frames(), frames.len() as u64);
+        assert_eq!(r.frames_dropped(), 3);
+        assert_eq!(r.bytes(), stats.bytes);
+        let mut got = Vec::new();
+        r.scan(&ScanFilter::all(), |ev, at, key| got.push((*ev, at, key)))
+            .expect("scan");
+        assert_eq!(got, frames);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -57,6 +57,9 @@ pub const FRAME_LEN: usize = 64;
 /// Size of the capture-file header, bytes.
 pub const HEADER_LEN: usize = 16;
 
+/// Number of distinct frame tags (tags are `1..=TAG_COUNT`).
+pub const TAG_COUNT: usize = 17;
+
 /// Variant discriminants. Stable wire values — append, never renumber.
 mod tag {
     pub const TX_START: u8 = 1;
@@ -76,6 +79,58 @@ mod tag {
     pub const NODE_WAKE: u8 = 15;
     pub const NODE_KILL: u8 = 16;
     pub const ENERGY: u8 = 17;
+}
+
+/// The wire tag an event encodes under — the per-variant discriminant
+/// the segmented capture index counts by. Kept in lockstep with
+/// [`encode_frame`] (pinned by a test).
+pub fn event_tag(ev: &TraceEvent) -> u8 {
+    match ev {
+        TraceEvent::TxStart { .. } => tag::TX_START,
+        TraceEvent::TxDefer { .. } => tag::TX_DEFER,
+        TraceEvent::TxGiveUp { .. } => tag::TX_GIVEUP,
+        TraceEvent::Rx { .. } => tag::RX,
+        TraceEvent::Drop { .. } => tag::DROP,
+        TraceEvent::Forward { .. } => tag::FORWARD,
+        TraceEvent::Deliver { .. } => tag::DELIVER,
+        TraceEvent::RreqFlood { .. } => tag::RREQ_FLOOD,
+        TraceEvent::CacheReply { .. } => tag::CACHE_REPLY,
+        TraceEvent::RouteInstall { .. } => tag::ROUTE_INSTALL,
+        TraceEvent::RouteSelect { .. } => tag::ROUTE_SELECT,
+        TraceEvent::GatewayMove { .. } => tag::GATEWAY_MOVE,
+        TraceEvent::NodeMove { .. } => tag::NODE_MOVE,
+        TraceEvent::NodeSleep { .. } => tag::NODE_SLEEP,
+        TraceEvent::NodeWake { .. } => tag::NODE_WAKE,
+        TraceEvent::NodeKill { .. } => tag::NODE_KILL,
+        TraceEvent::Energy { .. } => tag::ENERGY,
+    }
+}
+
+/// Variant name for a wire tag — `Some("tx_start")` for
+/// [`event_tag`]'s output, `None` for unknown tags. The names match
+/// [`TraceEvent::name`], so index-derived counts key identically to
+/// decode-derived ones.
+pub fn tag_name(t: u8) -> Option<&'static str> {
+    Some(match t {
+        tag::TX_START => "tx_start",
+        tag::TX_DEFER => "tx_defer",
+        tag::TX_GIVEUP => "tx_giveup",
+        tag::RX => "rx",
+        tag::DROP => "drop",
+        tag::FORWARD => "forward",
+        tag::DELIVER => "deliver",
+        tag::RREQ_FLOOD => "rreq_flood",
+        tag::CACHE_REPLY => "cache_reply",
+        tag::ROUTE_INSTALL => "route_install",
+        tag::ROUTE_SELECT => "route_select",
+        tag::GATEWAY_MOVE => "gateway_move",
+        tag::NODE_MOVE => "node_move",
+        tag::NODE_SLEEP => "node_sleep",
+        tag::NODE_WAKE => "node_wake",
+        tag::NODE_KILL => "node_kill",
+        tag::ENERGY => "energy",
+        _ => return None,
+    })
 }
 
 fn tier_byte(t: TraceTier) -> u8 {
@@ -639,6 +694,55 @@ fn read_frame<R: Read>(r: &mut R, buf: &mut [u8; FRAME_LEN]) -> Result<bool, Str
     Ok(true)
 }
 
+/// Streaming reader over a flat binary capture: header checked up
+/// front, then one frame per [`BinaryTraceReader::next_frame`] call —
+/// O(1) memory however large the capture, unlike
+/// [`read_binary_trace`] which materialises every event. Decode errors
+/// carry the frame's byte offset so a truncation or corruption can be
+/// reported precisely.
+#[derive(Debug)]
+pub struct BinaryTraceReader<R: Read> {
+    r: R,
+    frames_read: u64,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Check the capture header and position at the first frame.
+    pub fn new(mut r: R) -> Result<Self, String> {
+        read_header(&mut r)?;
+        Ok(BinaryTraceReader { r, frames_read: 0 })
+    }
+
+    /// Byte offset of the *next* frame (header included).
+    pub fn byte_offset(&self) -> u64 {
+        HEADER_LEN as u64 + self.frames_read * FRAME_LEN as u64
+    }
+
+    /// Frames decoded so far.
+    pub fn frames_read(&self) -> u64 {
+        self.frames_read
+    }
+
+    /// Decode the next frame; `Ok(None)` = clean EOF. Truncation and
+    /// malformed frames are hard errors.
+    #[allow(clippy::type_complexity)]
+    pub fn next_frame(&mut self) -> Result<Option<(TraceEvent, u64, u64)>, String> {
+        let mut buf = [0u8; FRAME_LEN];
+        if !read_frame(&mut self.r, &mut buf)? {
+            return Ok(None);
+        }
+        let decoded = decode_frame(&buf).map_err(|e| {
+            format!(
+                "frame {} (offset {}): {e}",
+                self.frames_read + 1,
+                self.byte_offset()
+            )
+        })?;
+        self.frames_read += 1;
+        Ok(Some(decoded))
+    }
+}
+
 /// Binary-capture sink over any writer: header first, then one
 /// [`FRAME_LEN`]-byte frame per event. The binary twin of
 /// [`crate::JsonlSink`] — write errors are likewise swallowed (tracing
@@ -694,7 +798,7 @@ impl<W: Write + 'static> TraceSink for BinarySink<W> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use wmsn_util::SplitMix64;
 
@@ -842,6 +946,49 @@ mod tests {
             consumed_j: 0.1 + 0.2, // a value with no short decimal form
         });
         evs
+    }
+
+    #[test]
+    fn event_tag_matches_encoded_discriminant() {
+        for ev in exhaustive_events() {
+            let frame = encode_frame(&ev, 0, 0);
+            assert_eq!(frame[16], event_tag(&ev), "{}", ev.name());
+            assert_eq!(tag_name(event_tag(&ev)), Some(ev.name()));
+            assert!((event_tag(&ev) as usize) <= TAG_COUNT);
+        }
+        assert_eq!(tag_name(0), None);
+        assert_eq!(tag_name(TAG_COUNT as u8 + 1), None);
+    }
+
+    #[test]
+    fn streaming_reader_matches_bulk_decode_and_reports_offsets() {
+        let evs = exhaustive_events();
+        let mut sink = BinarySink::new(Vec::<u8>::new());
+        for (i, ev) in evs.iter().enumerate() {
+            sink.record_keyed(ev, i as u64, i as u64 + 7);
+        }
+        let bytes = sink.into_inner();
+        let bulk = read_binary_trace(&bytes[..]).expect("bulk decode");
+        let mut streaming = BinaryTraceReader::new(&bytes[..]).expect("header");
+        let mut got = Vec::new();
+        while let Some(f) = streaming.next_frame().expect("frame") {
+            got.push(f);
+        }
+        assert_eq!(got, bulk);
+        assert_eq!(streaming.frames_read(), evs.len() as u64);
+        // A corrupted tag mid-capture is reported with its byte offset.
+        let mut bad = bytes.clone();
+        let victim = 3usize;
+        bad[HEADER_LEN + victim * FRAME_LEN + 16] = 200;
+        let mut r = BinaryTraceReader::new(&bad[..]).expect("header");
+        for _ in 0..victim {
+            r.next_frame().expect("frame").expect("present");
+        }
+        let err = r.next_frame().unwrap_err();
+        assert!(
+            err.contains(&format!("offset {}", HEADER_LEN + victim * FRAME_LEN)),
+            "{err}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod event;
 pub mod frame;
 pub mod hist;
@@ -35,10 +36,15 @@ pub mod ring;
 pub mod sink;
 pub mod structured;
 
+pub use capture::{
+    capture_counts, capture_drops_of_seq, capture_energy_of, capture_path_of, is_segmented_capture,
+    merge_captures_with, CaptureConfig, CaptureCursor, CaptureReader, CaptureSink, CaptureStats,
+    CaptureWriter, ScanFilter, ScanStats, SegmentMeta, CAPTURE_MAGIC, DEFAULT_SEGMENT_FRAMES,
+};
 pub use event::{DropCause, TraceEvent, TraceKind, TraceTier};
 pub use frame::{
-    decode_frame, encode_frame, is_binary_capture, read_binary_trace, BinarySink, FRAME_LEN,
-    FRAME_MAGIC, FRAME_VERSION,
+    decode_frame, encode_frame, event_tag, is_binary_capture, read_binary_trace, tag_name,
+    BinarySink, BinaryTraceReader, FRAME_LEN, FRAME_MAGIC, FRAME_VERSION, TAG_COUNT,
 };
 pub use hist::Histogram;
 pub use parse::{parse_line, Value};

@@ -520,6 +520,118 @@ mod tests {
     }
 
     #[test]
+    fn drop_newest_accounting_is_exact_and_drained_stream_is_a_prefix() {
+        use crate::frame::{read_binary_trace, BinarySink, FRAME_LEN, HEADER_LEN};
+        use std::sync::{Arc, Condvar, Mutex};
+
+        /// `Write` into a shared buffer the test can read after the
+        /// drain thread is gone.
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        /// Gate in front of a binary sink: blocks the drain thread on
+        /// the very first frame until the producer releases it, so the
+        /// producer can fill the ring to a *known* state and every
+        /// subsequent chunk is deterministically dropped.
+        struct GateSink {
+            inner: BinarySink<SharedBuf>,
+            gate: Arc<(Mutex<(bool, bool)>, Condvar)>, // (started, released)
+            seen: u64,
+        }
+        impl TraceSink for GateSink {
+            fn record(&mut self, ev: &TraceEvent) {
+                self.record_keyed(ev, ev.t(), 0);
+            }
+            fn record_keyed(&mut self, ev: &TraceEvent, at: u64, key: u64) {
+                if self.seen == 0 {
+                    let (lock, cv) = &*self.gate;
+                    let mut g = lock.lock().unwrap();
+                    g.0 = true;
+                    cv.notify_all();
+                    while !g.1 {
+                        g = cv.wait(g).unwrap();
+                    }
+                }
+                self.seen += 1;
+                self.inner.record_keyed(ev, at, key);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        const CHUNK: usize = 4;
+        const CAPACITY: usize = 2;
+        const TOTAL: u64 = 40; // 10 full chunks
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let gate = Arc::new((Mutex::new((false, false)), Condvar::new()));
+        let mut ring = RingSink::new(
+            RingConfig {
+                chunk_frames: CHUNK,
+                capacity_chunks: CAPACITY,
+                policy: BackpressurePolicy::DropNewest,
+            },
+            vec![Box::new(GateSink {
+                inner: BinarySink::new(buf.clone()),
+                gate: Arc::clone(&gate),
+                seen: 0,
+            })],
+        );
+        let mut inline = BinarySink::new(Vec::<u8>::new());
+        for i in 0..TOTAL {
+            let e = ev(i, (i % 3) as u32);
+            inline.record_keyed(&e, i, i << 2);
+            ring.record_keyed(&e, i, i << 2);
+            if i as usize == CHUNK - 1 {
+                // Chunk 1 was just pushed. Wait until the drain has
+                // popped it (it blocks on the gate inside the sink), so
+                // the ring is verifiably empty: chunks 2 and 3 will be
+                // accepted, every later chunk deterministically dropped.
+                let (lock, cv) = &*gate;
+                let mut g = lock.lock().unwrap();
+                while !g.0 {
+                    g = cv.wait(g).unwrap();
+                }
+            }
+        }
+        {
+            let (lock, cv) = &*gate;
+            lock.lock().unwrap().1 = true;
+            cv.notify_all();
+        }
+        let (_, stats) = ring.finish();
+
+        // Exact accounting: chunk 1 drained, chunks 2..=3 buffered,
+        // chunks 4..=10 refused.
+        let accepted = ((1 + CAPACITY) * CHUNK) as u64;
+        assert_eq!(stats.frames_written, accepted);
+        assert_eq!(stats.frames_dropped, TOTAL - accepted);
+        assert_eq!(stats.blocked_us, 0, "DropNewest must never block");
+
+        // The drained capture is a decodable prefix of the inline
+        // reference: same header, same first `accepted` frames.
+        let drained = buf.0.lock().unwrap().clone();
+        let reference = inline.into_inner();
+        assert_eq!(drained.len(), HEADER_LEN + accepted as usize * FRAME_LEN);
+        assert_eq!(drained[..], reference[..drained.len()]);
+        let events = read_binary_trace(&drained[..]).expect("prefix decodes");
+        let full = read_binary_trace(&reference[..]).expect("reference decodes");
+        assert_eq!(events[..], full[..accepted as usize]);
+    }
+
+    #[test]
     fn merge_keyed_events_restores_total_order() {
         let shard_a = vec![(1, 10, ev(1, 0)), (3, 5, ev(3, 0)), (3, 9, ev(3, 0))];
         let shard_b = vec![(1, 2, ev(1, 1)), (3, 7, ev(3, 1)), (4, 1, ev(4, 1))];
