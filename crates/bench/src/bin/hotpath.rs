@@ -14,10 +14,13 @@
 //! cargo run --release -p wmsn-bench --bin hotpath -- --label after
 //! ```
 //!
-//! `--label before` snapshots timings to `BENCH_hotpath.before.json`;
-//! `--label after` (the default) re-times, folds in the snapshot if one
-//! exists, and writes `BENCH_hotpath.json` with before/after/speedup per
-//! kernel. Repetitions default to 3 (min is reported; override with
+//! `--label before` snapshots timings to
+//! `target/BENCH_hotpath.before.json` (under `CARGO_TARGET_DIR` when
+//! set — scratch state, deliberately outside the working tree so a
+//! bench run never dirties it); `--label after` (the default) re-times,
+//! folds in the snapshot if one exists (falling back to a repo-root
+//! `BENCH_hotpath.before.json` from older runs), and writes
+//! `BENCH_hotpath.json` with before/after/speedup per kernel. Repetitions default to 3 (min is reported; override with
 //! `HOTPATH_REPS`).
 //!
 //! Every kernel row carries a before/after pair. The `before_s` value
@@ -48,6 +51,14 @@ use wmsn_routing::wire::{rreq_append_forward, RoutingMsg};
 use wmsn_trace::{log_error, log_record, CaptureStats, RingStats};
 use wmsn_util::json::Json;
 use wmsn_util::NodeId;
+
+/// Where the `--label before` snapshot lives: under the cargo target
+/// directory, never the working tree — a bench run must not dirty the
+/// repo (only the committed `BENCH_hotpath.json` baseline is tracked).
+fn before_snapshot_path() -> std::path::PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    std::path::PathBuf::from(target).join("BENCH_hotpath.before.json")
+}
 
 /// In-place flood-forward microbench: the per-hop RREQ rebroadcast
 /// operation (validate header, memcpy the frame, patch the path count,
@@ -438,16 +449,21 @@ fn main() {
                 .map(|(k, s)| (format!("{}_before_s", k.name), Json::Num(*s)))
                 .collect(),
         );
-        std::fs::write("BENCH_hotpath.before.json", snap.to_string_pretty())
-            .expect("write before snapshot");
+        let path = before_snapshot_path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create snapshot dir");
+        }
+        std::fs::write(&path, snap.to_string_pretty()).expect("write before snapshot");
         log_record(
             "hotpath_wrote",
-            vec![("path", Json::from("BENCH_hotpath.before.json"))],
+            vec![("path", Json::from(path.display().to_string()))],
         );
         return;
     }
 
-    let before_doc = std::fs::read_to_string("BENCH_hotpath.before.json").ok();
+    let before_doc = std::fs::read_to_string(before_snapshot_path())
+        .or_else(|_| std::fs::read_to_string("BENCH_hotpath.before.json"))
+        .ok();
     let committed_doc = std::fs::read_to_string("BENCH_hotpath.json").ok();
     // Uniform before/after pairing: snapshot first, then the kernel's
     // built-in baseline (timed now, same machine, same build), then the

@@ -12,12 +12,27 @@
 //! wmsn-trace drop    <trace> <seq>
 //! wmsn-trace energy  <trace> <node>
 //! wmsn-trace health  <trace>                        # run the health monitor offline
+//! wmsn-trace health  <capture> --window <lo..hi> [--full-scan]  # windowed detector replay
+//! wmsn-trace explain <capture> <alert#|json> [--span W] [--full-scan]  # alert provenance
+//! wmsn-trace compact <in> <out> [--keep-last N] [--keep-alert-windows W]
+//! wmsn-trace record-e18 <out> [seed]                # checkpointed gateway-death capture
 //! wmsn-trace alerts  <trace>                        # just the alert JSONL stream
 //! wmsn-trace top     <trace> [k]                    # k busiest nodes by tx (default 10)
 //! wmsn-trace index   <capture>                      # segment directory of a segmented capture
 //! wmsn-trace pack    <in> <out> [segment_frames]    # jsonl/flat-bin → segmented capture
 //! wmsn-trace convert <in> <out>                     # bin/segmented→jsonl or jsonl→bin
 //! ```
+//!
+//! `health --window` and `explain` resume the detector bank from the
+//! nearest embedded checkpoint (segmented captures recorded through
+//! `wmsn_health::ForensicCaptureSink`, e.g. by `record-e18`) and replay
+//! only the segments the window touches. Their stdout is byte-identical
+//! to a `--full-scan` genesis replay — CI `cmp`-gates both — while the
+//! replay statistics (checkpoint used, segments read) go to stderr.
+//! `compact` applies a retention policy: old segments outside the kept
+//! window collapse to their directory summaries (index-exact, but
+//! frame reads into them fail loudly) with checkpoints re-embedded so
+//! windowed queries over retained ranges keep working.
 //!
 //! Every query accepts **any of the three formats**: the input is
 //! sniffed by its first bytes (flat binary captures open with the
@@ -50,7 +65,10 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use wmsn_core::builder::build_spr;
 use wmsn_core::drivers::SprDriver;
 use wmsn_core::params::{FieldParams, GatewayParams, TrafficParams};
-use wmsn_health::{HealthConfig, HealthMonitor};
+use wmsn_health::{
+    alerts_in_window, compact_capture, explain_alert, replay_window, CompactionPolicy, HealthAlert,
+    HealthConfig, HealthMonitor, WindowReplayStats,
+};
 use wmsn_trace::frame::write_header;
 use wmsn_trace::replay::MessagePath;
 use wmsn_trace::{
@@ -69,6 +87,10 @@ fn usage() -> ! {
          \x20      wmsn-trace drop    <trace> <seq>\n\
          \x20      wmsn-trace energy  <trace> <node>\n\
          \x20      wmsn-trace health  <trace>\n\
+         \x20      wmsn-trace health  <capture> --window <lo..hi> [--full-scan]\n\
+         \x20      wmsn-trace explain <capture> <alert#|json-line> [--span W] [--full-scan]\n\
+         \x20      wmsn-trace compact <in> <out> [--keep-last N] [--keep-alert-windows W]\n\
+         \x20      wmsn-trace record-e18 <out> [seed]\n\
          \x20      wmsn-trace alerts  <trace>\n\
          \x20      wmsn-trace top     <trace> [k]\n\
          \x20      wmsn-trace index   <capture>\n\
@@ -622,6 +644,135 @@ fn alerts(path: &str) {
     print!("{}", m.alerts_jsonl());
 }
 
+/// Replay statistics go to stderr: stdout of `health --window` /
+/// `explain` is `cmp`-gated against the `--full-scan` baseline, whose
+/// statistics necessarily differ.
+fn log_replay_stats(path: &str, stats: &WindowReplayStats) {
+    log_error(
+        "windowed_replay",
+        vec![
+            ("path", Json::from(path.to_string())),
+            (
+                "checkpoint_seg",
+                stats.checkpoint_seg.map_or(Json::Null, Json::from),
+            ),
+            ("segments_read", Json::from(stats.segments_read)),
+            ("segments_total", Json::from(stats.segments_total)),
+            ("frames_decoded", Json::from(stats.frames_decoded)),
+        ],
+    );
+}
+
+/// `health --window lo..hi`: windowed detector replay over a segmented
+/// capture. Prints exactly the alerts stamped inside the window —
+/// byte-identical whether the replay resumed from a checkpoint or
+/// (`--full-scan`) from genesis.
+fn health_window(path: &str, lo: u64, hi: u64, full_scan: bool) {
+    if sniff(path) != Format::Segmented {
+        die_load(
+            path,
+            None,
+            None,
+            "health --window needs a segmented capture (the segment \
+             directory drives checkpoint seek and segment skipping)"
+                .to_string(),
+        );
+    }
+    let mut r = open_capture(path);
+    let (monitor, stats) = replay_window(&mut r, lo, hi, HealthConfig::default(), full_scan)
+        .unwrap_or_else(|e| die_load(path, None, None, e));
+    for a in alerts_in_window(&monitor, lo, hi) {
+        println!("{}", a.to_json());
+    }
+    log_replay_stats(path, &stats);
+}
+
+/// `explain <capture> <alert#|json-line>`: provenance report for one
+/// alert, via windowed replay of the aggregation windows leading up to
+/// its stamp. An integer argument indexes the capture's embedded alert
+/// stream; anything else must be the alert's JSON line.
+fn explain(path: &str, which: &str, span: u64, full_scan: bool) {
+    if sniff(path) != Format::Segmented {
+        die_load(
+            path,
+            None,
+            None,
+            "explain needs a segmented capture (the segment directory \
+             drives checkpoint seek and segment skipping)"
+                .to_string(),
+        );
+    }
+    let mut r = open_capture(path);
+    let alert = if let Ok(idx) = which.parse::<usize>() {
+        let Some(line) = r.alerts_jsonl().lines().nth(idx) else {
+            die_load(
+                path,
+                None,
+                None,
+                format!(
+                    "alert index {idx} out of range: the capture embeds {} alerts \
+                     (record it through a checkpointing sink, or pass the alert's \
+                     JSON line instead)",
+                    r.alerts_jsonl().lines().count()
+                ),
+            );
+        };
+        HealthAlert::from_json_line(line).unwrap_or_else(|e| die_load(path, None, None, e))
+    } else {
+        HealthAlert::from_json_line(which).unwrap_or_else(|e| die_load(path, None, None, e))
+    };
+    let (forensics, stats) = explain_alert(&mut r, alert, span, HealthConfig::default(), full_scan)
+        .unwrap_or_else(|e| die_load(path, None, None, e));
+    print!("{}", forensics.report());
+    log_replay_stats(path, &stats);
+}
+
+/// `compact <in> <out>`: rewrite a capture under the retention policy,
+/// keeping frames only for recent and alert-adjacent segments.
+fn compact(input: &str, out: &str, policy: CompactionPolicy) {
+    let stats = compact_capture(
+        std::path::Path::new(input),
+        std::path::Path::new(out),
+        HealthConfig::default(),
+        policy,
+    )
+    .unwrap_or_else(|e| die_load(input, None, None, e));
+    log_record(
+        "compact",
+        vec![
+            ("input", Json::from(input.to_string())),
+            ("out", Json::from(out.to_string())),
+            ("segments_total", Json::from(stats.segments_total)),
+            ("segments_retained", Json::from(stats.segments_retained)),
+            ("segments_compacted", Json::from(stats.segments_compacted)),
+            ("frames_retained", Json::from(stats.frames_retained)),
+            ("frames_compacted", Json::from(stats.frames_compacted)),
+            ("checkpoints", Json::from(stats.checkpoints)),
+            ("alerts", Json::from(stats.alerts)),
+        ],
+    );
+}
+
+/// `record-e18 <out> [seed]`: the checkpointed gateway-death capture
+/// the forensics CI steps replay (a healthy MLR round, the kill, a
+/// failure round, recorded through `ForensicCaptureSink` with a
+/// checkpoint at every 256-frame segment).
+fn record_e18(out: &str, seed: u64) {
+    let (stats, alerts) =
+        wmsn_core::experiments::e18_forensics_capture(std::path::Path::new(out), seed);
+    log_record(
+        "record_e18",
+        vec![
+            ("out", Json::from(out.to_string())),
+            ("seed", Json::from(seed)),
+            ("frames", Json::from(stats.frames)),
+            ("segments", Json::from(stats.segments)),
+            ("bytes", Json::from(stats.bytes)),
+            ("alerts", Json::from(alerts)),
+        ],
+    );
+}
+
 fn top(path: &str, k: usize) {
     let m = monitor_file(path);
     let mut order: Vec<(u64, usize)> = m
@@ -695,7 +846,63 @@ fn main() {
         }
         Some("health") => {
             let Some(path) = args.get(1) else { usage() };
-            health(path);
+            let full_scan = args.iter().any(|s| s == "--full-scan");
+            if let Some(i) = args.iter().position(|s| s == "--window") {
+                let Some(range) = args.get(i + 1) else {
+                    usage()
+                };
+                let Some((lo, hi)) = range.split_once("..") else {
+                    usage()
+                };
+                health_window(
+                    path,
+                    parse_u64(lo, "window start (us)"),
+                    parse_u64(hi, "window end (us)"),
+                    full_scan,
+                );
+            } else {
+                health(path);
+            }
+        }
+        Some("explain") => {
+            let (Some(path), Some(which)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let full_scan = args.iter().any(|s| s == "--full-scan");
+            let span =
+                args.iter()
+                    .position(|s| s == "--span")
+                    .map_or(4, |i| match args.get(i + 1) {
+                        Some(w) => parse_u64(w, "span (windows)"),
+                        None => usage(),
+                    });
+            explain(path, which, span, full_scan);
+        }
+        Some("compact") => {
+            let (Some(input), Some(out)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let mut policy = CompactionPolicy::default();
+            if let Some(i) = args.iter().position(|s| s == "--keep-last") {
+                match args.get(i + 1) {
+                    Some(n) => policy.keep_last = parse_u64(n, "keep-last (segments)") as usize,
+                    None => usage(),
+                }
+            }
+            if let Some(i) = args.iter().position(|s| s == "--keep-alert-windows") {
+                match args.get(i + 1) {
+                    Some(w) => {
+                        policy.alert_span_windows = parse_u64(w, "keep-alert-windows (windows)")
+                    }
+                    None => usage(),
+                }
+            }
+            compact(input, out, policy);
+        }
+        Some("record-e18") => {
+            let Some(out) = args.get(1) else { usage() };
+            let seed = args.get(2).map_or(1, |s| parse_u64(s, "seed"));
+            record_e18(out, seed);
         }
         Some("alerts") => {
             let Some(path) = args.get(1) else { usage() };

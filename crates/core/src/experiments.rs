@@ -1134,9 +1134,15 @@ pub fn e10_load_balance(seed: u64) -> Vec<ReportRow> {
 
 // --------------------------------------------------------------- E12 --
 
-/// E12: the three-layer architecture end-to-end — sensor readings
-/// reaching a base station across the mesh backbone (Fig. 1).
-pub fn e12_three_tier(seed: u64) -> Vec<ReportRow> {
+/// Build the E12 three-tier scenario (Fig. 1: 60 sensors on a 200×200 m
+/// field, three WMGs, a 2×2 WMR mesh, the base station off-field) and
+/// let the mesh backbone converge. An optional trace sink is installed
+/// *before* convergence so a monitor sees the whole run, hellos
+/// included. Returns the driver, the base-station id, and the WMG ids.
+fn e12_scenario(
+    seed: u64,
+    sink: Option<Box<dyn wmsn_trace::TraceSink>>,
+) -> (MlrDriver, NodeId, Vec<NodeId>) {
     let field = FieldParams {
         field: Rect::field(200.0, 200.0),
         range_m: 45.0,
@@ -1179,8 +1185,18 @@ pub fn e12_three_tier(seed: u64) -> Vec<ReportRow> {
         sensor_positions: Vec::new(),
         range_m: field.range_m,
     });
+    if let Some(sink) = sink {
+        driver.scenario.world.set_trace_sink(sink);
+    }
     // Let the mesh backbone converge before any sensor traffic.
     driver.scenario.world.run_until(2_000_000);
+    (driver, base, wmgs)
+}
+
+/// E12: the three-layer architecture end-to-end — sensor readings
+/// reaching a base station across the mesh backbone (Fig. 1).
+pub fn e12_three_tier(seed: u64) -> Vec<ReportRow> {
+    let (mut driver, base, wmgs) = e12_scenario(seed, None);
     let r0 = driver.run_round();
     let r1 = driver.run_round();
     let world = &driver.scenario.world;
@@ -1226,6 +1242,77 @@ pub fn e12_three_tier(seed: u64) -> Vec<ReportRow> {
             "three-tier",
             "base_station_received",
             base_delivered as f64,
+        ),
+    ]
+}
+
+/// E12 backbone-fault coverage: the two backbone-tier detectors
+/// (`backbone_asymmetry`, `base_silence`) watching the three-tier
+/// architecture blind. The healthy run must stay clean of both; killing
+/// the base station mid-run must raise `base_silence` on it — the WMGs
+/// keep uplinking mesh-tier data nobody delivers any more. Detection
+/// only: ROADMAP keeps the WMG↔WMG steering lever open.
+pub fn e12_backbone_fault(seed: u64) -> Vec<ReportRow> {
+    use wmsn_health::{AlertKind, HealthConfig, HealthMonitor};
+    fn backbone_counts(sink: &mut dyn wmsn_trace::TraceSink) -> (usize, usize, Vec<u64>) {
+        let m = sink
+            .as_any_mut()
+            .downcast_mut::<HealthMonitor>()
+            .expect("the installed sink is the monitor");
+        // take_trace_sink's flush already finalized the monitor.
+        let asym = m
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::BackboneAsymmetry)
+            .count();
+        let silent: Vec<u64> = m
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::BaseSilence)
+            .map(|a| a.subject)
+            .collect();
+        (asym, silent.len(), silent)
+    }
+    let monitor = || Some(HealthMonitor::boxed(HealthConfig::default()));
+
+    let (mut healthy, _, _) = e12_scenario(seed, monitor());
+    healthy.run_round();
+    healthy.run_round();
+    let mut sink = healthy
+        .scenario
+        .world
+        .take_trace_sink()
+        .expect("monitor installed");
+    let (h_asym, h_sil, _) = backbone_counts(sink.as_mut());
+
+    let (mut faulty, base, _) = e12_scenario(seed, monitor());
+    faulty.run_round();
+    faulty.scenario.world.kill(base);
+    faulty.run_round();
+    faulty.run_round();
+    let mut sink = faulty
+        .scenario
+        .world
+        .take_trace_sink()
+        .expect("monitor installed");
+    let (f_asym, f_sil, subjects) = backbone_counts(sink.as_mut());
+    let accused_base = subjects.contains(&u64::from(base.0));
+
+    vec![
+        ReportRow::new(
+            "E12",
+            "backbone healthy",
+            "backbone_asymmetry",
+            h_asym as f64,
+        ),
+        ReportRow::new("E12", "backbone healthy", "base_silence", h_sil as f64),
+        ReportRow::new("E12", "base killed", "backbone_asymmetry", f_asym as f64),
+        ReportRow::new("E12", "base killed", "base_silence", f_sil as f64),
+        ReportRow::new(
+            "E12",
+            "base killed",
+            "accused_base_station",
+            f64::from(u8::from(accused_base)),
         ),
     ]
 }
@@ -1901,6 +1988,57 @@ pub fn e18_recovery(seed: u64) -> Vec<ReportRow> {
         ),
         ReportRow::new("E18", "mlr recovery", "actions_applied", applied as f64),
     ]
+}
+
+/// E18 forensics: the gateway-death MLR run recorded through a
+/// checkpointing [`wmsn_health::ForensicCaptureSink`] — a healthy round,
+/// the kill, and a failure round, captured with a monitor state
+/// checkpoint at every sealed segment and the run's alert JSONL embedded
+/// in the capture trailer. This is the capture `wmsn-trace record-e18`
+/// writes and the CI windowed-replay parity steps interrogate. Small
+/// segments (256 frames) keep the segment directory dense enough that
+/// windowed replay demonstrably skips most of the file. Returns the
+/// capture stats and the number of alerts the co-hosted monitor raised.
+pub fn e18_forensics_capture(
+    path: &std::path::Path,
+    seed: u64,
+) -> (wmsn_trace::CaptureStats, usize) {
+    use wmsn_health::{ForensicCaptureSink, HealthConfig};
+    let field = FieldParams {
+        battery_j: 10.0,
+        ..FieldParams::default_uniform(60, seed)
+    };
+    let mut mlr = MlrDriver::new(build_mlr(
+        &field,
+        &GatewayParams::default_three(),
+        TrafficParams::default(),
+        0.0,
+    ));
+    let sink = ForensicCaptureSink::create(
+        path,
+        wmsn_trace::CaptureConfig {
+            segment_frames: 256,
+        },
+        HealthConfig::default(),
+        1,
+    )
+    .expect("create forensic capture");
+    mlr.scenario.world.set_trace_sink(Box::new(sink));
+    mlr.run_round();
+    let victim = mlr.scenario.gateways[0];
+    mlr.scenario.world.kill(victim);
+    mlr.run_round();
+    let mut sink = mlr
+        .scenario
+        .world
+        .take_trace_sink()
+        .expect("sink installed");
+    let f = sink
+        .as_any_mut()
+        .downcast_mut::<ForensicCaptureSink>()
+        .expect("the installed sink is the forensic capture");
+    let stats = f.finalize().expect("capture written");
+    (stats, f.monitor().alerts().len())
 }
 
 /// Event-loop statistics for the simulated E9 kernel at size `n` with a

@@ -30,11 +30,18 @@ pub enum AlertKind {
     /// A node's consumption slope forecasts battery exhaustion within
     /// the configured horizon (first-death ETA).
     EnergyDepletion,
+    /// A backbone node attracts mesh-tier data it never re-transmits
+    /// over the mesh nor delivers — the WMG↔WMG analogue of
+    /// [`AlertKind::ForwardAsymmetry`] (E12 backbone-fault coverage).
+    BackboneAsymmetry,
+    /// A mesh-fed delivering node (the base station) stopped delivering
+    /// while mesh-tier data kept flowing — backbone delivery silence.
+    BaseSilence,
 }
 
 impl AlertKind {
     /// Every detector class, in serialisation order.
-    pub fn all() -> [AlertKind; 6] {
+    pub fn all() -> [AlertKind; 8] {
         [
             AlertKind::GatewaySilence,
             AlertKind::DuplicateStorm,
@@ -42,6 +49,8 @@ impl AlertKind {
             AlertKind::AnnounceSpike,
             AlertKind::LoadImbalance,
             AlertKind::EnergyDepletion,
+            AlertKind::BackboneAsymmetry,
+            AlertKind::BaseSilence,
         ]
     }
 
@@ -54,7 +63,14 @@ impl AlertKind {
             AlertKind::AnnounceSpike => "announce_spike",
             AlertKind::LoadImbalance => "load_imbalance",
             AlertKind::EnergyDepletion => "energy_depletion",
+            AlertKind::BackboneAsymmetry => "backbone_asymmetry",
+            AlertKind::BaseSilence => "base_silence",
         }
+    }
+
+    /// Inverse of [`AlertKind::as_str`].
+    pub fn from_name(name: &str) -> Option<AlertKind> {
+        AlertKind::all().into_iter().find(|k| k.as_str() == name)
     }
 }
 
@@ -76,6 +92,30 @@ pub struct HealthAlert {
 }
 
 impl HealthAlert {
+    /// Parse one alert back from its JSONL form (the inverse of
+    /// [`HealthAlert::to_json`]) — the `explain <json-line>` entry
+    /// point. Unknown detector names and missing keys are hard errors.
+    pub fn from_json_line(line: &str) -> Result<HealthAlert, String> {
+        let rec = wmsn_trace::parse_line(line)?;
+        let field = |key: &str| -> Result<u64, String> {
+            wmsn_trace::parse::get(&rec, key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("alert line: missing or non-integer `{key}`"))
+        };
+        let name = wmsn_trace::parse::get(&rec, "alert")
+            .and_then(|v| v.as_str())
+            .ok_or("alert line: missing `alert` name")?;
+        let kind = AlertKind::from_name(name)
+            .ok_or_else(|| format!("alert line: unknown detector `{name}`"))?;
+        Ok(HealthAlert {
+            kind,
+            t: field("t")?,
+            subject: field("subject")?,
+            observed: field("observed")?,
+            threshold: field("threshold")?,
+        })
+    }
+
     /// Serialise to one flat JSON object with fixed key order.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -125,6 +165,23 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json_line() {
+        for kind in AlertKind::all() {
+            let a = HealthAlert {
+                kind,
+                t: 1_500_000,
+                subject: 42,
+                observed: 9,
+                threshold: 3,
+            };
+            let line = a.to_json().to_string();
+            assert_eq!(HealthAlert::from_json_line(&line), Ok(a), "{line}");
+        }
+        assert!(HealthAlert::from_json_line("{\"alert\":\"nope\",\"t\":1}").is_err());
+        assert!(HealthAlert::from_json_line("not json").is_err());
     }
 
     #[test]

@@ -34,11 +34,19 @@
 #![warn(missing_docs)]
 
 pub mod alert;
+pub mod checkpoint;
+pub mod forensics;
 pub mod monitor;
 pub mod policy;
 pub mod stats;
 
 pub use alert::{alerts_to_jsonl, AlertKind, HealthAlert};
+pub use checkpoint::{restore, snapshot, CHECKPOINT_MAGIC};
+pub use forensics::{
+    alerts_in_window, compact_capture, explain_alert, replay_window, replay_window_with,
+    AlertForensics, CompactionPolicy, CompactionStats, ForensicCaptureSink, WindowPoint,
+    WindowReplayStats,
+};
 pub use monitor::{HealthConfig, HealthMonitor};
 pub use policy::{HealthAction, HealthPolicy};
 pub use stats::{

@@ -20,12 +20,14 @@
 //! | `announce_spike`    | a non-gateway node has seeded ≥ N control floods with no recent reception and no RREQ origination |
 //! | `load_imbalance`    | with ≥ 2 known gateways, one absorbs ≥ P% of a busy window's deliveries |
 //! | `energy_depletion`  | a node's consumption slope forecasts battery exhaustion within the horizon |
+//! | `backbone_asymmetry`| a node has absorbed ≥ N mesh-tier data frames but never re-transmitted on the mesh nor delivered |
+//! | `base_silence`      | a mesh-fed delivering node (base station) goes ≥ N windows without a delivery while mesh data kept flowing |
 
 use crate::alert::{AlertKind, HealthAlert};
 use crate::stats::{drop_cause_index, GatewayStats, NetStats, NodeStats, DROP_CAUSE_COUNT};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
-use wmsn_trace::{DropCause, TraceEvent, TraceKind, TraceSink};
+use wmsn_trace::{DropCause, TraceEvent, TraceKind, TraceSink, TraceTier};
 
 /// Detector thresholds and aggregation parameters.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +44,10 @@ pub struct HealthConfig {
     /// Data receptions after which a node that never forwards or
     /// delivers is flagged (sinkhole / blackhole).
     pub asymmetry_min_rx_data: u64,
+    /// Mesh-tier data receptions after which a backbone node that never
+    /// re-transmits on the mesh nor delivers is flagged (WMG↔WMG
+    /// asymmetry).
+    pub backbone_min_rx_data: u64,
     /// Gap (µs) since the last reception beyond which a control
     /// broadcast counts as self-seeded rather than a re-flood.
     pub spontaneity_gap_us: u64,
@@ -74,6 +80,7 @@ impl Default for HealthConfig {
             silence_windows: 3,
             duplicate_storm_threshold: 3,
             asymmetry_min_rx_data: 3,
+            backbone_min_rx_data: 3,
             spontaneity_gap_us: 50_000,
             announce_spike_floods: 3,
             imbalance_min_delivers: 20,
@@ -91,35 +98,35 @@ impl Default for HealthConfig {
 /// decoded JSONL through [`HealthMonitor::observe`] offline.
 #[derive(Clone)]
 pub struct HealthMonitor {
-    cfg: HealthConfig,
-    nodes: Vec<NodeStats>,
-    gateways: BTreeMap<u64, GatewayStats>,
-    net: NetStats,
-    /// Frame kind per recently announced `tx_start` sequence number,
-    /// for classifying `rx` events by kind. Keyed lookups only (never
+    pub(crate) cfg: HealthConfig,
+    pub(crate) nodes: Vec<NodeStats>,
+    pub(crate) gateways: BTreeMap<u64, GatewayStats>,
+    pub(crate) net: NetStats,
+    /// Frame kind/tier per recently announced `tx_start` sequence
+    /// number, for classifying `rx` events. Keyed lookups only (never
     /// iterated), so the `HashMap` stays deterministic. Sequence
     /// numbers are causal keys, NOT monotone in emission order — a
     /// CSMA retransmit can also re-announce the same seq, hence the
     /// occurrence count.
-    seq_kinds: HashMap<u64, (TraceKind, u32)>,
+    pub(crate) seq_kinds: HashMap<u64, (TraceKind, TraceTier, u32)>,
     /// Eviction order for `seq_kinds`, bounding it to
     /// [`HealthConfig::seq_window`] recent announcements.
-    seq_ring: VecDeque<u64>,
+    pub(crate) seq_ring: VecDeque<u64>,
     /// `(node, origin, msg_id)` triples already forwarded — membership
     /// only, never iterated, so a HashSet stays deterministic.
-    forwarded: HashSet<(u64, u64, u64)>,
+    pub(crate) forwarded: HashSet<(u64, u64, u64)>,
     /// `(origin, msg_id)` pairs already delivered.
-    delivered: HashSet<(u64, u64)>,
+    pub(crate) delivered: HashSet<(u64, u64)>,
     /// Per-node time of the latest RREQ origination (`rreq_flood` with
     /// `forwarded == false`), which licences the control broadcast
     /// emitted at the same instant.
-    rreq_grace: Vec<u64>,
-    cur_window: u64,
-    alerts: Vec<HealthAlert>,
+    pub(crate) rreq_grace: Vec<u64>,
+    pub(crate) cur_window: u64,
+    pub(crate) alerts: Vec<HealthAlert>,
     /// Alerts already handed out via [`HealthMonitor::take_new_alerts`].
-    drained: usize,
+    pub(crate) drained: usize,
     /// `(kind, subject)` pairs already alerted (latch).
-    latched: BTreeSet<(AlertKind, u64)>,
+    pub(crate) latched: BTreeSet<(AlertKind, u64)>,
 }
 
 impl HealthMonitor {
@@ -188,12 +195,14 @@ impl HealthMonitor {
                 seq,
                 src,
                 dst,
+                tier,
                 kind,
                 ..
             } => {
                 let gateway = self.gateways.contains_key(&u64::from(src.0));
                 let cfg_gap = self.cfg.spontaneity_gap_us;
                 let seq_cap = self.cfg.seq_window;
+                let cur = self.cur_window;
                 let grace = self
                     .rreq_grace
                     .get(src.index())
@@ -206,6 +215,10 @@ impl HealthMonitor {
                     TraceKind::Security => s.tx_security += 1,
                 }
                 s.w_tx_total += 1;
+                let mesh_data = kind == TraceKind::Data && tier == TraceTier::Mesh;
+                if mesh_data {
+                    s.tx_mesh_data += 1;
+                }
                 if kind == TraceKind::Control {
                     s.w_tx_control += 1;
                     // A broadcast control frame with no recent reception
@@ -216,14 +229,17 @@ impl HealthMonitor {
                         s.spontaneous_ctrl += 1;
                     }
                 }
+                if mesh_data {
+                    self.net.last_mesh_data_window = Some(cur);
+                }
                 self.net.tx_total += 1;
                 self.seq_ring.push_back(seq);
-                self.seq_kinds.entry(seq).or_insert((kind, 0)).1 += 1;
+                self.seq_kinds.entry(seq).or_insert((kind, tier, 0)).2 += 1;
                 while self.seq_ring.len() > seq_cap {
                     let old = self.seq_ring.pop_front().expect("len > 0");
                     if let Some(e) = self.seq_kinds.get_mut(&old) {
-                        e.1 -= 1;
-                        if e.1 == 0 {
+                        e.2 -= 1;
+                        if e.2 == 0 {
                             self.seq_kinds.remove(&old);
                         }
                     }
@@ -231,15 +247,17 @@ impl HealthMonitor {
             }
             TraceEvent::TxDefer { .. } | TraceEvent::TxGiveUp { .. } => {}
             TraceEvent::Rx { t, seq, node } => {
-                let is_data = self
+                let data_tier = self
                     .seq_kinds
                     .get(&seq)
-                    .is_some_and(|&(kind, _)| kind == TraceKind::Data);
+                    .and_then(|&(kind, tier, _)| (kind == TraceKind::Data).then_some(tier));
                 let s = self.node_mut(u64::from(node.0));
                 s.rx += 1;
                 s.last_rx_t = Some(t);
-                if is_data {
-                    s.rx_data += 1;
+                match data_tier {
+                    Some(TraceTier::Sensor) => s.rx_data += 1,
+                    Some(TraceTier::Mesh) => s.rx_mesh_data += 1,
+                    None => {}
                 }
                 self.net.rx_total += 1;
             }
@@ -282,6 +300,7 @@ impl HealthMonitor {
                 g.w_delivers += 1;
                 g.last_deliver_window = Some(w);
                 g.silence_latched = false;
+                g.base_silence_latched = false;
                 self.net.delivers += 1;
                 self.net.w_delivers += 1;
                 if dup {
@@ -346,6 +365,8 @@ impl HealthMonitor {
         self.detect_announce_spike(eval_t);
         self.detect_load_imbalance(eval_t);
         self.detect_energy_depletion(eval_t);
+        self.detect_backbone_asymmetry(eval_t);
+        self.detect_base_silence(eval_t);
     }
 
     fn raise(&mut self, kind: AlertKind, t: u64, subject: u64, observed: u64, threshold: u64) {
@@ -505,6 +526,68 @@ impl HealthMonitor {
                 eta,
                 eval_t.saturating_add(horizon),
             );
+        }
+    }
+
+    fn detect_backbone_asymmetry(&mut self, eval_t: u64) {
+        let threshold = self.cfg.backbone_min_rx_data;
+        let mut hits: Vec<(u64, u64)> = Vec::new();
+        for (i, s) in self.nodes.iter().enumerate() {
+            // A healthy backbone node either relays mesh data onward
+            // (WMR/WMG) or delivers it (base station); absorbing it
+            // while doing neither is the WMG↔WMG sinkhole signature.
+            if s.rx_mesh_data >= threshold && s.tx_mesh_data == 0 && s.delivers == 0 {
+                hits.push((i as u64, s.rx_mesh_data));
+            }
+        }
+        for (id, rx) in hits {
+            self.raise(AlertKind::BackboneAsymmetry, eval_t, id, rx, threshold);
+        }
+    }
+
+    fn detect_base_silence(&mut self, eval_t: u64) {
+        let cur = self.cur_window;
+        let threshold = self.cfg.silence_windows;
+        let mesh_active = self.net.last_mesh_data_window;
+        let mut hits: Vec<(u64, u64)> = Vec::new();
+        for (&id, g) in &self.gateways {
+            if g.base_silence_latched || g.delivers == 0 {
+                continue;
+            }
+            // Only mesh-fed deliverers qualify: the base station is the
+            // node that absorbs mesh-tier data and delivers it. WMGs
+            // deliver sensor-tier data and never match.
+            let mesh_fed = self
+                .nodes
+                .get(id as usize)
+                .is_some_and(|s| s.rx_mesh_data > 0);
+            if !mesh_fed {
+                continue;
+            }
+            let Some(last) = g.last_deliver_window else {
+                continue;
+            };
+            let silent = cur.saturating_sub(last);
+            // The backbone must have kept carrying data after the last
+            // delivery — an idle mesh is not a base failure.
+            let backbone_active = mesh_active.is_some_and(|m| m > last);
+            if silent >= threshold && backbone_active {
+                hits.push((id, silent));
+            }
+        }
+        for (id, silent) in hits {
+            if let Some(g) = self.gateways.get_mut(&id) {
+                g.base_silence_latched = true;
+            }
+            // Like gateway_silence: latched per incident on the node (a
+            // delivery re-arms it), not in the global latch set.
+            self.alerts.push(HealthAlert {
+                kind: AlertKind::BaseSilence,
+                t: eval_t,
+                subject: id,
+                observed: silent,
+                threshold,
+            });
         }
     }
 
@@ -826,6 +909,109 @@ mod tests {
         });
         assert_eq!(m.node(1).unwrap().rx, 1);
         assert_eq!(m.node(1).unwrap().rx_data, 0);
+    }
+
+    fn mesh_tx(t: u64, seq: u64, src: u32) -> TraceEvent {
+        TraceEvent::TxStart {
+            t,
+            seq,
+            src: NodeId(src),
+            dst: Some(NodeId(99)),
+            tier: wmsn_trace::TraceTier::Mesh,
+            kind: TraceKind::Data,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn backbone_asymmetry_flags_a_mesh_sinkhole() {
+        let mut m = HealthMonitor::new();
+        // Node 5 absorbs four mesh-tier data frames from node 1 and
+        // never re-transmits on the mesh nor delivers; node 6 relays
+        // what it hears and stays clean.
+        for i in 0..4u64 {
+            m.observe(&mesh_tx(1_000 + i, i, 1));
+            m.observe(&TraceEvent::Rx {
+                t: 2_000 + i,
+                seq: i,
+                node: NodeId(5),
+            });
+            m.observe(&TraceEvent::Rx {
+                t: 2_100 + i,
+                seq: i,
+                node: NodeId(6),
+            });
+            m.observe(&mesh_tx(2_200 + i, 100 + i, 6));
+        }
+        m.finalize();
+        let kinds: Vec<_> = m.alerts().iter().map(|a| (a.kind, a.subject)).collect();
+        assert_eq!(kinds, vec![(AlertKind::BackboneAsymmetry, 5)]);
+        assert_eq!(m.node(5).unwrap().rx_mesh_data, 4);
+        assert_eq!(
+            m.node(5).unwrap().rx_data,
+            0,
+            "mesh data is not sensor data"
+        );
+        // Latched.
+        m.finalize();
+        assert_eq!(m.alerts().len(), 1);
+    }
+
+    #[test]
+    fn base_silence_needs_a_flowing_backbone() {
+        let mut m = HealthMonitor::new();
+        // Node 9 is the base: it absorbs mesh data and delivers.
+        m.observe(&mesh_tx(50, 1, 2));
+        m.observe(&TraceEvent::Rx {
+            t: 60,
+            seq: 1,
+            node: NodeId(9),
+        });
+        m.observe(&deliver(100, 9, 1));
+        // Four windows of continued mesh transmissions, no deliveries.
+        for w in 1..5u64 {
+            m.observe(&mesh_tx(w * 500_000 + 1, 10 + w, 2));
+        }
+        m.observe(&mesh_tx(5 * 500_000 + 1, 20, 2));
+        let hits: Vec<_> = m
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::BaseSilence)
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].subject, 9);
+        // A delivery re-arms the latch.
+        m.observe(&deliver(5 * 500_000 + 2, 9, 21));
+        assert!(!m.gateways()[&9].base_silence_latched);
+    }
+
+    #[test]
+    fn base_silence_ignores_sensor_fed_gateways_and_idle_meshes() {
+        // A sensor-fed gateway (WMG) that stops delivering raises
+        // gateway_silence at most, never base_silence.
+        let mut m = HealthMonitor::new();
+        m.observe(&deliver(100, 7, 1));
+        for w in 1..6u64 {
+            m.observe(&forward(w * 500_000 + 1, 2, 100 + w));
+        }
+        m.finalize();
+        assert!(m.alerts().iter().all(|a| a.kind != AlertKind::BaseSilence));
+        // A mesh-fed base on an idle backbone is not a failure either.
+        let mut m = HealthMonitor::new();
+        m.observe(&mesh_tx(50, 1, 2));
+        m.observe(&TraceEvent::Rx {
+            t: 60,
+            seq: 1,
+            node: NodeId(9),
+        });
+        m.observe(&deliver(100, 9, 1));
+        m.observe(&TraceEvent::Energy {
+            t: 4_000_000,
+            node: NodeId(1),
+            consumed_j: 0.1,
+        });
+        m.finalize();
+        assert!(m.alerts().iter().all(|a| a.kind != AlertKind::BaseSilence));
     }
 
     #[test]

@@ -60,6 +60,10 @@ impl HealthPolicy {
             AlertKind::LoadImbalance => vec![HealthAction::RebalanceLoad(alert.subject)],
             // Forecasts inform; they do not trigger intervention.
             AlertKind::EnergyDepletion => Vec::new(),
+            // Backbone-tier detection is coverage only for now: the
+            // stack exposes no WMG↔WMG steering lever yet (ROADMAP
+            // "backbone-tier health" keeps the steering half open).
+            AlertKind::BackboneAsymmetry | AlertKind::BaseSilence => Vec::new(),
         }
     }
 }

@@ -71,6 +71,16 @@ impl Ewma {
     pub fn is_seeded(&self) -> bool {
         self.seeded
     }
+
+    /// The raw `(value, seeded)` state — the checkpoint codec's view.
+    pub fn raw_parts(&self) -> (f64, bool) {
+        (self.value, self.seeded)
+    }
+
+    /// Rebuild from [`Ewma::raw_parts`] output (checkpoint restore).
+    pub fn from_parts(value: f64, seeded: bool) -> Ewma {
+        Ewma { value, seeded }
+    }
 }
 
 /// Per-node streaming statistics. One entry per node id the trace has
@@ -86,9 +96,14 @@ pub struct NodeStats {
     pub tx_security: u64,
     /// Frames received intact.
     pub rx: u64,
-    /// Data-kind frames received intact (classified via the frame
-    /// sequence number announced by the matching `tx_start`).
+    /// Sensor-tier data frames received intact (classified via the
+    /// frame sequence number announced by the matching `tx_start`).
     pub rx_data: u64,
+    /// Mesh-tier data frames received intact — the backbone traffic a
+    /// WMG/WMR/base node absorbs from peers.
+    pub rx_mesh_data: u64,
+    /// Mesh-tier data frames transmitted — backbone relaying output.
+    pub tx_mesh_data: u64,
     /// Receptions dropped at this node, by [`drop_cause_index`].
     pub drops: [u64; DROP_CAUSE_COUNT],
     /// Application messages forwarded (or originated).
@@ -197,6 +212,9 @@ pub struct GatewayStats {
     /// Whether a gateway-silence alert has been raised and not yet
     /// cleared by a subsequent delivery.
     pub silence_latched: bool,
+    /// Whether a base-silence alert has been raised and not yet cleared
+    /// by a subsequent delivery (the backbone-tier latch).
+    pub base_silence_latched: bool,
 }
 
 impl GatewayStats {
@@ -230,6 +248,9 @@ pub struct NetStats {
     pub route_installs: u64,
     /// Window index of the most recent data forward.
     pub last_forward_window: Option<u64>,
+    /// Window index of the most recent mesh-tier data transmission —
+    /// the "backbone still carrying traffic" witness base-silence needs.
+    pub last_mesh_data_window: Option<u64>,
     /// Forwards in the current window.
     pub w_forwards: u64,
     /// Duplicate forwards + duplicate deliveries in the current window.

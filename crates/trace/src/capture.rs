@@ -10,18 +10,22 @@
 //! queries run in O(one segment) memory and skip whole segments the
 //! index proves irrelevant.
 //!
-//! # File layout (version 1, little-endian)
+//! # File layout (version 2, little-endian)
 //!
 //! ```text
-//! header   16 B   CAPTURE_MAGIC (8) · version u32 · frame_len u32
-//! segment  N×64 B back-to-back frames (frame codec identical to the
+//! header    16 B  CAPTURE_MAGIC (8) · version u32 · frame_len u32
+//! segment   N×64 B back-to-back frames (frame codec identical to the
 //!                 flat capture — PR 7's encode/decode is reused as-is)
 //! ...             (last segment may hold fewer than segment_frames)
+//! extension       optional (absent iff trailer ext_offset == 0):
+//!                   EXT_MAGIC (8) · checkpoints u32 · alerts_len u32
+//!                   · per checkpoint: seg_index u64 · blob_len u32 · blob
+//!                   · alerts JSONL bytes
 //! directory       one SEGMENT_ENTRY_LEN-byte entry per segment:
 //!                   offset u64 · frames u32 · at_min u64 · at_max u64
 //!                   · kind_counts [u32; TAG_COUNT] · node_filter [u8; 32]
-//! trailer  48 B   dir_offset u64 · segments u64 · frames u64
-//!                 · frames_dropped u64 · reserved u64 · TRAILER_MAGIC (8)
+//! trailer   48 B  dir_offset u64 · segments u64 · frames u64
+//!                 · frames_dropped u64 · ext_offset u64 · TRAILER_MAGIC (8)
 //! ```
 //!
 //! The trailer is fixed-size and *last*, so a reader opens a capture by
@@ -32,6 +36,25 @@
 //! of silently truncating a forensic record. The writer is append-only
 //! (no seeks), so it can sit behind a `BufWriter` on the ring pipeline's
 //! drain thread.
+//!
+//! Version 1 files are read unchanged: their trailer wrote the
+//! `ext_offset` slot as a reserved zero, which version 2 defines as "no
+//! extension block". The extension block carries opaque **checkpoint**
+//! blobs keyed by segment index (the health plane stores serialized
+//! detector-bank state there — this crate never interprets the bytes)
+//! plus an embedded alert-JSONL stream, both written between the frame
+//! data and the directory so the writer stays append-only.
+//!
+//! # Compacted segments
+//!
+//! `wmsn-trace compact` rewrites old segments down to their directory
+//! summaries: a compacted segment keeps its full index entry (frame
+//! count, `at` range, kind counts, node filter — so index-only queries
+//! like [`capture_counts`] stay *exact*) but its frame data is gone
+//! from the file. The entry's `offset` field is the
+//! [`COMPACTED_OFFSET`] sentinel. Any frame-level read that touches a
+//! compacted segment is a **hard error**, never a silently partial
+//! answer.
 //!
 //! # The index is a pruner, not an oracle
 //!
@@ -52,9 +75,7 @@
 //! warns on stderr before answering queries from such a file.
 
 use crate::event::TraceEvent;
-use crate::frame::{
-    decode_frame, encode_frame, event_tag, tag_name, FRAME_LEN, FRAME_VERSION, TAG_COUNT,
-};
+use crate::frame::{decode_frame, encode_frame, event_tag, tag_name, FRAME_LEN, TAG_COUNT};
 use crate::replay::{DropRecord, MessagePath, PathHop};
 use crate::sink::TraceSink;
 use std::any::Any;
@@ -69,6 +90,15 @@ use wmsn_util::NodeId;
 pub const CAPTURE_MAGIC: [u8; 8] = *b"WMSNTRS\0";
 /// Magic bytes closing the capture trailer.
 pub const TRAILER_MAGIC: [u8; 8] = *b"WMSNTRF\0";
+/// Magic bytes opening the optional extension block (checkpoints +
+/// embedded alerts).
+pub const EXT_MAGIC: [u8; 8] = *b"WMSNTRX\0";
+/// Capture container version written by [`CaptureWriter`]. Version 1
+/// (no extension block, no compacted segments) is still read.
+pub const CAPTURE_VERSION: u32 = 2;
+/// Sentinel `offset` of a compacted segment's directory entry: the
+/// index entry is intact but the frame data has been removed.
+pub const COMPACTED_OFFSET: u64 = u64::MAX;
 /// Size of the capture header, bytes (same shape as the flat capture:
 /// magic, version, frame length).
 pub const CAPTURE_HEADER_LEN: usize = 16;
@@ -157,6 +187,12 @@ impl SegmentMeta {
             1..=17 => self.kind_counts[tag as usize - 1] as u64,
             _ => 0,
         }
+    }
+
+    /// Whether this segment's frame data has been removed by
+    /// compaction (the index entry itself is still exact).
+    pub fn is_compacted(&self) -> bool {
+        self.offset == COMPACTED_OFFSET
     }
 }
 
@@ -256,13 +292,17 @@ pub struct CaptureWriter<W: Write> {
     cur: Option<SegmentMeta>,
     frames: u64,
     frames_dropped: u64,
+    /// `(seg_index, blob)` checkpoint entries for the extension block.
+    checkpoints: Vec<(u64, Vec<u8>)>,
+    /// Embedded alert JSONL for the extension block.
+    alerts_jsonl: String,
 }
 
 impl<W: Write> CaptureWriter<W> {
     /// Wrap a writer; the capture header is written immediately.
     pub fn new(mut w: W, cfg: CaptureConfig) -> std::io::Result<CaptureWriter<W>> {
         w.write_all(&CAPTURE_MAGIC)?;
-        w.write_all(&FRAME_VERSION.to_le_bytes())?;
+        w.write_all(&CAPTURE_VERSION.to_le_bytes())?;
         w.write_all(&(FRAME_LEN as u32).to_le_bytes())?;
         Ok(CaptureWriter {
             w,
@@ -272,12 +312,16 @@ impl<W: Write> CaptureWriter<W> {
             cur: None,
             frames: 0,
             frames_dropped: 0,
+            checkpoints: Vec::new(),
+            alerts_jsonl: String::new(),
         })
     }
 
     /// Append one event (with its causal `(at, key)` stamp), sealing a
-    /// segment whenever the configured frame count fills.
-    pub fn push(&mut self, ev: &TraceEvent, at: u64, key: u64) -> std::io::Result<()> {
+    /// segment whenever the configured frame count fills. Returns
+    /// `true` when this push sealed a segment — the hook checkpointing
+    /// sinks use to snapshot detector state at segment boundaries.
+    pub fn push(&mut self, ev: &TraceEvent, at: u64, key: u64) -> std::io::Result<bool> {
         let frame = encode_frame(ev, at, key);
         let pos = self.pos;
         let cur = self.cur.get_or_insert_with(|| SegmentMeta::empty(pos));
@@ -293,13 +337,70 @@ impl<W: Write> CaptureWriter<W> {
         if full {
             self.seal();
         }
-        Ok(())
+        Ok(full)
     }
 
     fn seal(&mut self) {
         if let Some(m) = self.cur.take() {
             self.dir.push(m);
         }
+    }
+
+    /// Segments sealed so far (the index the next sealed segment will
+    /// get — useful for keying checkpoints).
+    pub fn segments_sealed(&self) -> u64 {
+        self.dir.len() as u64
+    }
+
+    /// Attach an opaque checkpoint blob keyed by segment index:
+    /// "detector state after segments `[0..seg_index)`". Stored in the
+    /// extension block by [`CaptureWriter::finish`]; this layer never
+    /// interprets the bytes.
+    pub fn add_checkpoint(&mut self, seg_index: u64, blob: Vec<u8>) {
+        self.checkpoints.push((seg_index, blob));
+    }
+
+    /// Embed the run's alert JSONL stream in the extension block, so
+    /// `explain <alert-index>` resolves alerts without a replay.
+    pub fn set_alerts_jsonl(&mut self, jsonl: String) {
+        self.alerts_jsonl = jsonl;
+    }
+
+    /// Copy one segment's frame data verbatim (compaction's retained
+    /// path): `bytes` must be exactly `meta.frames` encoded frames. The
+    /// entry keeps `meta`'s summaries with the offset rebased to this
+    /// file. Seals any partial streamed segment first.
+    pub fn push_segment_raw(&mut self, meta: &SegmentMeta, bytes: &[u8]) -> std::io::Result<()> {
+        if bytes.len() != meta.frames as usize * FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "segment data is {} bytes, entry says {} frames",
+                    bytes.len(),
+                    meta.frames
+                ),
+            ));
+        }
+        self.seal();
+        self.w.write_all(bytes)?;
+        let mut m = *meta;
+        m.offset = self.pos;
+        self.pos += bytes.len() as u64;
+        self.frames += m.frames as u64;
+        self.dir.push(m);
+        Ok(())
+    }
+
+    /// Append a compacted directory entry (compaction's dropped path):
+    /// `meta`'s summaries are kept — so index-only queries stay exact —
+    /// but no frame data is written and the entry's offset becomes the
+    /// [`COMPACTED_OFFSET`] sentinel. Seals any partial segment first.
+    pub fn push_compacted(&mut self, meta: &SegmentMeta) {
+        self.seal();
+        let mut m = *meta;
+        m.offset = COMPACTED_OFFSET;
+        self.frames += m.frames as u64;
+        self.dir.push(m);
     }
 
     /// Record the producer-side drop count carried into the trailer
@@ -319,10 +420,31 @@ impl<W: Write> CaptureWriter<W> {
         self.w.flush()
     }
 
-    /// Seal the partial segment, write the directory and trailer, flush,
-    /// and hand back the writer plus final telemetry.
+    /// Seal the partial segment, write the extension block (if any
+    /// checkpoints or alerts were attached), the directory and the
+    /// trailer, flush, and hand back the writer plus final telemetry.
     pub fn finish(mut self) -> std::io::Result<(W, CaptureStats)> {
         self.seal();
+        let ext_offset = if self.checkpoints.is_empty() && self.alerts_jsonl.is_empty() {
+            0u64
+        } else {
+            let start = self.pos;
+            self.w.write_all(&EXT_MAGIC)?;
+            self.w
+                .write_all(&(self.checkpoints.len() as u32).to_le_bytes())?;
+            self.w
+                .write_all(&(self.alerts_jsonl.len() as u32).to_le_bytes())?;
+            self.pos += 16;
+            for (seg, blob) in &self.checkpoints {
+                self.w.write_all(&seg.to_le_bytes())?;
+                self.w.write_all(&(blob.len() as u32).to_le_bytes())?;
+                self.w.write_all(blob)?;
+                self.pos += 12 + blob.len() as u64;
+            }
+            self.w.write_all(self.alerts_jsonl.as_bytes())?;
+            self.pos += self.alerts_jsonl.len() as u64;
+            start
+        };
         let dir_offset = self.pos;
         let mut entry = [0u8; SEGMENT_ENTRY_LEN];
         for m in &self.dir {
@@ -341,7 +463,7 @@ impl<W: Write> CaptureWriter<W> {
         self.w.write_all(&(self.dir.len() as u64).to_le_bytes())?;
         self.w.write_all(&self.frames.to_le_bytes())?;
         self.w.write_all(&self.frames_dropped.to_le_bytes())?;
-        self.w.write_all(&0u64.to_le_bytes())?;
+        self.w.write_all(&ext_offset.to_le_bytes())?;
         self.w.write_all(&TRAILER_MAGIC)?;
         self.pos += TRAILER_LEN as u64;
         self.w.flush()?;
@@ -543,6 +665,50 @@ pub struct ScanStats {
     pub frames_matched: u64,
 }
 
+/// Extension-block contents: `(seg_index, blob)` checkpoint entries
+/// plus the embedded alert JSONL.
+type ExtensionContents = (Vec<(u64, Vec<u8>)>, String);
+
+/// Parse the extension block: `(checkpoints, alerts_jsonl)`. The block
+/// must consume `ext` exactly — trailing or missing bytes are
+/// corruption, not slack.
+fn parse_extension(ext: &[u8]) -> Result<ExtensionContents, String> {
+    if ext.len() < 16 || ext[0..8] != EXT_MAGIC {
+        return Err("corrupt extension block: bad magic".into());
+    }
+    let n_checkpoints = u32::from_le_bytes(ext[8..12].try_into().unwrap()) as usize;
+    let alerts_len = u32::from_le_bytes(ext[12..16].try_into().unwrap()) as usize;
+    let mut pos = 16usize;
+    let mut checkpoints = Vec::with_capacity(n_checkpoints);
+    for i in 0..n_checkpoints {
+        if ext.len() < pos + 12 {
+            return Err(format!(
+                "corrupt extension block: short checkpoint header {i}"
+            ));
+        }
+        let seg = u64::from_le_bytes(ext[pos..pos + 8].try_into().unwrap());
+        let blob_len = u32::from_le_bytes(ext[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        pos += 12;
+        if ext.len() < pos + blob_len {
+            return Err(format!(
+                "corrupt extension block: short checkpoint blob {i}"
+            ));
+        }
+        checkpoints.push((seg, ext[pos..pos + blob_len].to_vec()));
+        pos += blob_len;
+    }
+    if ext.len() != pos + alerts_len {
+        return Err(format!(
+            "corrupt extension block: {} bytes, parsed {pos} + {alerts_len} alert bytes",
+            ext.len()
+        ));
+    }
+    let alerts = std::str::from_utf8(&ext[pos..])
+        .map_err(|e| format!("corrupt extension block: alerts not UTF-8: {e}"))?
+        .to_string();
+    Ok((checkpoints, alerts))
+}
+
 /// Seekable reader over a segmented capture: validates the footer and
 /// directory up front, then serves index-driven segment-at-a-time
 /// scans. Peak memory is one segment's data plus the directory,
@@ -555,6 +721,9 @@ pub struct CaptureReader<R: Read + Seek> {
     frames_dropped: u64,
     bytes: u64,
     buf: Vec<u8>,
+    version: u32,
+    checkpoints: Vec<(u64, Vec<u8>)>,
+    alerts_jsonl: String,
 }
 
 impl CaptureReader<BufReader<File>> {
@@ -576,9 +745,9 @@ impl<R: Read + Seek> CaptureReader<R> {
             return Err("bad magic: not a segmented trace capture".into());
         }
         let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
-        if version != FRAME_VERSION {
+        if version != 1 && version != CAPTURE_VERSION {
             return Err(format!(
-                "unsupported capture version {version} (expected {FRAME_VERSION})"
+                "unsupported capture version {version} (expected 1..={CAPTURE_VERSION})"
             ));
         }
         let flen = u32::from_le_bytes(head[12..16].try_into().unwrap()) as usize;
@@ -607,6 +776,7 @@ impl<R: Read + Seek> CaptureReader<R> {
         let segments = u64::from_le_bytes(tr[8..16].try_into().unwrap());
         let frames = u64::from_le_bytes(tr[16..24].try_into().unwrap());
         let frames_dropped = u64::from_le_bytes(tr[24..32].try_into().unwrap());
+        let ext_offset = u64::from_le_bytes(tr[32..40].try_into().unwrap());
         let want_len = dir_offset
             .checked_add(segments * SEGMENT_ENTRY_LEN as u64)
             .and_then(|v| v.checked_add(TRAILER_LEN as u64));
@@ -615,6 +785,28 @@ impl<R: Read + Seek> CaptureReader<R> {
                 "inconsistent trailer: dir_offset {dir_offset}, {segments} segments, file {bytes} bytes"
             ));
         }
+        // The frame data region ends where the extension block (if
+        // any) starts; otherwise at the directory.
+        if ext_offset != 0 && (ext_offset < CAPTURE_HEADER_LEN as u64 || ext_offset >= dir_offset) {
+            return Err(format!(
+                "inconsistent trailer: extension block at {ext_offset} outside data region (directory at {dir_offset})"
+            ));
+        }
+        let data_end = if ext_offset != 0 {
+            ext_offset
+        } else {
+            dir_offset
+        };
+        let (checkpoints, alerts_jsonl) = if ext_offset != 0 {
+            r.seek(SeekFrom::Start(ext_offset))
+                .map_err(|e| format!("seek error: {e}"))?;
+            let mut ext = vec![0u8; (dir_offset - ext_offset) as usize];
+            r.read_exact(&mut ext)
+                .map_err(|e| format!("short extension block: {e}"))?;
+            parse_extension(&ext)?
+        } else {
+            (Vec::new(), String::new())
+        };
         r.seek(SeekFrom::Start(dir_offset))
             .map_err(|e| format!("seek error: {e}"))?;
         let mut dir = Vec::with_capacity(segments as usize);
@@ -636,19 +828,24 @@ impl<R: Read + Seek> CaptureReader<R> {
                 kind_counts,
                 node_filter: entry[96..128].try_into().unwrap(),
             };
-            if m.offset != expected_offset || m.frames == 0 {
+            if m.frames == 0 || (!m.is_compacted() && m.offset != expected_offset) {
                 return Err(format!(
                     "corrupt directory: segment {i} at offset {} (expected {expected_offset}), {} frames",
                     m.offset, m.frames
                 ));
             }
-            expected_offset += m.frames as u64 * FRAME_LEN as u64;
+            // Compacted entries hold no frame data, so the data region
+            // does not advance; their frames still count toward the
+            // logical total so index-only queries stay exact.
+            if !m.is_compacted() {
+                expected_offset += m.frames as u64 * FRAME_LEN as u64;
+            }
             frame_sum += m.frames as u64;
             dir.push(m);
         }
-        if expected_offset != dir_offset || frame_sum != frames {
+        if expected_offset != data_end || frame_sum != frames {
             return Err(format!(
-                "corrupt directory: data ends at {expected_offset} (directory at {dir_offset}), {frame_sum} frames indexed ({frames} in trailer)"
+                "corrupt directory: data ends at {expected_offset} (expected {data_end}), {frame_sum} frames indexed ({frames} in trailer)"
             ));
         }
         Ok(CaptureReader {
@@ -658,6 +855,9 @@ impl<R: Read + Seek> CaptureReader<R> {
             frames_dropped,
             bytes,
             buf: Vec::new(),
+            version,
+            checkpoints,
+            alerts_jsonl,
         })
     }
 
@@ -682,8 +882,30 @@ impl<R: Read + Seek> CaptureReader<R> {
         self.bytes
     }
 
+    /// Container version from the header (1 or [`CAPTURE_VERSION`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Embedded detector checkpoints as `(seg_index, blob)` pairs:
+    /// "state after segments `[0..seg_index)`". Opaque at this layer;
+    /// `wmsn-health` owns the codec.
+    pub fn checkpoints(&self) -> &[(u64, Vec<u8>)] {
+        &self.checkpoints
+    }
+
+    /// The alert JSONL stream embedded at capture time ("" if none).
+    pub fn alerts_jsonl(&self) -> &str {
+        &self.alerts_jsonl
+    }
+
     fn load_segment(&mut self, idx: usize) -> Result<usize, String> {
         let m = self.dir[idx];
+        if m.is_compacted() {
+            return Err(format!(
+                "segment {idx} is compacted: frame data removed by retention, only index summaries remain"
+            ));
+        }
         self.r
             .seek(SeekFrom::Start(m.offset))
             .map_err(|e| format!("seek error: {e}"))?;
@@ -695,6 +917,13 @@ impl<R: Read + Seek> CaptureReader<R> {
         Ok(m.frames as usize)
     }
 
+    /// Read one segment's raw frame bytes (compaction's copy path).
+    /// Errors on compacted segments like any frame-level read.
+    pub fn read_segment_raw(&mut self, idx: usize) -> Result<Vec<u8>, String> {
+        let n = self.load_segment(idx)?;
+        Ok(self.buf[..n * FRAME_LEN].to_vec())
+    }
+
     fn decode_loaded(&self, idx: usize, j: usize) -> Result<(TraceEvent, u64, u64), String> {
         let b: &[u8; FRAME_LEN] = self.buf[j * FRAME_LEN..(j + 1) * FRAME_LEN]
             .try_into()
@@ -704,13 +933,29 @@ impl<R: Read + Seek> CaptureReader<R> {
 
     /// Visit every frame the filter admits, in file order, decoding one
     /// segment at a time and skipping segments the index rules out.
+    /// Hard-errors if an admitted segment has been compacted away —
+    /// frame-level answers over compacted ranges would be silently
+    /// wrong, so they fail loudly instead.
     pub fn scan<F: FnMut(&TraceEvent, u64, u64)>(
         &mut self,
+        filter: &ScanFilter,
+        f: F,
+    ) -> Result<ScanStats, String> {
+        let end = self.dir.len();
+        self.scan_range(0..end, filter, f)
+    }
+
+    /// [`CaptureReader::scan`] restricted to segments `range` — the
+    /// windowed-replay primitive: a caller that knows which segments a
+    /// time window touches decodes only those.
+    pub fn scan_range<F: FnMut(&TraceEvent, u64, u64)>(
+        &mut self,
+        range: std::ops::Range<usize>,
         filter: &ScanFilter,
         mut f: F,
     ) -> Result<ScanStats, String> {
         let mut stats = ScanStats::default();
-        for idx in 0..self.dir.len() {
+        for idx in range {
             if !filter.admits_segment(&self.dir[idx]) {
                 stats.segments_skipped += 1;
                 continue;
@@ -1404,5 +1649,165 @@ mod tests {
             .expect("scan");
         assert_eq!(got, frames);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn extension_block_round_trips_checkpoints_and_alerts() {
+        let frames = stream(3);
+        let mut w =
+            CaptureWriter::new(Vec::new(), CaptureConfig { segment_frames: 8 }).expect("header");
+        let mut boundaries = Vec::new();
+        for (ev, at, key) in &frames {
+            if w.push(ev, *at, *key).expect("push") {
+                let sealed = w.segments_sealed();
+                w.add_checkpoint(sealed, vec![sealed as u8; 5 + sealed as usize]);
+                boundaries.push(sealed);
+            }
+        }
+        w.set_alerts_jsonl("{\"alert\":\"x\"}\n".into());
+        let (bytes, stats) = w.finish().expect("finish");
+        assert_eq!(stats.bytes, bytes.len() as u64);
+        assert!(!boundaries.is_empty());
+
+        let mut r = CaptureReader::new(Cursor::new(bytes)).expect("open");
+        assert_eq!(r.version(), CAPTURE_VERSION);
+        assert_eq!(r.alerts_jsonl(), "{\"alert\":\"x\"}\n");
+        assert_eq!(r.checkpoints().len(), boundaries.len());
+        for ((seg, blob), want) in r.checkpoints().iter().zip(&boundaries) {
+            assert_eq!(seg, want);
+            assert_eq!(blob, &vec![*want as u8; 5 + *want as usize]);
+        }
+        // The extension block is invisible to frame-level reads.
+        let mut got = Vec::new();
+        r.scan(&ScanFilter::all(), |ev, at, key| got.push((*ev, at, key)))
+            .expect("scan");
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn version_1_files_still_open() {
+        // A version-1 file is exactly a version-2 file with no
+        // extension block and a 1 in the header version slot.
+        let frames = stream(2);
+        let mut bytes = write_capture(&frames, 8);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let mut r = CaptureReader::new(Cursor::new(bytes)).expect("open v1");
+        assert_eq!(r.version(), 1);
+        assert!(r.checkpoints().is_empty());
+        assert_eq!(r.alerts_jsonl(), "");
+        let mut got = Vec::new();
+        r.scan(&ScanFilter::all(), |ev, at, key| got.push((*ev, at, key)))
+            .expect("scan");
+        assert_eq!(got, frames);
+        // Unknown future versions stay hard errors.
+        let mut bad = write_capture(&frames, 8);
+        bad[8..12].copy_from_slice(&(CAPTURE_VERSION + 1).to_le_bytes());
+        assert!(CaptureReader::new(Cursor::new(bad))
+            .unwrap_err()
+            .contains("unsupported capture version"));
+    }
+
+    #[test]
+    fn compacted_segments_keep_the_index_and_fail_frame_reads_loudly() {
+        let frames = stream(3);
+        let src_bytes = write_capture(&frames, 8);
+        let mut src = CaptureReader::new(Cursor::new(src_bytes)).expect("open src");
+        let n_segs = src.segments().len();
+        assert!(n_segs >= 4, "want >= 4 segments, got {n_segs}");
+
+        // Rewrite with the first half compacted, the rest retained.
+        let keep_from = n_segs / 2;
+        let mut w =
+            CaptureWriter::new(Vec::new(), CaptureConfig { segment_frames: 8 }).expect("header");
+        w.add_checkpoint(keep_from as u64, vec![7; 3]);
+        for idx in 0..n_segs {
+            let meta = src.segments()[idx];
+            if idx < keep_from {
+                w.push_compacted(&meta);
+            } else {
+                let raw = src.read_segment_raw(idx).expect("raw");
+                w.push_segment_raw(&meta, &raw).expect("copy");
+            }
+        }
+        let (bytes, stats) = w.finish().expect("finish");
+        assert_eq!(stats.frames, frames.len() as u64);
+
+        let mut r = CaptureReader::new(Cursor::new(bytes)).expect("open compacted");
+        assert_eq!(r.frames(), frames.len() as u64);
+        assert_eq!(r.segments().len(), n_segs);
+        // Index entries (hence index-only queries) survive unchanged.
+        assert_eq!(capture_counts(&r), capture_counts(&src));
+        for (idx, (a, b)) in r.segments().iter().zip(src.segments()).enumerate() {
+            assert_eq!(a.is_compacted(), idx < keep_from);
+            assert_eq!(
+                (a.frames, a.at_min, a.at_max),
+                (b.frames, b.at_min, b.at_max)
+            );
+            assert_eq!(a.kind_counts, b.kind_counts);
+            assert_eq!(a.node_filter, b.node_filter);
+        }
+        // A scan over the retained tail works and matches the source.
+        let first_kept_at = r.segments()[keep_from].at_min;
+        let want: Vec<_> = frames
+            .iter()
+            .copied()
+            .filter(|f| f.1 >= first_kept_at)
+            .collect();
+        let mut got = Vec::new();
+        r.scan_range(keep_from..n_segs, &ScanFilter::all(), |ev, at, key| {
+            got.push((*ev, at, key))
+        })
+        .expect("tail scan");
+        assert_eq!(got, want);
+        // A frame-level read touching a compacted segment fails loudly.
+        let e = r.scan(&ScanFilter::all(), |_, _, _| {}).unwrap_err();
+        assert!(e.contains("compacted"), "{e}");
+        let e = r.read_segment_raw(0).unwrap_err();
+        assert!(e.contains("compacted"), "{e}");
+        // But a filtered scan whose index pruning avoids the compacted
+        // range still answers.
+        let mut n = 0u64;
+        r.scan(
+            &ScanFilter::all().with_at_range(first_kept_at, u64::MAX),
+            |_, _, _| n += 1,
+        )
+        .expect("pruned scan");
+        assert_eq!(n, want.len() as u64);
+    }
+
+    #[test]
+    fn extension_corruption_is_a_hard_open_error() {
+        let frames = stream(2);
+        let mut w =
+            CaptureWriter::new(Vec::new(), CaptureConfig { segment_frames: 8 }).expect("header");
+        for (ev, at, key) in &frames {
+            w.push(ev, *at, *key).expect("push");
+        }
+        w.add_checkpoint(1, vec![1, 2, 3]);
+        w.set_alerts_jsonl("{}\n".into());
+        let (bytes, _) = w.finish().expect("finish");
+        let ext_offset = u64::from_le_bytes(
+            bytes[bytes.len() - TRAILER_LEN + 32..bytes.len() - TRAILER_LEN + 40]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        assert!(ext_offset > 0);
+        // Bad extension magic.
+        let mut bad = bytes.clone();
+        bad[ext_offset] ^= 0xFF;
+        let e = CaptureReader::new(Cursor::new(bad)).unwrap_err();
+        assert!(e.contains("bad magic"), "{e}");
+        // Blob length overrunning the block.
+        let mut bad = bytes.clone();
+        bad[ext_offset + 24..ext_offset + 28].copy_from_slice(&u32::MAX.to_le_bytes());
+        let e = CaptureReader::new(Cursor::new(bad)).unwrap_err();
+        assert!(e.contains("corrupt extension"), "{e}");
+        // ext_offset pointing past the directory.
+        let mut bad = bytes.clone();
+        let tr = bad.len() - TRAILER_LEN;
+        let file_len = bad.len() as u64;
+        bad[tr + 32..tr + 40].copy_from_slice(&file_len.to_le_bytes());
+        let e = CaptureReader::new(Cursor::new(bad)).unwrap_err();
+        assert!(e.contains("extension block"), "{e}");
     }
 }

@@ -39,7 +39,8 @@ pub mod structured;
 pub use capture::{
     capture_counts, capture_drops_of_seq, capture_energy_of, capture_path_of, is_segmented_capture,
     merge_captures_with, CaptureConfig, CaptureCursor, CaptureReader, CaptureSink, CaptureStats,
-    CaptureWriter, ScanFilter, ScanStats, SegmentMeta, CAPTURE_MAGIC, DEFAULT_SEGMENT_FRAMES,
+    CaptureWriter, ScanFilter, ScanStats, SegmentMeta, CAPTURE_MAGIC, CAPTURE_VERSION,
+    COMPACTED_OFFSET, DEFAULT_SEGMENT_FRAMES, EXT_MAGIC,
 };
 pub use event::{DropCause, TraceEvent, TraceKind, TraceTier};
 pub use frame::{

@@ -7,7 +7,8 @@
 //! no scripted `remove_gateway`.
 
 use wmsn::core::experiments::{
-    e18_detection, e18_recovery, expected_alert_class, run_attack_cell_monitored, Attack,
+    e12_backbone_fault, e18_detection, e18_recovery, expected_alert_class,
+    run_attack_cell_monitored, Attack,
 };
 use wmsn::core::report::find_value;
 use wmsn::health::{AlertKind, HealthConfig};
@@ -78,6 +79,31 @@ fn gateway_death_recovers_via_the_policy_loop() {
     assert!(
         recovered > failure,
         "monitor-driven redirect must recover delivery: {failure} → {recovered}"
+    );
+}
+
+#[test]
+fn backbone_faults_are_fingerprinted_and_healthy_backbone_is_clean() {
+    let rows = e12_backbone_fault(1);
+    // The healthy three-tier run must stay clean of both backbone
+    // detectors (the sensor-tier bank is exercised elsewhere).
+    assert_eq!(
+        find_value(&rows, "backbone healthy", "backbone_asymmetry").unwrap(),
+        0.0
+    );
+    assert_eq!(
+        find_value(&rows, "backbone healthy", "base_silence").unwrap(),
+        0.0
+    );
+    // Killing the base station must raise base_silence naming it: the
+    // WMGs keep uplinking mesh data that nobody delivers any more.
+    assert!(
+        find_value(&rows, "base killed", "base_silence").unwrap() >= 1.0,
+        "dead base station not flagged: {rows:?}"
+    );
+    assert_eq!(
+        find_value(&rows, "base killed", "accused_base_station").unwrap(),
+        1.0
     );
 }
 
